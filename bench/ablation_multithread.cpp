@@ -1,0 +1,111 @@
+// Ablation (the paper's §III-D1 future-work extension): multi-threaded
+// execution of non-conflicting single-partition requests.
+//
+// Workload: a CPU-bound replicated key-value service (5 us of application
+// CPU per request) with requests spread over many independent keys —
+// the favourable case the paper describes ("requests that do not contain
+// conflicting operations ... assigned to different working threads").
+// Expected: throughput scales with worker cores until another resource
+// (ordering, conflicts) binds; the conflict-heavy column shows the
+// mechanism degrading gracefully to sequential execution.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/system.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/random.hpp"
+
+using namespace heron;
+
+namespace {
+
+struct Req {
+  std::uint64_t key;
+};
+
+class CpuBoundApp : public core::Application {
+ public:
+  explicit CpuBoundApp(std::uint64_t keys) : keys_(keys) {}
+  core::GroupId partition_of(core::Oid) const override { return 0; }
+  std::vector<core::Oid> read_set(const core::Request& r,
+                                  core::GroupId) const override {
+    Req req;
+    std::memcpy(&req, r.payload.data(), sizeof(req));
+    return {req.key};
+  }
+  core::Reply execute(const core::Request& r,
+                      core::ExecContext& ctx) override {
+    Req req;
+    std::memcpy(&req, r.payload.data(), sizeof(req));
+    auto v = ctx.value_as<std::uint64_t>(req.key);
+    ctx.charge(sim::us(12));  // the CPU-bound part
+    ctx.write_as(req.key, v + 1);
+    return core::Reply{};
+  }
+  void bootstrap(core::GroupId, core::ObjectStore& store) override {
+    const std::uint64_t zero = 0;
+    for (core::Oid k = 0; k < keys_; ++k) {
+      store.create(k, std::as_bytes(std::span(&zero, 1)));
+    }
+  }
+
+ private:
+  std::uint64_t keys_;
+};
+
+double run_config(int threads, bool conflict_heavy) {
+  constexpr std::uint64_t kKeys = 256;
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, {}, 31);
+  core::HeronConfig cfg;
+  cfg.exec_threads = threads;
+  cfg.object_region_bytes = 1u << 20;
+  core::System sys(fabric, 1, 3,
+                   [k = kKeys] { return std::make_unique<CpuBoundApp>(k); }, cfg);
+  sys.start();
+
+  constexpr int kClients = 24;
+  for (int i = 0; i < kClients; ++i) {
+    auto& client = sys.add_client();
+    sim.spawn([](core::Client& cl, int idx, bool hot) -> sim::Task<void> {
+      sim::Rng rng(900 + static_cast<std::uint64_t>(idx));
+      while (true) {
+        // Conflict-heavy: everyone fights over 2 keys; otherwise spread.
+        Req req{hot ? 0 : rng.bounded(kKeys)};
+        co_await cl.submit(amcast::dst_of(0), 1,
+                           std::as_bytes(std::span(&req, 1)));
+      }
+    }(client, i, conflict_heavy));
+  }
+
+  sim.run_for(sim::ms(20));
+  sys.reset_stats();
+  const auto before = sys.total_completed();
+  const sim::Nanos window = sim::ms(80);
+  sim.run_for(window);
+  return static_cast<double>(sys.total_completed() - before) /
+         sim::to_sec(window);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: multi-threaded execution (SIII-D1 extension), CPU-bound "
+      "single-partition requests, 1 partition x 3 replicas, 24 clients\n\n");
+  std::printf("%8s %18s %20s\n", "threads", "disjoint keys(tps)",
+              "conflict-heavy(tps)");
+  double base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double spread = run_config(threads, false);
+    const double hot = run_config(threads, true);
+    if (threads == 1) base = spread;
+    std::printf("%8d %18.0f %20.0f   (%.2fx)\n", threads, spread, hot,
+                spread / base);
+  }
+  std::printf(
+      "\nexpected shape: near-linear gains on disjoint keys until the "
+      "ordering layer binds; no gain (no loss) under heavy conflicts\n");
+  return 0;
+}

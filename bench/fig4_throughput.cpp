@@ -1,0 +1,75 @@
+// Figure 4: maximum throughput of (a) RamCast ordering only, (b) Heron
+// with null requests, (c) Heron TPCC, (d) local-only TPCC, for 1..16
+// warehouses (one warehouse per partition, 3 replicas each).
+//
+// Paper shape: RamCast scales close to linearly; null requests and TPCC
+// hold flat from 1WH to 2WH (coordination appears), then scale by
+// ~1.5x/3x/5x (null) and ~1.5x/2.7x/4x (TPCC) at 4/8/16 WH; local TPCC
+// scales linearly.
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+using namespace heron;
+
+namespace {
+
+double run_config(core::Mode mode, bool local_only, int partitions,
+                  int clients_per_partition) {
+  tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
+  core::HeronConfig cfg;
+  cfg.mode = mode;
+  // Model the paper's testbed: above 40 nodes traffic crosses the ToR
+  // switch (the 8WH->16WH step softens, §V-C1).
+  rdma::LatencyModel fabric;
+  fabric.oversub_nodes = 40;
+  harness::TpccCluster cluster(partitions, 3, scale, cfg, {}, 99, fabric);
+
+  tpcc::WorkloadConfig workload;
+  workload.local_only = local_only;
+  cluster.add_clients(clients_per_partition, workload);
+
+  auto result = cluster.run(sim::ms(15), sim::ms(60));
+  return result.throughput_tps;
+}
+
+}  // namespace
+
+int main() {
+  const int warehouses[] = {1, 2, 4, 8, 16};
+  struct Set {
+    const char* label;
+    core::Mode mode;
+    bool local_only;
+    int clients;
+  };
+  const Set sets[] = {
+      {"ramcast", core::Mode::kOrderOnly, false, 10},
+      {"heron-null", core::Mode::kNull, false, 10},
+      {"tpcc", core::Mode::kApp, false, 8},
+      {"tpcc-local", core::Mode::kApp, true, 8},
+  };
+
+  std::printf(
+      "Figure 4: max throughput (tps) vs warehouses "
+      "(1 warehouse/partition, 3 replicas)\n\n");
+  std::printf("%-12s", "set");
+  for (int wh : warehouses) std::printf(" %10dWH", wh);
+  std::printf("   scaling(4/8/16 vs 2WH)\n");
+
+  for (const auto& set : sets) {
+    std::vector<double> tput;
+    for (int wh : warehouses) {
+      tput.push_back(run_config(set.mode, set.local_only, wh, set.clients));
+    }
+    std::printf("%-12s", set.label);
+    for (double t : tput) std::printf(" %12.0f", t);
+    std::printf("   %.2fx %.2fx %.2fx\n", tput[2] / tput[1], tput[3] / tput[1],
+                tput[4] / tput[1]);
+  }
+  std::printf(
+      "\npaper: null requests flat 1WH->2WH then 1.57x/2.98x/4.80x; "
+      "TPCC flat then 1.52x/2.65x/3.98x; local TPCC ~linear\n");
+  return 0;
+}

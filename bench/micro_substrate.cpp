@@ -1,0 +1,136 @@
+// Substrate microbenchmarks (google-benchmark): simulated-RDMA verb
+// latencies, atomic multicast delivery latency, and object-store
+// operations. These document the calibrated cost model underlying every
+// figure (values are *simulated* time per operation, reported as
+// microseconds via the Lat counter; wall time measures simulator speed).
+#include <benchmark/benchmark.h>
+
+#include "amcast/system.hpp"
+#include "core/object_store.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+using namespace heron;
+
+namespace {
+
+void BM_RdmaReadLatency(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim);
+  auto& a = fabric.add_node();
+  auto& b = fabric.add_node();
+  auto mr = b.register_region(bytes);
+  sim::Nanos total = 0;
+  std::uint64_t ops = 0;
+
+  for (auto _ : state) {
+    sim::Nanos t = 0;
+    sim.spawn([](sim::Simulator& s, rdma::Fabric& f, rdma::Node& from,
+                 rdma::Node& to, rdma::MrId m, std::size_t n,
+                 sim::Nanos& out) -> sim::Task<void> {
+      std::vector<std::byte> buf(n);
+      const sim::Nanos start = s.now();
+      co_await f.read(from.id(), rdma::RAddr{to.id(), m, 0}, buf);
+      out = s.now() - start;
+    }(sim, fabric, a, b, mr, bytes, t));
+    sim.run();
+    total += t;
+    ++ops;
+  }
+  state.counters["sim_lat_us"] = sim::to_us(total / static_cast<sim::Nanos>(ops));
+}
+BENCHMARK(BM_RdmaReadLatency)->Arg(8)->Arg(1024)->Arg(32768);
+
+void BM_RdmaWriteLatency(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim);
+  auto& a = fabric.add_node();
+  auto& b = fabric.add_node();
+  auto mr = b.register_region(bytes);
+  sim::Nanos total = 0;
+  std::uint64_t ops = 0;
+
+  for (auto _ : state) {
+    sim::Nanos t = 0;
+    sim.spawn([](sim::Simulator& s, rdma::Fabric& f, rdma::Node& from,
+                 rdma::Node& to, rdma::MrId m, std::size_t n,
+                 sim::Nanos& out) -> sim::Task<void> {
+      std::vector<std::byte> buf(n, std::byte{1});
+      const sim::Nanos start = s.now();
+      co_await f.write(from.id(), rdma::RAddr{to.id(), m, 0}, buf);
+      out = s.now() - start;
+    }(sim, fabric, a, b, mr, bytes, t));
+    sim.run();
+    total += t;
+    ++ops;
+  }
+  state.counters["sim_lat_us"] = sim::to_us(total / static_cast<sim::Nanos>(ops));
+}
+BENCHMARK(BM_RdmaWriteLatency)->Arg(8)->Arg(1024)->Arg(32768);
+
+void BM_AmcastDelivery(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  sim::Nanos total = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    rdma::Fabric fabric(sim, {}, 5);
+    amcast::System sys(fabric, groups, 3);
+    sys.start();
+    auto& client = sys.add_client();
+    amcast::DstMask dst = 0;
+    for (int g = 0; g < groups; ++g) dst |= amcast::dst_of(g);
+    sim::Nanos t = 0;
+    sim.spawn([](sim::Simulator& s, amcast::System& system,
+                 amcast::ClientEndpoint& cl, amcast::DstMask d,
+                 sim::Nanos& out) -> sim::Task<void> {
+      std::uint32_t v = 7;
+      const sim::Nanos start = s.now();
+      co_await cl.multicast(d, std::as_bytes(std::span(&v, 1)));
+      while (system.endpoint(0, 0).delivered_count() == 0) {
+        co_await s.sleep(sim::us(1));
+      }
+      out = s.now() - start;
+    }(sim, sys, client, dst, t));
+    sim.run_for(sim::ms(5));
+    total += t;
+    ++ops;
+  }
+  state.counters["sim_lat_us"] = sim::to_us(total / static_cast<sim::Nanos>(ops));
+}
+BENCHMARK(BM_AmcastDelivery)->Arg(1)->Arg(2)->Arg(4)->Iterations(20);
+
+void BM_ObjectStoreSet(benchmark::State& state) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim);
+  auto& node = fabric.add_node();
+  core::ObjectStore store(node, 1u << 20);
+  std::vector<std::byte> value(640);
+  store.create(1, value, true);
+  core::Tmp tmp = 1;
+  for (auto _ : state) {
+    store.set(1, value, tmp++);
+    benchmark::DoNotOptimize(store.get(1));
+  }
+}
+BENCHMARK(BM_ObjectStoreSet);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // Wall-clock events/second of the DES engine itself.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,724 @@
+#include "amcast/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "amcast/system.hpp"
+#include "rdma/pod.hpp"
+#include "sim/log.hpp"
+
+namespace heron::amcast {
+
+namespace {
+
+constexpr std::uint64_t kInboxSlotSize = sizeof(WireMessage);
+constexpr std::uint64_t kLogSlotSize = sizeof(TaggedLogRecord);
+constexpr std::uint64_t kPropSlotSize = sizeof(ProposalRecord);
+
+}  // namespace
+
+Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
+    : system_(&system), group_(group), rank_(rank), node_(&node) {
+  const Config& cfg = system.config();
+  inbox_mr_ = node.register_region(static_cast<std::size_t>(cfg.max_clients) *
+                                   cfg.inbox_slots_per_client * kInboxSlotSize);
+  log_mr_ = node.register_region(cfg.log_slots * kLogSlotSize);
+  acks_mr_ = node.register_region(
+      static_cast<std::size_t>(system.replicas_per_group()) * sizeof(std::uint64_t));
+  props_mr_ = node.register_region(static_cast<std::size_t>(system.total_replicas()) *
+                                   cfg.proposal_slots * kPropSlotSize);
+  hb_mr_ = node.register_region(sizeof(std::uint64_t));
+  status_mr_ = node.register_region(sizeof(StatusPage));
+  control_mr_ = node.register_region(sizeof(ControlMsg));
+
+  inbox_next_.assign(cfg.max_clients, 0);
+  props_next_.assign(system.total_replicas(), 0);
+  delivered_wm_.assign(cfg.max_clients, 0);
+  ready_notifier_ = std::make_unique<sim::Notifier>(
+      system.fabric().simulator());
+  update_status_page();
+}
+
+void Endpoint::start() {
+  auto& sim = system_->fabric().simulator();
+  sim.spawn(inbox_loop());
+  sim.spawn(log_loop());
+  sim.spawn(props_loop());
+  sim.spawn(control_loop());
+  if (system_->config().enable_failover) {
+    sim.spawn(heartbeat_loop());
+  }
+}
+
+int Endpoint::majority() const {
+  return system_->replicas_per_group() / 2 + 1;
+}
+
+bool Endpoint::already_delivered(MsgUid uid) const {
+  return uid_seq(uid) <= delivered_wm_[uid_client(uid)];
+}
+
+void Endpoint::mark_delivered(MsgUid uid) {
+  auto& wm = delivered_wm_[uid_client(uid)];
+  wm = std::max<std::uint64_t>(wm, uid_seq(uid));
+}
+
+std::uint64_t Endpoint::inbox_slot_offset(std::uint32_t client,
+                                          std::uint64_t seq) const {
+  const Config& cfg = system_->config();
+  const std::uint64_t slot = seq % cfg.inbox_slots_per_client;
+  return (static_cast<std::uint64_t>(client) * cfg.inbox_slots_per_client +
+          slot) *
+         kInboxSlotSize;
+}
+
+std::uint64_t Endpoint::log_slot_offset(std::uint64_t seq) const {
+  return (seq % system_->config().log_slots) * kLogSlotSize;
+}
+
+std::uint64_t Endpoint::props_slot_offset(std::uint32_t stripe,
+                                          std::uint64_t seq) const {
+  const Config& cfg = system_->config();
+  return (static_cast<std::uint64_t>(stripe) * cfg.proposal_slots +
+          seq % cfg.proposal_slots) *
+         kPropSlotSize;
+}
+
+void Endpoint::update_status_page() {
+  rdma::store_pod(node_->region(status_mr_).bytes(), 0,
+                  StatusPage{epoch_, applied_seq_, clock_});
+}
+
+// ---------------------------------------------------------------------
+// Inbox: clients write WireMessages into per-client rings on every
+// replica. All replicas track them (so a new leader can re-propose);
+// only the leader drives proposals.
+// ---------------------------------------------------------------------
+
+sim::Task<void> Endpoint::inbox_loop() {
+  auto& region = node_->region(inbox_mr_);
+  const Config& cfg = system_->config();
+
+  // A slot holds the next message for client c when its stored
+  // (client, ring_seq) header matches the cursor.
+  auto slot_ready = [this, &region](std::uint32_t c) {
+    const std::uint64_t seq = inbox_next_[c] + 1;
+    const std::uint64_t off = inbox_slot_offset(c, seq);
+    const auto uid = rdma::load_pod<MsgUid>(region.bytes(), off);
+    const auto ring_seq =
+        rdma::load_pod<std::uint64_t>(region.bytes(), off + sizeof(MsgUid));
+    return uid_client(uid) == c && ring_seq == seq && uid != 0;
+  };
+  auto have_new = [this, slot_ready] {
+    const std::uint32_t clients =
+        std::min(system_->client_count(), system_->config().max_clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      if (slot_ready(c)) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), have_new);
+    if (!node_->alive()) co_return;
+    const std::uint32_t clients =
+        std::min(system_->client_count(), cfg.max_clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      while (slot_ready(c)) {
+        const std::uint64_t seq = inbox_next_[c] + 1;
+        const auto msg = rdma::load_pod<WireMessage>(
+            region.bytes(), inbox_slot_offset(c, seq));
+        inbox_next_[c] = seq;
+        co_await node_->cpu().use(cfg.inbox_proc);
+        note_seen(msg);
+      }
+    }
+  }
+}
+
+void Endpoint::note_seen(const WireMessage& msg) {
+  if (already_delivered(msg.uid)) return;
+  // A pending entry may exist purely from a remote group's proposal; only
+  // a *local* PROPOSE makes re-proposing unnecessary.
+  auto it = pending_.find(msg.uid);
+  if (it != pending_.end() && it->second.proposed_locally) return;
+  if (!seen_.contains(msg.uid)) {
+    seen_.emplace(msg.uid, msg);
+    if (is_leader() && !taking_over_) {
+      system_->fabric().simulator().spawn(drive_message(msg.uid));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Leader: propose -> replicate -> (majority ack) -> exchange proposals
+// -> commit. One driver coroutine per message.
+// ---------------------------------------------------------------------
+
+sim::Task<void> Endpoint::drive_message(MsgUid uid) {
+  if (!is_leader()) co_return;
+  {
+    auto seen_it = seen_.find(uid);
+    if (seen_it == seen_.end()) co_return;  // raced with delivery
+    auto [it, inserted] = pending_.try_emplace(uid);
+    Pending& p = it->second;
+    if (p.proposed_locally) co_return;
+
+    co_await node_->cpu().use(system_->config().leader_proc);
+    // Re-validate after the await: delivery or takeover may have raced.
+    if (!is_leader() || !pending_.contains(uid)) co_return;
+
+    p.msg = seen_it->second;
+    p.has_msg = true;
+    p.proposed_locally = true;
+    p.local_clock = ++clock_;
+    p.proposals[group_] = p.local_clock;
+    seen_.erase(uid);
+
+    LogRecord rec;
+    rec.seq = ++append_seq_;
+    rec.kind = LogRecord::Kind::kPropose;
+    rec.uid = uid;
+    rec.value = p.local_clock;
+    rec.msg = p.msg;
+    p.propose_seq = rec.seq;
+    append_record(rec);
+    update_status_page();
+  }
+
+  // Wait for a majority of the group to have the proposal before it can
+  // influence any other group (failover then always recovers it).
+  const std::uint64_t seq = pending_.at(uid).propose_seq;
+  co_await sim::wait_until(node_->region(acks_mr_).on_write(), [this, seq] {
+    return propose_majority_acked(seq);
+  });
+  if (!node_->alive()) co_return;
+
+  auto it = pending_.find(uid);
+  if (it == pending_.end()) co_return;
+  it->second.propose_acked = true;
+  send_proposals(uid);
+  maybe_commit(uid);
+}
+
+bool Endpoint::propose_majority_acked(std::uint64_t seq) const {
+  const auto acks = node_->region(acks_mr_).bytes();
+  int count = 1;  // self
+  for (int r = 0; r < system_->replicas_per_group(); ++r) {
+    if (r == rank_) continue;
+    if (rdma::load_pod<std::uint64_t>(acks, static_cast<std::uint64_t>(r) * 8) >=
+        seq) {
+      ++count;
+    }
+  }
+  return count >= majority();
+}
+
+void Endpoint::send_proposals(MsgUid uid) {
+  auto it = pending_.find(uid);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (dst_count(p.msg.dst) <= 1) return;  // single group: nothing to exchange
+
+  const std::uint32_t my_stripe = system_->stripe_of(group_, rank_);
+  for (GroupId h = 0; h < system_->group_count(); ++h) {
+    if (h == group_ || !dst_contains(p.msg.dst, h)) continue;
+    for (int r = 0; r < system_->replicas_per_group(); ++r) {
+      Endpoint& peer = system_->endpoint(h, r);
+      ProposalRecord rec;
+      rec.seq = ++props_sent_[peer.node().id()];
+      rec.uid = uid;
+      rec.from_group = group_;
+      rec.clock = p.local_clock;
+      rec.dst = p.msg.dst;
+      system_->fabric().write_async(
+          node_->id(),
+          rdma::RAddr{peer.node().id(), peer.props_mr(),
+                      peer.props_slot_offset(my_stripe,
+                                             rec.seq)},
+          rdma::pod_bytes(rec));
+    }
+  }
+  p.proposals_sent = true;
+}
+
+void Endpoint::maybe_commit(MsgUid uid) {
+  if (!is_leader() || taking_over_) return;
+  auto it = pending_.find(uid);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.committed || !p.proposed_locally || !p.propose_acked || !p.has_msg) {
+    return;
+  }
+  if (static_cast<int>(p.proposals.size()) < dst_count(p.msg.dst)) return;
+  commit(uid);
+}
+
+void Endpoint::commit(MsgUid uid) {
+  Pending& p = pending_.at(uid);
+  std::uint64_t final_ts = 0;
+  for (const auto& [g, clk] : p.proposals) {
+    final_ts = std::max(final_ts, pack_ts(clk, g));
+  }
+  clock_ = std::max(clock_, ts_clock(final_ts));
+
+  LogRecord rec;
+  rec.seq = ++append_seq_;
+  rec.kind = LogRecord::Kind::kCommit;
+  rec.uid = uid;
+  rec.value = final_ts;
+  append_record(rec);
+  update_status_page();
+}
+
+// Appends to the local ring and replicates to all followers. The leader
+// applies its own record synchronously.
+void Endpoint::append_record(LogRecord rec) {
+  TaggedLogRecord tagged{epoch_, rec};
+  rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(rec.seq),
+                  tagged);
+  applied_seq_ = std::max(applied_seq_, rec.seq);
+  apply_record(rec);
+
+  for (int r = 0; r < system_->replicas_per_group(); ++r) {
+    if (r == rank_) continue;
+    Endpoint& peer = system_->endpoint(group_, r);
+    system_->fabric().write_async(
+        node_->id(),
+        rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(rec.seq)},
+        rdma::pod_bytes(tagged));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Log apply (leader locally; followers via log_loop) + delivery.
+// ---------------------------------------------------------------------
+
+void Endpoint::apply_record(const LogRecord& rec) {
+  switch (rec.kind) {
+    case LogRecord::Kind::kPropose: {
+      if (already_delivered(rec.uid)) break;
+      auto [it, inserted] = pending_.try_emplace(rec.uid);
+      Pending& p = it->second;
+      p.msg = rec.msg;
+      p.has_msg = true;
+      p.proposed_locally = true;
+      p.local_clock = rec.value;
+      p.propose_seq = rec.seq;
+      p.proposals[group_] = rec.value;
+      clock_ = std::max(clock_, rec.value);
+      seen_.erase(rec.uid);
+      break;
+    }
+    case LogRecord::Kind::kCommit: {
+      if (already_delivered(rec.uid)) break;
+      auto it = pending_.find(rec.uid);
+      if (it == pending_.end()) break;  // stale duplicate
+      Pending& p = it->second;
+      p.committed = true;
+      p.final_ts = rec.value;
+      clock_ = std::max(clock_, ts_clock(rec.value));
+      try_deliver();
+      break;
+    }
+    case LogRecord::Kind::kInvalid:
+      break;
+  }
+  update_status_page();
+}
+
+sim::Task<void> Endpoint::log_loop() {
+  auto& region = node_->region(log_mr_);
+  const Config& cfg = system_->config();
+
+  auto next_ready = [this, &region] {
+    const auto tagged = rdma::load_pod<TaggedLogRecord>(
+        region.bytes(), log_slot_offset(applied_seq_ + 1));
+    return tagged.epoch == epoch_ && tagged.rec.seq == applied_seq_ + 1;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), next_ready);
+    if (!node_->alive()) co_return;
+    bool applied_any = false;
+    while (next_ready()) {
+      const auto tagged = rdma::load_pod<TaggedLogRecord>(
+          region.bytes(), log_slot_offset(applied_seq_ + 1));
+      applied_seq_ = tagged.rec.seq;
+      co_await node_->cpu().use(cfg.follower_proc);
+      apply_record(tagged.rec);
+      applied_any = true;
+    }
+    if (applied_any) {
+      // Report the applied position to every peer (any of them may be, or
+      // become, the leader).
+      const std::uint64_t ack = applied_seq_;
+      for (int r = 0; r < system_->replicas_per_group(); ++r) {
+        if (r == rank_) continue;
+        Endpoint& peer = system_->endpoint(group_, r);
+        system_->fabric().write_async(
+            node_->id(),
+            rdma::RAddr{peer.node().id(), peer.acks_mr(),
+                        static_cast<std::uint64_t>(rank_) * 8},
+            rdma::pod_bytes(ack));
+      }
+    }
+  }
+}
+
+sim::Task<void> Endpoint::props_loop() {
+  auto& region = node_->region(props_mr_);
+  const Config& cfg = system_->config();
+  const std::uint32_t stripes = system_->total_replicas();
+
+  auto have_new = [this, &region, stripes] {
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      const auto rec = rdma::load_pod<ProposalRecord>(
+          region.bytes(), props_slot_offset(s, props_next_[s] + 1));
+      if (rec.seq == props_next_[s] + 1) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), have_new);
+    if (!node_->alive()) co_return;
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      while (true) {
+        const auto rec = rdma::load_pod<ProposalRecord>(
+            region.bytes(), props_slot_offset(s, props_next_[s] + 1));
+        if (rec.seq != props_next_[s] + 1) break;
+        props_next_[s] = rec.seq;
+        co_await node_->cpu().use(cfg.proposal_proc);
+        if (already_delivered(rec.uid)) continue;
+        Pending& p = pending_[rec.uid];
+        p.proposals[rec.from_group] =
+            std::max(p.proposals[rec.from_group], rec.clock);
+        if (!p.has_msg) {
+          // Remember the destination set so maybe_commit can count groups
+          // even before our own PROPOSE lands.
+          p.msg.dst = rec.dst;
+          p.msg.uid = rec.uid;
+        }
+        maybe_commit(rec.uid);
+      }
+    }
+  }
+}
+
+void Endpoint::try_deliver() {
+  while (true) {
+    // Committed, undelivered message with the smallest final timestamp.
+    const Pending* best = nullptr;
+    MsgUid best_uid = 0;
+    for (const auto& [uid, p] : pending_) {
+      if (!p.committed) continue;
+      if (!best || p.final_ts < best->final_ts) {
+        best = &p;
+        best_uid = uid;
+      }
+    }
+    if (!best) return;
+
+    // Skeen delivery condition: safe only if no uncommitted message could
+    // still receive a smaller final timestamp. A locally proposed,
+    // uncommitted message m' has final >= pack(m'.local_clock, 0); any
+    // message not yet proposed here will get a proposal > clock_ >=
+    // ts_clock(best->final_ts), hence a larger final.
+    for (const auto& [uid, p] : pending_) {
+      if (p.committed || !p.proposed_locally) continue;
+      if (pack_ts(p.local_clock, 0) <= best->final_ts) return;  // blocked
+    }
+
+    Delivery d;
+    d.uid = best_uid;
+    d.tmp = best->final_ts;
+    d.dst = best->msg.dst;
+    d.payload = best->msg.payload;
+    d.payload_len = best->msg.payload_len;
+    mark_delivered(best_uid);
+    pending_.erase(best_uid);
+    seen_.erase(best_uid);
+    ++delivered_count_;
+    ready_.push_back(d);
+    ready_notifier_->notify_all();
+  }
+}
+
+sim::Task<Delivery> Endpoint::next_delivery() {
+  co_await sim::wait_until(*ready_notifier_, [this] { return !ready_.empty(); });
+  co_await node_->cpu().use(system_->config().deliver_proc);
+  Delivery d = ready_.front();
+  ready_.pop_front();
+  co_return d;
+}
+
+void Endpoint::debug_dump() const {
+  std::fprintf(stderr,
+               "[amcast g%d r%d] leader=%d epoch=%llu clock=%llu applied=%llu "
+               "appended=%llu delivered=%llu seen=%zu pending=%zu\n",
+               group_, rank_, leader_, (unsigned long long)epoch_,
+               (unsigned long long)clock_, (unsigned long long)applied_seq_,
+               (unsigned long long)append_seq_,
+               (unsigned long long)delivered_count_, seen_.size(),
+               pending_.size());
+  for (const auto& [uid, p] : pending_) {
+    std::fprintf(stderr,
+                 "  uid=%llu dst=%llx has_msg=%d proposed=%d clock=%llu "
+                 "acked=%d sent=%d committed=%d final=%llu nprops=%zu\n",
+                 (unsigned long long)uid, (unsigned long long)p.msg.dst,
+                 p.has_msg, p.proposed_locally,
+                 (unsigned long long)p.local_clock, p.propose_acked,
+                 p.proposals_sent, p.committed,
+                 (unsigned long long)p.final_ts, p.proposals.size());
+  }
+}
+
+std::optional<Delivery> Endpoint::try_next_delivery() {
+  if (ready_.empty()) return std::nullopt;
+  Delivery d = ready_.front();
+  ready_.pop_front();
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Failover: heartbeat monitoring, epoch-based takeover.
+// ---------------------------------------------------------------------
+
+sim::Task<void> Endpoint::control_loop() {
+  auto& region = node_->region(control_mr_);
+  while (true) {
+    co_await sim::wait_until(region.on_write(), [this, &region] {
+      return rdma::load_pod<ControlMsg>(region.bytes(), 0).serial !=
+             control_serial_;
+    });
+    if (!node_->alive()) co_return;
+    const auto ctl = rdma::load_pod<ControlMsg>(region.bytes(), 0);
+    control_serial_ = ctl.serial;
+    if (ctl.epoch > epoch_) {
+      epoch_ = ctl.epoch;
+      leader_ = ctl.leader_rank;
+      // Discard any log suffix the old leader never majority-replicated;
+      // the new leader's records for those positions supersede them.
+      applied_seq_ = std::min(applied_seq_, ctl.reset_seq);
+      update_status_page();
+      // Re-kick the log loop: records tagged with the new epoch may
+      // already sit in the ring.
+      node_->region(log_mr_).on_write().notify_all();
+    }
+  }
+}
+
+sim::Task<void> Endpoint::heartbeat_loop() {
+  const Config& cfg = system_->config();
+  auto& fabric = system_->fabric();
+  std::uint64_t last_seen = 0;
+  int misses = 0;
+
+  while (true) {
+    co_await fabric.simulator().sleep(cfg.heartbeat_interval);
+    if (!node_->alive()) co_return;
+    ++hb_value_;
+    rdma::store_pod(node_->region(hb_mr_).bytes(), 0, hb_value_);
+    // A replica taking over keeps heartbeating (the loop above) but does
+    // not monitor anyone; a leader monitors nobody either.
+    if (is_leader() || taking_over_) continue;
+
+    Endpoint& leader = system_->endpoint(group_, leader_);
+    std::uint64_t hb = 0;
+    std::span<std::byte> buf(reinterpret_cast<std::byte*>(&hb), sizeof(hb));
+    const auto completion = co_await fabric.read(
+        node_->id(), rdma::RAddr{leader.node().id(), leader.hb_mr(), 0}, buf);
+
+    bool suspect = false;
+    if (!completion.ok()) {
+      suspect = true;  // QP error: the paper's RDMA exception path
+    } else if (hb == last_seen) {
+      if (++misses >= cfg.heartbeat_misses) suspect = true;
+    } else {
+      last_seen = hb;
+      misses = 0;
+    }
+    if (!suspect) continue;
+
+    last_seen = 0;
+    // Deterministic succession: the lowest alive rank leads. Aliveness is
+    // probed through the fabric (RDMA QP error = dead), so in a crash-stop
+    // model every prober reaches the same answer.
+    int first_alive = rank_;
+    for (int cand = 0; cand < system_->replicas_per_group(); ++cand) {
+      if (cand == rank_) {
+        first_alive = cand;
+        break;
+      }
+      Endpoint& c = system_->endpoint(group_, cand);
+      std::uint64_t cand_hb = 0;
+      std::span<std::byte> cbuf(reinterpret_cast<std::byte*>(&cand_hb),
+                                sizeof(cand_hb));
+      const auto cc = co_await fabric.read(
+          node_->id(), rdma::RAddr{c.node().id(), c.hb_mr(), 0}, cbuf);
+      if (cc.ok()) {
+        first_alive = cand;
+        break;
+      }
+    }
+    if (first_alive == rank_) {
+      if (!taking_over_) fabric.simulator().spawn(takeover());
+      misses = 0;
+    } else {
+      leader_ = first_alive;
+      // Grace period: the new leader's takeover may pause its proposal
+      // flow for a while; don't re-suspect it immediately.
+      misses = -4 * cfg.heartbeat_misses;
+    }
+  }
+}
+
+sim::Task<void> Endpoint::takeover() {
+  if (taking_over_) co_return;
+  taking_over_ = true;
+  leader_ = rank_;
+  auto& fabric = system_->fabric();
+  const int n = system_->replicas_per_group();
+
+  HSIM_LOG(fabric.simulator(), kInfo,
+           "group " << group_ << " replica " << rank_ << " taking over");
+
+  // 1. Gather status pages from peers, in parallel, until self +
+  //    responders form a majority (responders are alive, and any majority
+  //    intersects the ack-majority of every replicated record in an alive
+  //    member). With at most f crash failures, all reads resolving yields
+  //    self + responders >= f + 1 = majority.
+  struct Gather {
+    std::vector<std::pair<int, StatusPage>> responses;
+    int resolved = 0;
+  };
+  auto gather = std::make_shared<Gather>();
+  auto gather_done = std::make_shared<sim::Notifier>(fabric.simulator());
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    fabric.simulator().spawn(
+        [](Endpoint& self, int peer_rank, std::shared_ptr<Gather> g,
+           std::shared_ptr<sim::Notifier> done) -> sim::Task<void> {
+          Endpoint& peer = self.system_->endpoint(self.group_, peer_rank);
+          StatusPage sp{};
+          std::span<std::byte> buf(reinterpret_cast<std::byte*>(&sp),
+                                   sizeof(sp));
+          const auto cc = co_await self.system_->fabric().read(
+              self.node_->id(),
+              rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, buf);
+          if (cc.ok()) g->responses.emplace_back(peer_rank, sp);
+          ++g->resolved;
+          done->notify_all();
+        }(*this, r, gather, gather_done));
+  }
+  co_await sim::wait_until(*gather_done,
+                           [&gather, n] { return gather->resolved == n - 1; });
+
+  std::vector<StatusPage> statuses;
+  statuses.push_back(StatusPage{epoch_, applied_seq_, clock_});
+  int best_peer = -1;
+  std::uint64_t best_seq = applied_seq_;
+  std::uint64_t min_applied = applied_seq_;
+  for (const auto& [r, sp] : gather->responses) {
+    statuses.push_back(sp);
+    min_applied = std::min(min_applied, sp.applied_seq);
+    if (sp.applied_seq > best_seq) {
+      best_seq = sp.applied_seq;
+      best_peer = r;
+    }
+  }
+
+  // 2. Catch up from the most advanced responder.
+  if (best_peer >= 0 && best_seq > applied_seq_) {
+    Endpoint& peer = system_->endpoint(group_, best_peer);
+    for (std::uint64_t s = applied_seq_ + 1; s <= best_seq; ++s) {
+      TaggedLogRecord rec{};
+      std::span<std::byte> buf(reinterpret_cast<std::byte*>(&rec), sizeof(rec));
+      const auto cc = co_await fabric.read(
+          node_->id(),
+          rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(s)},
+          buf);
+      if (!cc.ok() || rec.rec.seq != s) break;  // peer died or ring moved on
+      rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(s),
+                      rec);
+      applied_seq_ = s;
+      apply_record(rec.rec);
+    }
+  }
+
+  // 3. Start a new epoch and reset every peer to our log position.
+  std::uint64_t max_epoch = epoch_;
+  std::uint64_t max_clock = clock_;
+  for (const auto& sp : statuses) {
+    max_epoch = std::max(max_epoch, sp.epoch);
+    max_clock = std::max(max_clock, sp.clock);
+  }
+  epoch_ = max_epoch + 1;
+  clock_ = max_clock;
+  append_seq_ = applied_seq_;
+  update_status_page();
+
+  ControlMsg ctl{epoch_ /* serial: unique per takeover */, epoch_,
+                 applied_seq_, rank_, 0};
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    Endpoint& peer = system_->endpoint(group_, r);
+    fabric.write_async(node_->id(),
+                       rdma::RAddr{peer.node().id(), peer.control_mr(), 0},
+                       rdma::pod_bytes(ctl));
+  }
+
+  // 4. Resend the recovered log tail (re-tagged with the new epoch) so
+  //    lagging followers converge under the new epoch.
+  for (std::uint64_t s = min_applied + 1; s <= applied_seq_; ++s) {
+    auto tagged = rdma::load_pod<TaggedLogRecord>(
+        node_->region(log_mr_).bytes(), log_slot_offset(s));
+    if (tagged.rec.seq != s) continue;
+    tagged.epoch = epoch_;
+    rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(s), tagged);
+    for (int r = 0; r < n; ++r) {
+      if (r == rank_) continue;
+      Endpoint& peer = system_->endpoint(group_, r);
+      fabric.write_async(
+          node_->id(),
+          rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(s)},
+          rdma::pod_bytes(tagged));
+    }
+  }
+
+  taking_over_ = false;
+
+  // 5. Re-drive in-flight messages: resend proposals for locally proposed
+  //    uncommitted messages and re-propose inbox'd ones.
+  for (auto& [uid, p] : pending_) {
+    if (p.proposed_locally && !p.committed) {
+      system_->fabric().simulator().spawn(
+          [](Endpoint& self, MsgUid u) -> sim::Task<void> {
+            const std::uint64_t seq = self.pending_.at(u).propose_seq;
+            co_await sim::wait_until(
+                self.node_->region(self.acks_mr_).on_write(),
+                [&self, seq] { return self.propose_majority_acked(seq); });
+            auto it = self.pending_.find(u);
+            if (it == self.pending_.end()) co_return;
+            it->second.propose_acked = true;
+            self.send_proposals(u);
+            self.maybe_commit(u);
+          }(*this, uid));
+    }
+  }
+  std::vector<MsgUid> to_propose;
+  for (const auto& [uid, msg] : seen_) {
+    auto it = pending_.find(uid);
+    // A pending entry created only by a remote proposal still needs our
+    // local proposal.
+    if (it == pending_.end() || !it->second.proposed_locally) {
+      to_propose.push_back(uid);
+    }
+  }
+  for (MsgUid uid : to_propose) {
+    system_->fabric().simulator().spawn(drive_message(uid));
+  }
+}
+
+}  // namespace heron::amcast

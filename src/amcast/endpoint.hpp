@@ -1,0 +1,178 @@
+// Replica-side endpoint of the atomic multicast protocol.
+//
+// Every replica hosts: an inbox (clients write requests here), a group
+// log (the leader replicates PROPOSE/COMMIT records into it), an ack
+// array (followers report their applied position), proposal stripes (one
+// per potential sender replica in the system, carrying cross-group
+// proposals), a heartbeat word and a status page (for failover), and a
+// control word (new-leader epoch reset).
+//
+// See types.hpp for the protocol walk-through and DESIGN.md for the
+// failover argument.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "amcast/types.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/notifier.hpp"
+#include "sim/task.hpp"
+
+namespace heron::amcast {
+
+class System;
+
+/// Failover bookkeeping written by the epoch owner into every follower.
+struct ControlMsg {
+  std::uint64_t serial = 0;  // change-detected; new value = new message
+  std::uint64_t epoch = 0;
+  std::uint64_t reset_seq = 0;
+  std::int32_t leader_rank = 0;
+  std::int32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<ControlMsg>);
+
+/// Locally maintained, remotely readable summary used during takeover.
+struct StatusPage {
+  std::uint64_t epoch = 0;
+  std::uint64_t applied_seq = 0;
+  std::uint64_t clock = 0;
+};
+static_assert(std::is_trivially_copyable_v<StatusPage>);
+
+/// Epoch-tagged log record as stored in the replicated ring.
+struct TaggedLogRecord {
+  std::uint64_t epoch = 0;
+  LogRecord rec{};
+};
+static_assert(std::is_trivially_copyable_v<TaggedLogRecord>);
+
+class Endpoint {
+ public:
+  Endpoint(System& system, GroupId group, int rank, rdma::Node& node);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Spawns the protocol coroutines. Called once by System::start().
+  void start();
+
+  [[nodiscard]] GroupId group() const { return group_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] rdma::Node& node() { return *node_; }
+  [[nodiscard]] bool is_leader() const { return leader_ == rank_; }
+  [[nodiscard]] int current_leader() const { return leader_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+
+  /// True once at least one delivery is queued for the application.
+  [[nodiscard]] bool has_delivery() const { return !ready_.empty(); }
+
+  /// Awaits and returns the next delivered message, in delivery order.
+  sim::Task<Delivery> next_delivery();
+
+  /// Non-blocking variant used by pollers.
+  std::optional<Delivery> try_next_delivery();
+
+  /// Prints protocol state to stderr (debugging aid for tests).
+  void debug_dump() const;
+
+  // Region handles (published via the System directory).
+  [[nodiscard]] rdma::MrId inbox_mr() const { return inbox_mr_; }
+  [[nodiscard]] rdma::MrId log_mr() const { return log_mr_; }
+  [[nodiscard]] rdma::MrId acks_mr() const { return acks_mr_; }
+  [[nodiscard]] rdma::MrId props_mr() const { return props_mr_; }
+  [[nodiscard]] rdma::MrId hb_mr() const { return hb_mr_; }
+  [[nodiscard]] rdma::MrId status_mr() const { return status_mr_; }
+  [[nodiscard]] rdma::MrId control_mr() const { return control_mr_; }
+
+  // Slot address arithmetic, shared with writers (clients, peer leaders).
+  [[nodiscard]] std::uint64_t inbox_slot_offset(std::uint32_t client,
+                                                std::uint64_t seq) const;
+  [[nodiscard]] std::uint64_t log_slot_offset(std::uint64_t seq) const;
+  [[nodiscard]] std::uint64_t props_slot_offset(std::uint32_t stripe,
+                                                std::uint64_t seq) const;
+
+ private:
+  friend class System;
+
+  struct Pending {
+    WireMessage msg{};           // known once a PROPOSE or inbox copy is seen
+    bool has_msg = false;
+    bool proposed_locally = false;
+    std::uint64_t local_clock = 0;
+    std::uint64_t propose_seq = 0;   // log position of our PROPOSE
+    bool propose_acked = false;      // majority-replicated
+    bool proposals_sent = false;
+    bool committed = false;
+    std::uint64_t final_ts = 0;
+    std::map<GroupId, std::uint64_t> proposals;  // group -> proposal clock
+  };
+
+  // --- protocol coroutines -------------------------------------------
+  sim::Task<void> inbox_loop();
+  sim::Task<void> log_loop();
+  sim::Task<void> props_loop();
+  sim::Task<void> control_loop();
+  sim::Task<void> heartbeat_loop();
+  sim::Task<void> drive_message(MsgUid uid);  // leader: propose..commit
+  sim::Task<void> takeover();
+
+  // --- helpers --------------------------------------------------------
+  void append_record(LogRecord rec);           // local ring + replicate
+  void apply_record(const LogRecord& rec);
+  void maybe_commit(MsgUid uid);
+  void commit(MsgUid uid);
+  void try_deliver();
+  void update_status_page();
+  void note_seen(const WireMessage& msg);
+  [[nodiscard]] int majority() const;
+  [[nodiscard]] bool propose_majority_acked(std::uint64_t seq) const;
+  void send_proposals(MsgUid uid);
+
+  System* system_;
+  GroupId group_;
+  int rank_;
+  rdma::Node* node_;
+
+  rdma::MrId inbox_mr_{}, log_mr_{}, acks_mr_{}, props_mr_{}, hb_mr_{},
+      status_mr_{}, control_mr_{};
+
+  // Role / log state.
+  int leader_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t clock_ = 0;
+  std::uint64_t applied_seq_ = 0;   // highest log record applied
+  std::uint64_t append_seq_ = 0;    // leader: highest record appended
+  std::uint64_t control_serial_ = 0;
+  std::uint64_t hb_value_ = 0;
+  bool taking_over_ = false;
+
+  // Message state. Delivered messages are deduplicated with a per-client
+  // watermark: clients are closed-loop, so their message sequence numbers
+  // complete in order and "seq <= watermark" means already delivered.
+  std::map<MsgUid, Pending> pending_;
+  std::vector<std::uint64_t> delivered_wm_;  // per client id
+  std::map<MsgUid, WireMessage> seen_;  // inbox'd but not yet proposed
+  std::uint64_t delivered_count_ = 0;
+
+  [[nodiscard]] bool already_delivered(MsgUid uid) const;
+  void mark_delivered(MsgUid uid);
+
+  // Per-producer cursors.
+  std::vector<std::uint64_t> inbox_next_;           // per client id
+  std::vector<std::uint64_t> props_next_;           // per sender stripe
+  std::map<std::int32_t, std::uint64_t> props_sent_;  // my counter per receiver node
+
+  // Delivery queue to the application.
+  std::deque<Delivery> ready_;
+  std::unique_ptr<sim::Notifier> ready_notifier_;
+};
+
+}  // namespace heron::amcast

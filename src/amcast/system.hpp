@@ -1,0 +1,84 @@
+// Wiring for an atomic multicast deployment: groups of replica endpoints
+// plus client endpoints, all attached to one simulated RDMA fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amcast/endpoint.hpp"
+#include "amcast/types.hpp"
+#include "rdma/fabric.hpp"
+
+namespace heron::amcast {
+
+/// Client-side handle: multicasts messages into replica inboxes.
+class ClientEndpoint {
+ public:
+  ClientEndpoint(System& system, std::uint32_t client_id, rdma::Node& node);
+
+  /// Atomically multicasts `payload` to the groups in `dst`. Returns the
+  /// message uid after the (modeled) marshal + post cost.
+  sim::Task<MsgUid> multicast(DstMask dst, std::span<const std::byte> payload);
+
+  [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
+  [[nodiscard]] rdma::Node& node() { return *node_; }
+
+ private:
+  System* system_;
+  std::uint32_t client_id_;
+  rdma::Node* node_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint64_t> ring_seq_;  // per destination group
+};
+
+class System {
+ public:
+  /// Creates `groups` process groups of `replicas_per_group` members each,
+  /// with fresh nodes on `fabric`.
+  System(rdma::Fabric& fabric, int groups, int replicas_per_group,
+         Config config = {});
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Spawns every endpoint's protocol coroutines.
+  void start();
+
+  [[nodiscard]] rdma::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] int group_count() const { return static_cast<int>(groups_.size()); }
+  [[nodiscard]] int replicas_per_group() const { return replicas_per_group_; }
+  /// Total replica slots in the system; also the stripe count used for
+  /// cross-group proposal regions.
+  [[nodiscard]] std::uint32_t total_replicas() const {
+    return static_cast<std::uint32_t>(groups_.size()) *
+           static_cast<std::uint32_t>(replicas_per_group_);
+  }
+  /// Flat stripe index of replica (g, rank).
+  [[nodiscard]] std::uint32_t stripe_of(GroupId g, int rank) const {
+    return static_cast<std::uint32_t>(g) *
+               static_cast<std::uint32_t>(replicas_per_group_) +
+           static_cast<std::uint32_t>(rank);
+  }
+
+  [[nodiscard]] Endpoint& endpoint(GroupId g, int rank) {
+    return *groups_[static_cast<std::size_t>(g)][static_cast<std::size_t>(rank)];
+  }
+
+  /// Registers a new client with its own node.
+  ClientEndpoint& add_client();
+
+  [[nodiscard]] std::uint32_t client_count() const {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+
+ private:
+  rdma::Fabric* fabric_;
+  Config config_;
+  int replicas_per_group_;
+  std::vector<std::vector<std::unique_ptr<Endpoint>>> groups_;
+  std::vector<std::unique_ptr<ClientEndpoint>> clients_;
+};
+
+}  // namespace heron::amcast

@@ -1,0 +1,161 @@
+// Shared types for the RDMA-based atomic multicast (RamCast-equivalent).
+//
+// The protocol is a Skeen-style genuine atomic multicast with replicated
+// groups, matching the interface and guarantees Heron consumes (§II-B):
+//   Validity, Integrity, Uniform agreement, Uniform prefix order,
+//   Uniform acyclic order, and unique monotone timestamps.
+//
+// Message flow for m multicast to destination set D:
+//  1. The client RDMA-writes m into the inbox ring of every replica of
+//     every group in D (so a new leader can take over proposals).
+//  2. The leader of each g in D assigns a local proposal clock (unique,
+//     monotone per group), appends a PROPOSE record to the group log and
+//     replicates it to followers; followers ack with one 8-byte write.
+//  3. After a majority acked (so failover recovers the same proposal),
+//     the leader sends its proposal to all replicas of every group in D.
+//  4. When a leader holds proposals from all groups in D it computes the
+//     final timestamp = max proposal, packed with the proposing group id
+//     for global uniqueness, appends COMMIT, replicates, and waits for a
+//     majority ack (uniform agreement).
+//  5. Every replica delivers committed messages in final-timestamp order
+//     once no uncommitted message could still receive a smaller final
+//     timestamp (classic Skeen delivery condition).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "sim/time.hpp"
+
+namespace heron::amcast {
+
+using GroupId = std::int32_t;
+using MsgUid = std::uint64_t;
+
+/// Upper bound on groups, used to pack timestamps; the paper evaluates up
+/// to 16 partitions.
+constexpr std::uint64_t kMaxGroups = 64;
+
+/// Globally unique, totally ordered timestamp: proposal clock in the high
+/// bits, proposing-group id in the low bits. Comparing packed values is
+/// exactly the (clock, group) lexicographic order.
+constexpr std::uint64_t pack_ts(std::uint64_t clock, GroupId group) {
+  return clock * kMaxGroups + static_cast<std::uint64_t>(group);
+}
+constexpr std::uint64_t ts_clock(std::uint64_t packed) {
+  return packed / kMaxGroups;
+}
+constexpr GroupId ts_group(std::uint64_t packed) {
+  return static_cast<GroupId>(packed % kMaxGroups);
+}
+
+/// Message uids encode (client id, per-client sequence). Clients submit in
+/// a closed loop, so per-client sequences complete in order.
+constexpr MsgUid make_uid(std::uint32_t client, std::uint32_t seq) {
+  return (static_cast<MsgUid>(client) << 32) | seq;
+}
+constexpr std::uint32_t uid_client(MsgUid uid) {
+  return static_cast<std::uint32_t>(uid >> 32);
+}
+constexpr std::uint32_t uid_seq(MsgUid uid) {
+  return static_cast<std::uint32_t>(uid & 0xffffffffULL);
+}
+
+/// Destination sets are bitmasks over group ids.
+using DstMask = std::uint64_t;
+
+constexpr DstMask dst_of(GroupId g) { return DstMask{1} << g; }
+constexpr bool dst_contains(DstMask mask, GroupId g) {
+  return (mask >> g) & 1;
+}
+constexpr int dst_count(DstMask mask) { return __builtin_popcountll(mask); }
+
+/// Maximum application payload carried by one multicast message. TPC-C
+/// request descriptors (type + keys) fit comfortably.
+constexpr std::size_t kMaxPayload = 256;
+
+/// A message as written by clients into replica inboxes.
+///
+/// `ring_seq` is a per-(client, destination-group) counter used purely for
+/// inbox-slot addressing: a group only receives the subset of a client's
+/// messages that target it, so the globally unique uid cannot double as
+/// the ring cursor (the gaps would wedge the ring).
+struct WireMessage {
+  MsgUid uid = 0;
+  std::uint64_t ring_seq = 0;
+  DstMask dst = 0;
+  std::uint32_t payload_len = 0;
+  std::array<std::byte, kMaxPayload> payload{};
+
+  void set_payload(std::span<const std::byte> data) {
+    payload_len = static_cast<std::uint32_t>(data.size());
+    std::memcpy(payload.data(), data.data(), data.size());
+  }
+  [[nodiscard]] std::span<const std::byte> payload_view() const {
+    return {payload.data(), payload_len};
+  }
+};
+static_assert(std::is_trivially_copyable_v<WireMessage>);
+
+/// Group-log record replicated leader -> followers.
+struct LogRecord {
+  enum class Kind : std::uint32_t { kInvalid = 0, kPropose = 1, kCommit = 2 };
+
+  std::uint64_t seq = 0;  // position in the group log, starts at 1
+  Kind kind = Kind::kInvalid;
+  std::uint32_t pad = 0;
+  MsgUid uid = 0;
+  std::uint64_t value = 0;  // kPropose: proposal clock; kCommit: packed final ts
+  WireMessage msg{};        // payload only meaningful for kPropose
+};
+static_assert(std::is_trivially_copyable_v<LogRecord>);
+
+/// Proposal exchanged between groups (leader -> all replicas of dst).
+struct ProposalRecord {
+  std::uint64_t seq = 0;  // per (sender group) stripe sequence, starts at 1
+  MsgUid uid = 0;
+  GroupId from_group = -1;
+  std::uint32_t pad = 0;
+  std::uint64_t clock = 0;  // the sender group's proposal clock
+  DstMask dst = 0;
+};
+static_assert(std::is_trivially_copyable_v<ProposalRecord>);
+
+/// A message delivered to the application (Heron replica).
+struct Delivery {
+  MsgUid uid = 0;
+  std::uint64_t tmp = 0;  // unique packed timestamp
+  DstMask dst = 0;
+  std::array<std::byte, kMaxPayload> payload{};
+  std::uint32_t payload_len = 0;
+
+  [[nodiscard]] std::span<const std::byte> payload_view() const {
+    return {payload.data(), payload_len};
+  }
+};
+
+/// Protocol sizing and CPU-cost knobs. The *_proc costs model the
+/// per-message software overhead the paper's Java prototype pays; they
+/// are the calibration handles for the "ordering" share of latency.
+struct Config {
+  std::uint32_t inbox_slots_per_client = 16;
+  std::uint32_t max_clients = 256;   // per replica inbox capacity
+  std::uint32_t log_slots = 1 << 13;
+  std::uint32_t proposal_slots = 1 << 10;  // per sender-replica stripe
+
+  sim::Nanos leader_proc = sim::us(4.0);    // propose / commit handling
+  sim::Nanos follower_proc = sim::us(2.5);  // log apply + ack
+  sim::Nanos inbox_proc = sim::us(1.0);     // request unmarshal per replica
+  sim::Nanos proposal_proc = sim::us(0.5);  // cross-group proposal handling
+  sim::Nanos deliver_proc = sim::us(2.0);   // hand-off to the application
+  sim::Nanos client_proc = sim::us(3.0);    // marshal + post on the client
+
+  sim::Nanos heartbeat_interval = sim::us(50);
+  int heartbeat_misses = 4;  // suspicion threshold
+  bool enable_failover = true;
+};
+
+}  // namespace heron::amcast

@@ -1,0 +1,134 @@
+// Application interface: what a service must provide to run on Heron.
+//
+// Heron assumes (§III-A) that the objects a request reads and writes can
+// be estimated before execution, and that execution has a reading phase
+// followed by a writing phase. The interface mirrors that: read_set() is
+// queried up front, then execute() runs with all read values materialised
+// and may only emit local writes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/object_store.hpp"
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace heron::core {
+
+/// Values materialised by the reading phase plus the write collector for
+/// the writing phase.
+class ExecContext {
+ public:
+  ExecContext(GroupId my_partition, ObjectStore& store)
+      : partition_(my_partition), store_(&store) {}
+
+  [[nodiscard]] GroupId my_partition() const { return partition_; }
+
+  /// True if the reading phase obtained a value for `oid`.
+  [[nodiscard]] bool has(Oid oid) const { return values_.contains(oid); }
+
+  /// Value read for `oid` (local or remote). Precondition: has(oid).
+  [[nodiscard]] std::span<const std::byte> value(Oid oid) const {
+    return values_.at(oid);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T value_as(Oid oid) const {
+    T out;
+    auto v = value(oid);
+    std::memcpy(&out, v.data(), sizeof(T));
+    return out;
+  }
+
+  /// Queues a local write (applied in the writing phase with the
+  /// request's timestamp). Only objects of this partition may be written.
+  void write(Oid oid, std::span<const std::byte> bytes) {
+    writes_.emplace_back(oid, std::vector<std::byte>(bytes.begin(), bytes.end()));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_as(Oid oid, const T& value) {
+    write(oid, std::span(reinterpret_cast<const std::byte*>(&value),
+                         sizeof(T)));
+  }
+
+  /// Queues creation of a new local object (e.g. a TPC-C order row).
+  void create(Oid oid, std::span<const std::byte> bytes,
+              bool serialized = false) {
+    creates_.push_back(Create{
+        oid, std::vector<std::byte>(bytes.begin(), bytes.end()), serialized});
+  }
+
+  /// Charges application CPU time (the execution-cost model).
+  void charge(sim::Nanos cost) { cpu_cost_ += cost; }
+
+  /// Direct read-only access to the local store (for existence checks and
+  /// scans over local data that need no remote consistency).
+  [[nodiscard]] const ObjectStore& local_store() const { return *store_; }
+
+  // --- runtime-facing side ---------------------------------------------
+  struct Create {
+    Oid oid;
+    std::vector<std::byte> bytes;
+    bool serialized;
+  };
+
+  std::map<Oid, std::vector<std::byte>>& mutable_values() { return values_; }
+  [[nodiscard]] const std::vector<std::pair<Oid, std::vector<std::byte>>>&
+  writes() const {
+    return writes_;
+  }
+  [[nodiscard]] const std::vector<Create>& creates() const { return creates_; }
+  [[nodiscard]] sim::Nanos cpu_cost() const { return cpu_cost_; }
+
+ private:
+  GroupId partition_;
+  ObjectStore* store_;
+  std::map<Oid, std::vector<std::byte>> values_;
+  std::vector<std::pair<Oid, std::vector<std::byte>>> writes_;
+  std::vector<Create> creates_;
+  sim::Nanos cpu_cost_ = 0;
+};
+
+/// The replicated service. One instance per replica; instances must be
+/// deterministic functions of the delivered request sequence.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Partition that stores `oid` (the paper's query_mapping).
+  [[nodiscard]] virtual GroupId partition_of(Oid oid) const = 0;
+
+  /// Objects the request reads when executed at `at_partition` (local and
+  /// remote). Must be a deterministic function of the request.
+  [[nodiscard]] virtual std::vector<Oid> read_set(
+      const Request& r, GroupId at_partition) const = 0;
+
+  /// Executes the request at this replica's partition: reads come from
+  /// `ctx`, writes/creates go through `ctx` (local objects only). Returns
+  /// the reply sent to the client (replicas of every involved partition
+  /// reply; the client takes one per partition).
+  virtual Reply execute(const Request& r, ExecContext& ctx) = 0;
+
+  /// Populates the replica's store at startup (initial database load).
+  virtual void bootstrap(GroupId partition, ObjectStore& store) = 0;
+
+  /// §III-D1 extension (multi-threaded execution): keys two requests may
+  /// contend on. Two single-partition requests run concurrently iff their
+  /// key sets are disjoint. Must cover every object the request reads or
+  /// writes (including reads through local_store()); the default assumes
+  /// read_set() is complete. Only consulted when exec_threads > 1.
+  [[nodiscard]] virtual std::vector<Oid> conflict_keys(
+      const Request& r, GroupId at_partition) const {
+    return read_set(r, at_partition);
+  }
+};
+
+}  // namespace heron::core

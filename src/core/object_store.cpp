@@ -1,0 +1,155 @@
+#include "core/object_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "rdma/pod.hpp"
+
+namespace heron::core {
+
+namespace {
+
+void write_header(std::span<std::byte> slot, Tmp tmp_a, Tmp tmp_b,
+                  std::uint32_t size, std::uint32_t serialized) {
+  rdma::store_pod(slot, 0, tmp_a);
+  rdma::store_pod(slot, 8, tmp_b);
+  rdma::store_pod(slot, 16, size);
+  rdma::store_pod(slot, 20, serialized);
+}
+
+}  // namespace
+
+SlotView SlotView::parse(std::span<const std::byte> raw) {
+  SlotView v;
+  v.tmp_a = rdma::load_pod<Tmp>(raw, 0);
+  v.tmp_b = rdma::load_pod<Tmp>(raw, 8);
+  v.size = rdma::load_pod<std::uint32_t>(raw, 16);
+  v.serialized = rdma::load_pod<std::uint32_t>(raw, 20);
+  v.val_a = raw.subspan(header_bytes(), v.size);
+  v.val_b = raw.subspan(header_bytes() + v.size, v.size);
+  return v;
+}
+
+ObjectStore::ObjectStore(rdma::Node& node, std::size_t region_bytes)
+    : node_(&node), mr_(node.register_region(region_bytes)) {}
+
+std::span<std::byte> ObjectStore::slot_span(const Entry& e) {
+  return node_->region(mr_).bytes().subspan(e.offset,
+                                            SlotView::header_bytes() +
+                                                2ull * e.size);
+}
+
+std::span<const std::byte> ObjectStore::slot_span(const Entry& e) const {
+  return node_->region(mr_).bytes().subspan(e.offset,
+                                            SlotView::header_bytes() +
+                                                2ull * e.size);
+}
+
+std::uint64_t ObjectStore::create(Oid oid, std::span<const std::byte> init,
+                                  bool serialized) {
+  if (index_.contains(oid)) {
+    throw std::logic_error("ObjectStore::create: oid exists");
+  }
+  const auto size = static_cast<std::uint32_t>(init.size());
+  const std::uint64_t slot_bytes = SlotView::header_bytes() + 2ull * size;
+  if (bump_ + slot_bytes > node_->region(mr_).size()) {
+    throw std::runtime_error("ObjectStore: object region exhausted");
+  }
+  const std::uint64_t offset = bump_;
+  bump_ += (slot_bytes + 7) & ~std::uint64_t{7};  // 8-byte align slots
+
+  Entry e{offset, size, serialized};
+  auto slot = slot_span(e);
+  write_header(slot, 0, 0, size, serialized ? 1 : 0);
+  std::memcpy(slot.data() + SlotView::header_bytes(), init.data(), size);
+  std::memcpy(slot.data() + SlotView::header_bytes() + size, init.data(),
+              size);
+  index_.emplace(oid, e);
+  return offset;
+}
+
+std::pair<Tmp, std::span<const std::byte>> ObjectStore::get(Oid oid) const {
+  return view(oid).current();
+}
+
+SlotView ObjectStore::view(Oid oid) const {
+  return SlotView::parse(slot_span(index_.at(oid)));
+}
+
+void ObjectStore::set(Oid oid, std::span<const std::byte> value, Tmp tmp) {
+  const Entry& e = index_.at(oid);
+  if (value.size() != e.size) {
+    throw std::logic_error("ObjectStore::set: size mismatch");
+  }
+  auto slot = slot_span(e);
+  const auto tmp_a = rdma::load_pod<Tmp>(slot, 0);
+  const auto tmp_b = rdma::load_pod<Tmp>(slot, 8);
+  if (tmp_a <= tmp_b) {
+    rdma::store_pod(slot, 0, tmp);
+    std::memcpy(slot.data() + SlotView::header_bytes(), value.data(),
+                value.size());
+  } else {
+    rdma::store_pod(slot, 8, tmp);
+    std::memcpy(slot.data() + SlotView::header_bytes() + e.size, value.data(),
+                value.size());
+  }
+}
+
+void ObjectStore::install_slot(Oid oid, std::span<const std::byte> slot_bytes,
+                               std::uint32_t size, bool serialized) {
+  auto it = index_.find(oid);
+  if (it == index_.end()) {
+    // Lagger receiving an object it never created (e.g. a TPC-C order row
+    // inserted while it lagged): allocate, then overwrite.
+    std::vector<std::byte> zero(size);
+    create(oid, zero, serialized);
+    it = index_.find(oid);
+  }
+  const Entry& e = it->second;
+  if (slot_bytes.size() != SlotView::header_bytes() + 2ull * e.size) {
+    throw std::logic_error("ObjectStore::install_slot: size mismatch");
+  }
+  auto dst = slot_span(e);
+  std::memcpy(dst.data(), slot_bytes.data(), slot_bytes.size());
+}
+
+void ObjectStore::install_version(Oid oid, std::span<const std::byte> value,
+                                  Tmp tmp, bool serialized) {
+  auto it = index_.find(oid);
+  if (it == index_.end()) {
+    create(oid, value, serialized);
+    it = index_.find(oid);
+  }
+  const Entry& e = it->second;
+  if (value.size() != e.size) {
+    throw std::logic_error("ObjectStore::install_version: size mismatch");
+  }
+  auto slot = slot_span(e);
+  write_header(slot, tmp, tmp, e.size, e.serialized ? 1 : 0);
+  std::memcpy(slot.data() + SlotView::header_bytes(), value.data(),
+              value.size());
+  std::memcpy(slot.data() + SlotView::header_bytes() + e.size, value.data(),
+              value.size());
+}
+
+std::uint64_t ObjectStore::offset_of(Oid oid) const {
+  return index_.at(oid).offset;
+}
+
+std::uint32_t ObjectStore::size_of(Oid oid) const {
+  return index_.at(oid).size;
+}
+
+bool ObjectStore::is_serialized(Oid oid) const {
+  return index_.at(oid).serialized;
+}
+
+std::uint64_t ObjectStore::slot_bytes_of(Oid oid) const {
+  return SlotView::header_bytes() + 2ull * index_.at(oid).size;
+}
+
+std::span<const std::byte> ObjectStore::raw_slot(Oid oid) const {
+  return slot_span(index_.at(oid));
+}
+
+}  // namespace heron::core

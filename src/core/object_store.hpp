@@ -1,0 +1,129 @@
+// Dual-versioned object store backed by one RDMA-registered region.
+//
+// Implements the paper's object_list (§III-A, Algorithm 1 "Variables"):
+// every object keeps two versions, each tagged with the timestamp of the
+// request that created it.
+//   * get()  returns the version with the higher timestamp;
+//   * set()  overwrites the version with the lower timestamp and tags it;
+//   * remote readers fetch the whole slot in one RDMA read and pick the
+//     version with the highest timestamp smaller than their request's
+//     (Algorithm 2 line 22) — finding none means they lag.
+//
+// Slot layout (so one read returns both versions, as in the paper):
+//   [ tmp_a : u64 | tmp_b : u64 | size : u32 | serialized : u32
+//     | val_a : size bytes | val_b : size bytes ]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "rdma/node.hpp"
+
+namespace heron::core {
+
+/// Parsed view of a raw object slot (also used by remote readers on the
+/// bytes an RDMA read returned).
+struct SlotView {
+  Tmp tmp_a = 0;
+  Tmp tmp_b = 0;
+  std::uint32_t size = 0;
+  std::uint32_t serialized = 0;
+  std::span<const std::byte> val_a;
+  std::span<const std::byte> val_b;
+
+  /// Version with the highest tmp strictly smaller than `before`
+  /// (Algorithm 2 line 22). nullopt => the reader lags.
+  [[nodiscard]] std::optional<std::pair<Tmp, std::span<const std::byte>>>
+  version_before(Tmp before) const {
+    const bool a_ok = tmp_a < before;
+    const bool b_ok = tmp_b < before;
+    if (a_ok && (!b_ok || tmp_a >= tmp_b)) return {{tmp_a, val_a}};
+    if (b_ok) return {{tmp_b, val_b}};
+    return std::nullopt;
+  }
+
+  /// Current version (higher tmp); used for local reads.
+  [[nodiscard]] std::pair<Tmp, std::span<const std::byte>> current() const {
+    return tmp_a >= tmp_b ? std::pair{tmp_a, val_a} : std::pair{tmp_b, val_b};
+  }
+
+  static constexpr std::uint64_t header_bytes() { return 24; }
+  [[nodiscard]] std::uint64_t slot_bytes() const {
+    return header_bytes() + 2ull * size;
+  }
+  static SlotView parse(std::span<const std::byte> raw);
+};
+
+class ObjectStore {
+ public:
+  /// Registers `region_bytes` of object memory on `node`.
+  ObjectStore(rdma::Node& node, std::size_t region_bytes);
+
+  /// Creates an object with fixed payload size. `serialized` marks rows
+  /// stored in serialized form (TPC-C Stock/Customer): their state
+  /// transfers skip receiver-side deserialization cost. Both versions are
+  /// initialised to `init` at timestamp 0. Returns the slot offset.
+  std::uint64_t create(Oid oid, std::span<const std::byte> init,
+                       bool serialized = false);
+
+  [[nodiscard]] bool exists(Oid oid) const { return index_.contains(oid); }
+
+  /// Local read of the current version.
+  [[nodiscard]] std::pair<Tmp, std::span<const std::byte>> get(Oid oid) const;
+
+  /// Parsed slot (both versions), e.g. for version_before().
+  [[nodiscard]] SlotView view(Oid oid) const;
+
+  /// Dual-versioned update (Algorithm 2 lines 29-31): overwrites the
+  /// older version and tags it with `tmp`.
+  void set(Oid oid, std::span<const std::byte> value, Tmp tmp);
+
+  /// Raw in-place slot overwrite (both versions + tags).
+  void install_slot(Oid oid, std::span<const std::byte> slot_bytes,
+                    std::uint32_t size, bool serialized);
+
+  /// Installs a single version as the object's entire state (both slots
+  /// set to it). Used by state transfer: the sender ships only the
+  /// current version, the paper's "missing data" (§V-E2).
+  void install_version(Oid oid, std::span<const std::byte> value, Tmp tmp,
+                       bool serialized);
+
+  /// Slot offset / size for the address-query protocol.
+  [[nodiscard]] std::uint64_t offset_of(Oid oid) const;
+  [[nodiscard]] std::uint32_t size_of(Oid oid) const;
+  [[nodiscard]] bool is_serialized(Oid oid) const;
+  [[nodiscard]] std::uint64_t slot_bytes_of(Oid oid) const;
+  [[nodiscard]] std::span<const std::byte> raw_slot(Oid oid) const;
+
+  [[nodiscard]] rdma::MrId mr() const { return mr_; }
+  [[nodiscard]] std::size_t object_count() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t bytes_used() const { return bump_; }
+
+  /// Visits every object id (iteration order unspecified); used by
+  /// full-state transfers.
+  template <typename Fn>
+  void for_each_oid(Fn&& fn) const {
+    for (const auto& [oid, entry] : index_) fn(oid);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t offset;
+    std::uint32_t size;
+    bool serialized;
+  };
+
+  [[nodiscard]] std::span<std::byte> slot_span(const Entry& e);
+  [[nodiscard]] std::span<const std::byte> slot_span(const Entry& e) const;
+
+  rdma::Node* node_;
+  rdma::MrId mr_;
+  std::uint64_t bump_ = 0;
+  std::unordered_map<Oid, Entry> index_;
+};
+
+}  // namespace heron::core

@@ -1,0 +1,911 @@
+#include "core/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "core/system.hpp"
+#include "rdma/pod.hpp"
+#include "sim/log.hpp"
+#include "sim/notifier.hpp"
+
+namespace heron::core {
+
+namespace {
+
+constexpr std::uint64_t kCoordSlot = sizeof(CoordEntry);
+constexpr std::uint64_t kSyncSlot = sizeof(StateSyncEntry);
+constexpr std::uint64_t kAddrQSlot = sizeof(AddrQuery);
+constexpr std::uint64_t kAddrASlot = sizeof(AddrAnswer);
+constexpr std::uint32_t kAddrSlots = 256;  // per stripe
+
+/// Header of a state-transfer chunk written into the staging ring.
+struct ChunkHeader {
+  std::uint64_t seq = 0;
+  std::uint32_t record_count = 0;
+  std::uint32_t payload_bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<ChunkHeader>);
+
+/// Per-object record inside a chunk, followed by the current version's
+/// bytes (the receiver installs it as the object's whole state).
+struct ChunkRecord {
+  Oid oid = 0;
+  Tmp tmp = 0;
+  std::uint32_t size = 0;
+  std::uint32_t serialized = 0;
+};
+static_assert(std::is_trivially_copyable_v<ChunkRecord>);
+
+}  // namespace
+
+Replica::Replica(System& system, GroupId group, int rank)
+    : system_(&system),
+      group_(group),
+      rank_(rank),
+      rng_(0x9e3779b9u ^ (static_cast<std::uint64_t>(group) << 16) ^
+           static_cast<std::uint64_t>(rank)) {
+  const HeronConfig& cfg = system.config();
+  auto& n = node();
+  store_ = std::make_unique<ObjectStore>(n, cfg.object_region_bytes);
+  app_ = system.app_factory()();
+
+  const auto parts = static_cast<std::uint64_t>(system.partitions());
+  const auto reps = static_cast<std::uint64_t>(system.replicas_per_partition());
+  const auto stripes = static_cast<std::uint64_t>(system.amcast().total_replicas());
+
+  coord_mr_ = n.register_region(parts * reps * kCoordSlot);
+  statesync_mr_ = n.register_region(reps * kSyncSlot);
+  addrq_mr_ = n.register_region(stripes * kAddrSlots * kAddrQSlot);
+  addra_mr_ = n.register_region(stripes * kAddrSlots * kAddrASlot);
+  staging_mr_ = n.register_region(
+      reps * cfg.statesync_ring_slots *
+      (sizeof(ChunkHeader) + cfg.statesync_chunk_bytes));
+
+  exec_done_ = std::make_unique<sim::Notifier>(system.simulator());
+  for (int t = 0; t < std::max(1, cfg.exec_threads); ++t) {
+    exec_cpus_.push_back(std::make_unique<sim::Cpu>(system.simulator()));
+  }
+  slot_busy_.assign(exec_cpus_.size(), false);
+
+  addrq_sent_.assign(stripes, 0);
+  addrq_next_.assign(stripes, 0);
+  addra_next_.assign(stripes, 0);
+  staging_next_.assign(reps, 0);
+  staging_sent_.assign(reps, 0);
+}
+
+rdma::Node& Replica::node() {
+  return system_->amcast().endpoint(group_, rank_).node();
+}
+
+void Replica::start() {
+  app_->bootstrap(group_, *store_);
+  auto& sim = system_->simulator();
+  sim.spawn(main_loop());
+  sim.spawn(addr_query_loop());
+  sim.spawn(statesync_watch_loop());
+  sim.spawn(staging_apply_loop());
+}
+
+void Replica::reset_stats() {
+  coord_stats_ = {};
+  ordering_lat_.clear();
+  coord_lat_.clear();
+  exec_lat_.clear();
+}
+
+std::uint64_t Replica::coord_offset(GroupId h, int q) const {
+  return (static_cast<std::uint64_t>(h) *
+              static_cast<std::uint64_t>(system_->replicas_per_partition()) +
+          static_cast<std::uint64_t>(q)) *
+         kCoordSlot;
+}
+
+std::uint64_t Replica::statesync_offset(int q) const {
+  return static_cast<std::uint64_t>(q) * kSyncSlot;
+}
+
+std::uint64_t Replica::addrq_offset(std::uint32_t stripe,
+                                    std::uint64_t seq) const {
+  return (static_cast<std::uint64_t>(stripe) * kAddrSlots +
+          seq % kAddrSlots) *
+         kAddrQSlot;
+}
+
+std::uint64_t Replica::addra_offset(std::uint32_t stripe,
+                                    std::uint64_t seq) const {
+  return (static_cast<std::uint64_t>(stripe) * kAddrSlots +
+          seq % kAddrSlots) *
+         kAddrASlot;
+}
+
+std::uint64_t Replica::staging_offset(int sender_rank,
+                                      std::uint64_t seq) const {
+  const HeronConfig& cfg = system_->config();
+  const std::uint64_t slot_size =
+      sizeof(ChunkHeader) + cfg.statesync_chunk_bytes;
+  return (static_cast<std::uint64_t>(sender_rank) * cfg.statesync_ring_slots +
+          seq % cfg.statesync_ring_slots) *
+         slot_size;
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 1: main loop + coordination phases.
+// ---------------------------------------------------------------------
+
+sim::Task<void> Replica::main_loop() {
+  auto& ep = system_->amcast().endpoint(group_, rank_);
+  while (node().alive()) {
+    amcast::Delivery d = co_await ep.next_delivery();
+
+    Request r;
+    r.uid = d.uid;
+    r.tmp = d.tmp;
+    r.dst = d.dst;
+    auto payload = d.payload_view();
+    if (payload.size() < sizeof(RequestHeader)) continue;  // malformed
+    std::memcpy(&r.header, payload.data(), sizeof(RequestHeader));
+    r.payload.assign(payload.begin() + sizeof(RequestHeader), payload.end());
+
+    // Lines 3-4: skip requests already covered by a state transfer.
+    if (r.tmp <= last_req_) {
+      ++skipped_;
+      continue;
+    }
+    last_req_ = r.tmp;
+
+    // A state transfer served from this replica pauses execution at a
+    // request boundary.
+    while (in_state_transfer_) {
+      co_await system_->simulator().sleep(sim::us(2));
+    }
+
+    const HeronConfig& cfg = system_->config();
+    if (cfg.exec_threads > 1 && cfg.mode == Mode::kApp &&
+        r.single_partition()) {
+      // §III-D1 extension: run non-conflicting single-partition requests
+      // on idle worker cores.
+      auto keys = app_->conflict_keys(r, group_);
+      co_await sim::wait_until(*exec_done_, [this, &keys] {
+        return inflight_ < static_cast<int>(exec_cpus_.size()) &&
+               keys_free(keys);
+      });
+      int slot = 0;
+      while (slot_busy_[static_cast<std::size_t>(slot)]) ++slot;
+      slot_busy_[static_cast<std::size_t>(slot)] = true;
+      for (Oid k : keys) locked_keys_.insert(k);
+      ++inflight_;
+      system_->simulator().spawn(
+          exec_concurrent(std::move(r), slot, std::move(keys)));
+      continue;
+    }
+    if (cfg.exec_threads > 1) {
+      // Multi-partition requests (and other modes) form a barrier: they
+      // run alone, after all in-flight executions drained.
+      co_await sim::wait_until(*exec_done_,
+                               [this] { return inflight_ == 0; });
+    }
+
+    co_await handle_request(std::move(r));
+  }
+}
+
+bool Replica::keys_free(const std::vector<Oid>& keys) const {
+  for (Oid k : keys) {
+    if (locked_keys_.contains(k)) return false;
+  }
+  return true;
+}
+
+sim::Task<void> Replica::exec_concurrent(Request r, int slot,
+                                         std::vector<Oid> keys) {
+  const sim::Nanos t0 = system_->simulator().now();
+  ExecOutcome out = co_await execute_on(r, *exec_cpus_[static_cast<std::size_t>(slot)]);
+  exec_lat_.record(system_->simulator().now() - t0);
+  ++executed_;
+  last_executed_ = std::max(last_executed_, r.tmp);
+  co_await send_reply(r, out.reply);
+
+  slot_busy_[static_cast<std::size_t>(slot)] = false;
+  for (Oid k : keys) locked_keys_.erase(k);
+  --inflight_;
+  exec_done_->notify_all();
+}
+
+sim::Task<void> Replica::handle_request(Request r) {
+  const HeronConfig& cfg = system_->config();
+  ordering_lat_.record(system_->simulator().now() - r.header.sent_at);
+
+  if (cfg.mode == Mode::kOrderOnly) {
+    ++executed_;
+    last_executed_ = std::max(last_executed_, r.tmp);
+    co_await send_reply(r, Reply{});
+    co_return;
+  }
+
+  // Lines 5-7: single-partition requests skip coordination.
+  if (r.single_partition()) {
+    Reply reply;
+    if (cfg.mode == Mode::kApp) {
+      const sim::Nanos t0 = system_->simulator().now();
+      ExecOutcome out = co_await execute(r);
+      exec_lat_.record(system_->simulator().now() - t0);
+      // Single-partition requests only touch local objects; they cannot
+      // observe remote progress, hence cannot detect lagging.
+      reply = std::move(out.reply);
+    }
+    ++executed_;
+    last_executed_ = std::max(last_executed_, r.tmp);
+    co_await send_reply(r, reply);
+    co_return;
+  }
+
+  // Phase 2 (lines 8-10).
+  const sim::Nanos c0 = system_->simulator().now();
+  co_await coordinate(r, 1, cfg.extra_delay_in_phase2);
+  const sim::Nanos phase2 = system_->simulator().now() - c0;
+
+  // Phase 3 (lines 11-13).
+  Reply reply;
+  if (cfg.mode == Mode::kApp) {
+    const sim::Nanos t0 = system_->simulator().now();
+    ExecOutcome out = co_await execute(r);
+    exec_lat_.record(system_->simulator().now() - t0);
+    if (out.lagging) {
+      co_await request_state_transfer(r.tmp);
+      co_return;  // no reply from this replica; others answer the client
+    }
+    reply = std::move(out.reply);
+  }
+
+  // Phase 4 (lines 14-16); carries the wait-for-all statistics.
+  const sim::Nanos c1 = system_->simulator().now();
+  co_await coordinate(r, 2, /*collect_stats=*/true);
+  coord_lat_.record(phase2 + (system_->simulator().now() - c1));
+  ++coord_stats_.multi_partition;
+
+  ++executed_;
+  last_executed_ = std::max(last_executed_, r.tmp);
+  co_await send_reply(r, reply);  // Phase 5 (line 17)
+}
+
+void Replica::write_coord(const Request& r, std::uint32_t phase) {
+  // In partition-id order, then replica-id order — the paper notes this
+  // write order is what shapes Table I's per-partition trend.
+  const CoordEntry entry{r.tmp, phase, 0};
+  for (GroupId h = 0; h < system_->partitions(); ++h) {
+    if (!amcast::dst_contains(r.dst, h)) continue;
+    for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+      Replica& peer = system_->replica(h, q);
+      if (h == group_ && q == rank_) {
+        rdma::store_pod(node().region(coord_mr_).bytes(),
+                        coord_offset(group_, rank_), entry);
+        node().region(coord_mr_).on_write().notify_all();
+        continue;
+      }
+      system_->fabric().write_async(
+          node().id(),
+          rdma::RAddr{peer.node().id(), peer.coord_mr(),
+                      peer.coord_offset(group_, rank_)},
+          rdma::pod_bytes(entry));
+    }
+  }
+}
+
+bool Replica::coord_satisfied(const Request& r, std::uint32_t phase,
+                              bool require_all) const {
+  const auto region =
+      const_cast<Replica*>(this)->node().region(coord_mr_).bytes();
+  const int reps = system_->replicas_per_partition();
+  const int needed = require_all ? reps : reps / 2 + 1;
+  for (GroupId h = 0; h < system_->partitions(); ++h) {
+    if (!amcast::dst_contains(r.dst, h)) continue;
+    int count = 0;
+    for (int q = 0; q < reps; ++q) {
+      const auto e = rdma::load_pod<CoordEntry>(region, coord_offset(h, q));
+      // Line 10/16: caught up to r in this phase, or already past r.
+      if ((e.tmp == r.tmp && e.state >= phase) || e.tmp > r.tmp) ++count;
+    }
+    if (count < needed) return false;
+  }
+  return true;
+}
+
+sim::Task<void> Replica::coordinate(const Request& r, std::uint32_t phase,
+                                    bool collect_stats) {
+  const HeronConfig& cfg = system_->config();
+  co_await node().cpu().use(cfg.coord_check_proc);
+  write_coord(r, phase);
+
+  auto& notifier = node().region(coord_mr_).on_write();
+  co_await sim::wait_until(notifier, [this, &r, phase] {
+    return coord_satisfied(r, phase, /*require_all=*/false);
+  });
+
+  if (!collect_stats) co_return;
+
+  // Wait-for-all heuristic (§III-A last paragraph; Table I): after the
+  // majority is in, tentatively wait for all replicas up to the cutoff.
+  if (coord_satisfied(r, phase, /*require_all=*/true)) co_return;
+  ++coord_stats_.delayed;
+  if (cfg.coord_extra_delay <= 0) {
+    ++coord_stats_.gave_up;
+    co_return;
+  }
+  const sim::Nanos t0 = system_->simulator().now();
+  const bool all = co_await sim::wait_until_timeout(
+      notifier,
+      [this, &r, phase] { return coord_satisfied(r, phase, true); },
+      cfg.coord_extra_delay);
+  coord_stats_.delay_sum += system_->simulator().now() - t0;
+  if (!all) ++coord_stats_.gave_up;
+}
+
+sim::Task<void> Replica::send_reply(const Request& r, const Reply& reply) {
+  const HeronConfig& cfg = system_->config();
+  co_await node().cpu().use(cfg.reply_proc);
+
+  Client& client = system_->client(amcast::uid_client(r.uid));
+  ReplySlot slot;
+  slot.uid = r.uid;
+  slot.status = reply.status;
+  slot.payload_len = static_cast<std::uint32_t>(
+      std::min(reply.payload.size(), kMaxReplyPayload));
+  std::memcpy(slot.payload.data(), reply.payload.data(), slot.payload_len);
+
+  system_->fabric().write_async(
+      node().id(),
+      rdma::RAddr{client.node().id(), client.reply_mr(),
+                  static_cast<std::uint64_t>(group_) * sizeof(ReplySlot)},
+      rdma::pod_bytes(slot));
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 2: execution.
+// ---------------------------------------------------------------------
+
+sim::Task<Replica::ExecOutcome> Replica::execute(const Request& r) {
+  return execute_on(r, node().cpu());
+}
+
+sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
+                                                    sim::Cpu& cpu) {
+  const HeronConfig& cfg = system_->config();
+  if (cfg.hiccup_prob > 0 && rng_.chance(cfg.hiccup_prob)) {
+    co_await cpu.use(cfg.hiccup_duration);
+  }
+  co_await cpu.use(cfg.exec_dispatch_proc);
+
+  ExecContext ctx(group_, *store_);
+  sim::Nanos read_cpu = 0;
+
+  for (Oid oid : app_->read_set(r, group_)) {
+    const GroupId h = app_->partition_of(oid);
+    if (h == group_) {
+      // Lines 4-7: local read of the current version.
+      const auto [tmp, value] = store_->get(oid);
+      ctx.mutable_values()[oid].assign(value.begin(), value.end());
+      read_cpu += static_cast<sim::Nanos>(
+          static_cast<double>(value.size()) *
+          (store_->is_serialized(oid) ? cfg.serialize_ns_per_byte
+                                      : cfg.memcpy_ns_per_byte));
+      continue;
+    }
+    // Lines 8-28: remote read.
+    RemoteRead rr = co_await read_remote(r, oid, h);
+    if (rr.lagging) co_return ExecOutcome{.lagging = true};
+    ctx.mutable_values()[oid] = std::move(rr.value);
+    const auto& loc = object_map_.at(oid)[0];
+    (void)loc;
+  }
+  // Service-time jitter. The dominant component is per (partition,
+  // request) — replicas of one partition execute the same sequence on
+  // near-identical machines and stay tightly synced, while different
+  // partitions drift apart (queues, request mixes). A small per-replica
+  // component adds the intra-partition spread that creates stragglers.
+  double jitter = 1.0;
+  if (cfg.exec_jitter_sigma > 0) {
+    sim::Rng part_rng((static_cast<std::uint64_t>(group_) << 48) ^ r.tmp ^
+                      0x517cc1b727220a95ULL);
+    jitter = part_rng.lognormal_mean(1.0, cfg.exec_jitter_sigma) *
+             rng_.lognormal_mean(1.0, cfg.exec_jitter_sigma / 4.0);
+  }
+  if (read_cpu > 0) {
+    co_await cpu.use(
+        static_cast<sim::Nanos>(static_cast<double>(read_cpu) * jitter));
+  }
+
+  Reply reply = app_->execute(r, ctx);
+
+  // Writing phase: charge the application cost plus write serialization,
+  // then apply all writes at one instant (the store is never observed
+  // mid-write-phase).
+  sim::Nanos write_cpu = ctx.cpu_cost();
+  for (const auto& [oid, bytes] : ctx.writes()) {
+    write_cpu += static_cast<sim::Nanos>(
+        static_cast<double>(bytes.size()) *
+        (store_->is_serialized(oid) ? cfg.serialize_ns_per_byte
+                                    : cfg.memcpy_ns_per_byte));
+  }
+  for (const auto& c : ctx.creates()) {
+    write_cpu += static_cast<sim::Nanos>(static_cast<double>(c.bytes.size()) *
+                                         cfg.memcpy_ns_per_byte);
+  }
+  if (write_cpu > 0) {
+    co_await cpu.use(
+        static_cast<sim::Nanos>(static_cast<double>(write_cpu) * jitter));
+  }
+  apply_writes(r, ctx);
+  co_return ExecOutcome{.lagging = false, .reply = std::move(reply)};
+}
+
+void Replica::apply_writes(const Request& r, ExecContext& ctx) {
+  // Coalesce duplicate writes to the same object (e.g. a NewOrder with
+  // the same item twice): a request must produce at most one version per
+  // object, or both dual-version slots would carry r.tmp and remote
+  // readers of r would false-detect lagging.
+  std::map<Oid, std::span<const std::byte>> final_value;
+  for (const auto& c : ctx.creates()) {
+    if (!store_->exists(c.oid)) {
+      store_->create(c.oid, c.bytes, c.serialized);
+    }
+    final_value[c.oid] = c.bytes;
+  }
+  for (const auto& [oid, bytes] : ctx.writes()) {
+    final_value[oid] = bytes;
+  }
+  for (const auto& [oid, bytes] : final_value) {
+    store_->set(oid, bytes, r.tmp);
+    log_update(r.tmp, oid);
+  }
+}
+
+sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
+                                                    GroupId h) {
+  const bool resolved = co_await resolve_addr(oid, h);
+  if (!resolved) co_return RemoteRead{};  // unreachable partition
+
+  auto& locs = object_map_.at(oid);
+  const int reps = system_->replicas_per_partition();
+  auto coord_region = node().region(coord_mr_).bytes();
+
+  while (true) {
+    // Line 15: choose among processes that coordinated in Phase 2 for r
+    // (their coord entry carries r.tmp) and whose address we know. A
+    // process whose entry is already *past* r also qualifies: it executed
+    // everything up to r, and dual-versioning either still exposes the
+    // right version or reveals that we lag (line 23).
+    std::vector<int> candidates;
+    for (int q = 0; q < reps; ++q) {
+      if (!locs[static_cast<std::size_t>(q)].known) continue;
+      const auto e =
+          rdma::load_pod<CoordEntry>(coord_region, coord_offset(h, q));
+      if ((e.tmp == r.tmp && e.state >= 1) || e.tmp > r.tmp) {
+        candidates.push_back(q);
+      }
+    }
+    if (candidates.empty()) {
+      // Coordination messages may still be in flight; re-check on the
+      // next write into coordination memory.
+      co_await node().region(coord_mr_).on_write().wait();
+      continue;
+    }
+    const int q = candidates[rng_.bounded(candidates.size())];
+    const auto& loc = locs[static_cast<std::size_t>(q)];
+
+    Replica& peer = system_->replica(h, q);
+    std::vector<std::byte> buf(SlotView::header_bytes() + 2ull * loc.size);
+    const auto cc = co_await system_->fabric().read(
+        node().id(), rdma::RAddr{peer.node().id(), peer.store().mr(), loc.offset},
+        buf);
+    if (!cc.ok()) {
+      // Line 20-21: RDMA exception — the peer failed; pick another.
+      locs[static_cast<std::size_t>(q)].known = false;
+      continue;
+    }
+
+    const auto view = SlotView::parse(buf);
+    const auto version = view.version_before(r.tmp);
+    if (!version) {
+      // Line 23-25: both versions postdate r — we lag behind our group.
+      co_return RemoteRead{.lagging = true};
+    }
+    RemoteRead out;
+    out.ok = true;
+    out.value.assign(version->second.begin(), version->second.end());
+    if (view.serialized != 0) {
+      co_await node().cpu().use(static_cast<sim::Nanos>(
+          static_cast<double>(view.size) *
+          system_->config().serialize_ns_per_byte));
+    }
+    co_return out;
+  }
+}
+
+sim::Task<bool> Replica::resolve_addr(Oid oid, GroupId h) {
+  const int reps = system_->replicas_per_partition();
+  const int majority = reps / 2 + 1;
+
+  auto known_count = [this, oid, reps] {
+    auto it = object_map_.find(oid);
+    if (it == object_map_.end()) return 0;
+    int known = 0;
+    for (int q = 0; q < reps; ++q) {
+      if (it->second[static_cast<std::size_t>(q)].known) ++known;
+    }
+    return known;
+  };
+
+  // Consume any answers that already arrived (including strays from
+  // earlier queries).
+  auto drain = [this] {
+    const auto region = node().region(addra_mr_).bytes();
+    const auto stripes = system_->amcast().total_replicas();
+    const int reps2 = system_->replicas_per_partition();
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      while (true) {
+        const auto ans = rdma::load_pod<AddrAnswer>(
+            region, addra_offset(s, addra_next_[s] + 1));
+        if (ans.seq != addra_next_[s] + 1) break;
+        addra_next_[s] = ans.seq;
+        if (ans.found == 0) continue;
+        auto [it, inserted] = object_map_.try_emplace(
+            ans.oid, std::vector<RemoteLoc>(static_cast<std::size_t>(reps2)));
+        const int q = static_cast<int>(s) % reps2;
+        it->second[static_cast<std::size_t>(q)] =
+            RemoteLoc{ans.offset, ans.size, true};
+      }
+    }
+  };
+
+  drain();
+  if (known_count() >= majority) co_return true;
+
+  // Lines 8-13: query every replica of h, wait for a majority.
+  for (int q = 0; q < reps; ++q) {
+    Replica& peer = system_->replica(h, q);
+    const auto stripe = system_->amcast().stripe_of(h, q);
+    const auto my_stripe = system_->amcast().stripe_of(group_, rank_);
+    AddrQuery query{++addrq_sent_[stripe], oid};
+    system_->fabric().write_async(
+        node().id(),
+        rdma::RAddr{peer.node().id(), peer.addrq_mr(),
+                    peer.addrq_offset(my_stripe, query.seq)},
+        rdma::pod_bytes(query));
+  }
+  co_await sim::wait_until(node().region(addra_mr_).on_write(),
+                           [&drain, &known_count, majority] {
+                             drain();
+                             return known_count() >= majority;
+                           });
+  co_return true;
+}
+
+sim::Task<void> Replica::addr_query_loop() {
+  auto& region = node().region(addrq_mr_);
+  const auto stripes = system_->amcast().total_replicas();
+  const HeronConfig& cfg = system_->config();
+
+  auto have_new = [this, &region, stripes] {
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      const auto q = rdma::load_pod<AddrQuery>(
+          region.bytes(), addrq_offset(s, addrq_next_[s] + 1));
+      if (q.seq == addrq_next_[s] + 1) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), have_new);
+    if (!node().alive()) co_return;
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      while (true) {
+        const auto q = rdma::load_pod<AddrQuery>(
+            region.bytes(), addrq_offset(s, addrq_next_[s] + 1));
+        if (q.seq != addrq_next_[s] + 1) break;
+        addrq_next_[s] = q.seq;
+        co_await node().cpu().use(cfg.coord_check_proc);
+
+        AddrAnswer ans;
+        ans.seq = q.seq;
+        ans.oid = q.oid;
+        if (store_->exists(q.oid)) {
+          ans.offset = store_->offset_of(q.oid);
+          ans.size = store_->size_of(q.oid);
+          ans.found = 1;
+        }
+        // Answer into the asker's answer region, striped by *us*.
+        const auto asker_group = static_cast<GroupId>(
+            s / static_cast<std::uint32_t>(system_->replicas_per_partition()));
+        const auto asker_rank = static_cast<int>(
+            s % static_cast<std::uint32_t>(system_->replicas_per_partition()));
+        Replica& asker = system_->replica(asker_group, asker_rank);
+        const auto my_stripe = system_->amcast().stripe_of(group_, rank_);
+        system_->fabric().write_async(
+            node().id(),
+            rdma::RAddr{asker.node().id(), asker.addra_mr(),
+                        asker.addra_offset(my_stripe, ans.seq)},
+            rdma::pod_bytes(ans));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 3: state transfer.
+// ---------------------------------------------------------------------
+
+void Replica::log_update(Tmp tmp, Oid oid) {
+  update_log_.push_back(LogEntry{tmp, oid});
+  if (update_log_.size() > system_->config().update_log_capacity) {
+    update_log_.pop_front();
+    log_truncated_ = true;
+  }
+}
+
+std::vector<Oid> Replica::log_objects_since(Tmp from_tmp,
+                                            bool& full_transfer) const {
+  full_transfer =
+      log_truncated_ && (update_log_.empty() || update_log_.front().tmp >= from_tmp);
+  std::vector<Oid> out;
+  std::set<Oid> seen;
+  if (full_transfer) return out;
+  // Entries are appended in execution order => sorted by tmp.
+  auto it = std::lower_bound(
+      update_log_.begin(), update_log_.end(), from_tmp,
+      [](const LogEntry& e, Tmp t) { return e.tmp < t; });
+  for (; it != update_log_.end(); ++it) {
+    if (seen.insert(it->oid).second) out.push_back(it->oid);
+  }
+  return out;
+}
+
+sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp) {
+  ++state_transfers_;
+  const StateSyncEntry entry{failed_tmp, 1, 0, ++statesync_serial_};
+
+  // Lines 2-4: write the request into every group member's statesync
+  // memory (and our own, so candidates and our waiter see one source).
+  rdma::store_pod(node().region(statesync_mr_).bytes(),
+                  statesync_offset(rank_), entry);
+  node().region(statesync_mr_).on_write().notify_all();
+  for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+    if (q == rank_) continue;
+    Replica& peer = system_->replica(group_, q);
+    system_->fabric().write_async(
+        node().id(),
+        rdma::RAddr{peer.node().id(), peer.statesync_mr(),
+                    peer.statesync_offset(rank_)},
+        rdma::pod_bytes(entry));
+  }
+
+  // Line 5: wait until the handler flips our status back to 0, then wait
+  // for the staging applier to drain the shipped chunks.
+  auto& region = node().region(statesync_mr_);
+  co_await sim::wait_until(region.on_write(), [this, &region] {
+    const auto e = rdma::load_pod<StateSyncEntry>(region.bytes(),
+                                                  statesync_offset(rank_));
+    return e.status == 0 && e.rid != 0;
+  });
+  co_await sim::wait_until(node().region(staging_mr_).on_write(),
+                           [this] { return staging_pending() == 0; });
+
+  // Line 6.
+  const auto done = rdma::load_pod<StateSyncEntry>(region.bytes(),
+                                                   statesync_offset(rank_));
+  last_req_ = std::max(last_req_, done.rid);
+  last_executed_ = std::max(last_executed_, done.rid);
+}
+
+std::uint64_t Replica::staging_pending() const {
+  const auto region =
+      const_cast<Replica*>(this)->node().region(staging_mr_).bytes();
+  std::uint64_t pending = 0;
+  for (int s = 0; s < system_->replicas_per_partition(); ++s) {
+    const auto hdr = rdma::load_pod<ChunkHeader>(
+        region, staging_offset(s, staging_next_[static_cast<std::size_t>(s)] + 1));
+    if (hdr.seq == staging_next_[static_cast<std::size_t>(s)] + 1) ++pending;
+  }
+  return pending;
+}
+
+sim::Task<void> Replica::statesync_watch_loop() {
+  auto& region = node().region(statesync_mr_);
+  const int reps = system_->replicas_per_partition();
+  std::vector<std::uint64_t> handled(static_cast<std::size_t>(reps), 0);
+
+  while (true) {
+    co_await region.on_write().wait();
+    if (!node().alive()) co_return;
+    for (int q = 0; q < reps; ++q) {
+      if (q == rank_) continue;
+      const auto e = rdma::load_pod<StateSyncEntry>(region.bytes(),
+                                                    statesync_offset(q));
+      if (e.status != 1 || e.serial == handled[static_cast<std::size_t>(q)]) {
+        continue;
+      }
+      handled[static_cast<std::size_t>(q)] = e.serial;
+      system_->simulator().spawn(
+          [](Replica& self, int lagger, Tmp from,
+             std::uint64_t serial) -> sim::Task<void> {
+            // Line 9-11: deterministic handler selection — candidates in
+            // cyclic rank order after the lagger; candidate k starts after
+            // k suspicion timeouts unless someone finished first.
+            const int n = self.system_->replicas_per_partition();
+            int k = 0;
+            for (int step = 1; step < n; ++step) {
+              const int cand = (lagger + step) % n;
+              if (cand == self.rank_) break;
+              ++k;
+            }
+            if (k > 0) {
+              co_await self.system_->simulator().sleep(
+                  k * self.system_->config().statesync_timeout);
+              const auto now_e = rdma::load_pod<StateSyncEntry>(
+                  self.node().region(self.statesync_mr_).bytes(),
+                  self.statesync_offset(lagger));
+              // Lines 19-22: someone else completed it (status back to 0)
+              // or a newer request superseded this one.
+              if (now_e.status != 1 || now_e.serial != serial) co_return;
+            }
+            co_await self.perform_transfer(lagger, from);
+          }(*this, q, e.req_tmp, e.serial));
+    }
+  }
+}
+
+sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
+  const HeronConfig& cfg = system_->config();
+
+  // Only transfer a state that already covers the failed request — and
+  // that has actually been *executed*: last_req_ advances at delivery,
+  // before execution, and a transfer snapshot must reflect applied writes.
+  while (last_executed_ < from_tmp) {
+    co_await system_->simulator().sleep(sim::us(5));
+  }
+  if (!node().alive()) co_return;
+
+  // Pause execution at a request boundary: the replica is single-threaded,
+  // so serving the transfer and executing requests are mutually exclusive.
+  in_state_transfer_ = true;
+  ++transfers_served_;
+  const Tmp rid = last_executed_;
+
+  bool full = false;
+  std::vector<Oid> oids = log_objects_since(from_tmp, full);
+  if (full) {
+    oids.clear();
+    oids.reserve(store_->object_count());
+    store_->for_each_oid([&oids](Oid oid) { oids.push_back(oid); });
+  }
+
+  Replica& lagger = system_->replica(group_, lagger_rank);
+  const std::uint32_t chunk_capacity = cfg.statesync_chunk_bytes;
+  std::vector<std::byte> chunk(sizeof(ChunkHeader) + chunk_capacity);
+  std::uint32_t fill = 0;
+  std::uint32_t count = 0;
+  sim::Nanos serialize_cpu = 0;
+
+  auto flush = [&]() -> sim::Task<void> {
+    if (count == 0) co_return;
+    if (serialize_cpu > 0) {
+      co_await node().cpu().use(serialize_cpu);
+      serialize_cpu = 0;
+    }
+    const std::uint64_t seq =
+        ++staging_sent_[static_cast<std::size_t>(lagger_rank)];
+    ChunkHeader hdr{seq, count, fill};
+    rdma::store_pod(std::span(chunk), 0, hdr);
+    // Flow control: never run more than ring_slots-2 chunks ahead of the
+    // applier (its cursor is mirrored into our statesync ack word below).
+    co_await system_->fabric().write(
+        node().id(),
+        rdma::RAddr{lagger.node().id(), lagger.staging_mr(),
+                    lagger.staging_offset(rank_, seq)},
+        std::span(chunk).first(sizeof(ChunkHeader) + fill));
+    fill = 0;
+    count = 0;
+  };
+
+  for (Oid oid : oids) {
+    const auto [tmp, value] = store_->get(oid);
+    const auto record_len =
+        static_cast<std::uint32_t>(sizeof(ChunkRecord) + value.size());
+    if (record_len > chunk_capacity) {
+      throw std::runtime_error("state transfer: object larger than chunk");
+    }
+    if (fill + record_len > chunk_capacity) co_await flush();
+
+    ChunkRecord rec;
+    rec.oid = oid;
+    rec.tmp = tmp;
+    rec.size = static_cast<std::uint32_t>(value.size());
+    rec.serialized = store_->is_serialized(oid) ? 1 : 0;
+    rdma::store_pod(std::span(chunk), sizeof(ChunkHeader) + fill, rec);
+    std::memcpy(chunk.data() + sizeof(ChunkHeader) + fill + sizeof(ChunkRecord),
+                value.data(), value.size());
+    fill += record_len;
+    ++count;
+    // Serialized tables ship as stored (memcpy); others pay serialization.
+    serialize_cpu += static_cast<sim::Nanos>(
+        static_cast<double>(value.size()) *
+        (store_->is_serialized(oid) ? cfg.memcpy_ns_per_byte
+                                    : cfg.serialize_ns_per_byte));
+  }
+  co_await flush();
+
+  // Lines 16-17: completion notice to every member (including ourselves
+  // and the lagger).
+  StateSyncEntry done{from_tmp, 0, rid, statesync_serial_ + 1};
+  for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+    Replica& peer = system_->replica(group_, q);
+    if (q == rank_) {
+      rdma::store_pod(node().region(statesync_mr_).bytes(),
+                      statesync_offset(lagger_rank), done);
+      node().region(statesync_mr_).on_write().notify_all();
+      continue;
+    }
+    system_->fabric().write_async(
+        node().id(),
+        rdma::RAddr{peer.node().id(), peer.statesync_mr(),
+                    peer.statesync_offset(lagger_rank)},
+        rdma::pod_bytes(done));
+  }
+  in_state_transfer_ = false;
+}
+
+sim::Task<void> Replica::staging_apply_loop() {
+  auto& region = node().region(staging_mr_);
+  const HeronConfig& cfg = system_->config();
+  const int reps = system_->replicas_per_partition();
+
+  auto have_new = [this, &region, reps] {
+    for (int s = 0; s < reps; ++s) {
+      const auto hdr = rdma::load_pod<ChunkHeader>(
+          region.bytes(),
+          staging_offset(s, staging_next_[static_cast<std::size_t>(s)] + 1));
+      if (hdr.seq == staging_next_[static_cast<std::size_t>(s)] + 1) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), have_new);
+    if (!node().alive()) co_return;
+    for (int s = 0; s < reps; ++s) {
+      while (true) {
+        const std::uint64_t next =
+            staging_next_[static_cast<std::size_t>(s)] + 1;
+        const std::uint64_t base = staging_offset(s, next);
+        const auto hdr = rdma::load_pod<ChunkHeader>(region.bytes(), base);
+        if (hdr.seq != next) break;
+
+        sim::Nanos apply_cpu = 0;
+        std::uint64_t off = base + sizeof(ChunkHeader);
+        for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+          const auto rec = rdma::load_pod<ChunkRecord>(region.bytes(), off);
+          off += sizeof(ChunkRecord);
+          const auto value = region.bytes().subspan(off, rec.size);
+          store_->install_version(rec.oid, value, rec.tmp,
+                                  rec.serialized != 0);
+          off += rec.size;
+          // Receiver-side cost: serialized data lands in place (memcpy);
+          // non-serialized data must be deserialized into the app state.
+          apply_cpu += static_cast<sim::Nanos>(
+              static_cast<double>(rec.size) *
+              (rec.serialized != 0 ? cfg.memcpy_ns_per_byte
+                                   : cfg.serialize_ns_per_byte));
+        }
+        staging_next_[static_cast<std::size_t>(s)] = next;
+        if (apply_cpu > 0) co_await node().cpu().use(apply_cpu);
+        region.on_write().notify_all();  // progress signal for the waiter
+      }
+    }
+  }
+}
+
+}  // namespace heron::core

@@ -1,0 +1,186 @@
+// The Heron replica runtime: Algorithm 1 (coordination), Algorithm 2
+// (execution with remote reads over dual-versioned objects) and
+// Algorithm 3 (state transfer), layered on the atomic multicast endpoint
+// and the simulated RDMA fabric.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "amcast/endpoint.hpp"
+#include "core/app.hpp"
+#include "core/object_store.hpp"
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+
+namespace heron::core {
+
+class System;
+
+/// Update-log entry: object `oid` was modified by the request with
+/// timestamp `tmp` (Algorithm 1 "Variables": log).
+struct LogEntry {
+  Tmp tmp;
+  Oid oid;
+};
+
+class Replica {
+ public:
+  Replica(System& system, GroupId group, int rank);
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Bootstraps application state and spawns the runtime coroutines.
+  void start();
+
+  [[nodiscard]] GroupId group() const { return group_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] rdma::Node& node();
+  [[nodiscard]] ObjectStore& store() { return *store_; }
+  [[nodiscard]] Application& app() { return *app_; }
+  [[nodiscard]] Tmp last_req() const { return last_req_; }
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+  [[nodiscard]] std::uint64_t skipped_count() const { return skipped_; }
+  [[nodiscard]] std::uint64_t state_transfers() const {
+    return state_transfers_;
+  }
+  [[nodiscard]] std::uint64_t transfers_served() const {
+    return transfers_served_;
+  }
+
+  /// Bench/test hook: runs the state-transfer protocol as if this replica
+  /// failed to execute the request with timestamp `from` (Algorithm 3
+  /// lines 1-6). Returns once the transferred state has been applied.
+  sim::Task<void> force_state_transfer(Tmp from) {
+    co_await request_state_transfer(from);
+  }
+
+  // Measurement hooks (read directly by the harness).
+  [[nodiscard]] const CoordStats& coord_stats() const { return coord_stats_; }
+  [[nodiscard]] sim::LatencyRecorder& ordering_lat() { return ordering_lat_; }
+  [[nodiscard]] sim::LatencyRecorder& coord_lat() { return coord_lat_; }
+  [[nodiscard]] sim::LatencyRecorder& exec_lat() { return exec_lat_; }
+  void reset_stats();
+
+  // Region handles.
+  [[nodiscard]] rdma::MrId coord_mr() const { return coord_mr_; }
+  [[nodiscard]] rdma::MrId statesync_mr() const { return statesync_mr_; }
+  [[nodiscard]] rdma::MrId addrq_mr() const { return addrq_mr_; }
+  [[nodiscard]] rdma::MrId addra_mr() const { return addra_mr_; }
+  [[nodiscard]] rdma::MrId staging_mr() const { return staging_mr_; }
+
+  // Offset helpers shared with peer writers.
+  [[nodiscard]] std::uint64_t coord_offset(GroupId h, int q) const;
+  [[nodiscard]] std::uint64_t statesync_offset(int q) const;
+  [[nodiscard]] std::uint64_t addrq_offset(std::uint32_t stripe,
+                                           std::uint64_t seq) const;
+  [[nodiscard]] std::uint64_t addra_offset(std::uint32_t stripe,
+                                           std::uint64_t seq) const;
+  [[nodiscard]] std::uint64_t staging_offset(int sender_rank,
+                                             std::uint64_t seq) const;
+
+ private:
+  friend class System;
+
+  // --- main loop (Algorithm 1) ----------------------------------------
+  sim::Task<void> main_loop();
+  sim::Task<void> handle_request(Request r);
+  // §III-D1 extension: one concurrently running single-partition request.
+  sim::Task<void> exec_concurrent(Request r, int slot,
+                                  std::vector<Oid> keys);
+  [[nodiscard]] bool keys_free(const std::vector<Oid>& keys) const;
+  sim::Task<void> coordinate(const Request& r, std::uint32_t phase,
+                             bool collect_stats);
+  void write_coord(const Request& r, std::uint32_t phase);
+  [[nodiscard]] bool coord_satisfied(const Request& r, std::uint32_t phase,
+                                     bool require_all) const;
+  sim::Task<void> send_reply(const Request& r, const Reply& reply);
+
+  // --- execution (Algorithm 2) ----------------------------------------
+  struct ExecOutcome {
+    bool lagging = false;
+    Reply reply;
+  };
+  sim::Task<ExecOutcome> execute(const Request& r);
+  sim::Task<ExecOutcome> execute_on(const Request& r, sim::Cpu& cpu);
+  struct RemoteRead {
+    bool lagging = false;
+    bool ok = false;
+    std::vector<std::byte> value;
+  };
+  sim::Task<RemoteRead> read_remote(const Request& r, Oid oid, GroupId h);
+  sim::Task<bool> resolve_addr(Oid oid, GroupId h);
+  sim::Task<void> addr_query_loop();  // answers peers' address queries
+  void apply_writes(const Request& r, ExecContext& ctx);
+
+  // --- state transfer (Algorithm 3) ------------------------------------
+  sim::Task<void> request_state_transfer(Tmp failed_tmp);
+  sim::Task<void> statesync_watch_loop();   // reacts to peers' requests
+  sim::Task<void> perform_transfer(int lagger_rank, Tmp from_tmp);
+  sim::Task<void> staging_apply_loop();     // applies incoming chunks
+  [[nodiscard]] std::vector<Oid> log_objects_since(Tmp from_tmp,
+                                                   bool& full_transfer) const;
+  void log_update(Tmp tmp, Oid oid);
+  [[nodiscard]] std::uint64_t staging_pending() const;
+
+  System* system_;
+  GroupId group_;
+  int rank_;
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<ObjectStore> store_;
+
+  rdma::MrId coord_mr_{}, statesync_mr_{}, addrq_mr_{}, addra_mr_{},
+      staging_mr_{};
+
+  Tmp last_req_ = 0;       // Algorithm 1: tmp of the last request (delivered)
+  Tmp last_executed_ = 0;  // highest tmp whose writes are applied locally
+  std::uint64_t executed_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t state_transfers_ = 0;
+  std::uint64_t transfers_served_ = 0;
+  std::uint64_t statesync_serial_ = 0;
+  bool in_state_transfer_ = false;
+
+  // Remote object map: oid -> per-rank location in the home partition
+  // (the paper's object_map of <oid, q> -> addr).
+  struct RemoteLoc {
+    std::uint64_t offset = 0;
+    std::uint32_t size = 0;
+    bool known = false;
+  };
+  std::unordered_map<Oid, std::vector<RemoteLoc>> object_map_;
+  std::vector<std::uint64_t> addrq_sent_;   // per target stripe
+  std::vector<std::uint64_t> addrq_next_;   // consumer cursor per stripe
+  std::vector<std::uint64_t> addra_next_;   // consumer cursor per stripe
+
+  // Update log (ring semantics with truncation flag).
+  std::deque<LogEntry> update_log_;
+  bool log_truncated_ = false;
+
+  // Staging ring cursors (state-transfer receive side).
+  std::vector<std::uint64_t> staging_next_;  // per sender rank
+  std::vector<std::uint64_t> staging_sent_;  // per receiver rank (send side)
+
+  // Multi-threaded execution state (exec_threads > 1).
+  std::vector<std::unique_ptr<sim::Cpu>> exec_cpus_;
+  std::vector<bool> slot_busy_;
+  std::set<Oid> locked_keys_;
+  int inflight_ = 0;
+  std::unique_ptr<sim::Notifier> exec_done_;
+
+  // Stats.
+  CoordStats coord_stats_;
+  sim::LatencyRecorder ordering_lat_;
+  sim::LatencyRecorder coord_lat_;
+  sim::LatencyRecorder exec_lat_;
+
+  sim::Rng rng_;
+};
+
+}  // namespace heron::core

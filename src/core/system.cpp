@@ -1,0 +1,91 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "rdma/pod.hpp"
+
+namespace heron::core {
+
+System::System(rdma::Fabric& fabric, int partitions, int replicas,
+               AppFactory factory, HeronConfig config,
+               amcast::Config amcast_config)
+    : config_(config), factory_(std::move(factory)) {
+  amcast_ =
+      std::make_unique<amcast::System>(fabric, partitions, replicas,
+                                       amcast_config);
+  for (GroupId g = 0; g < partitions; ++g) {
+    for (int r = 0; r < replicas; ++r) {
+      replicas_.push_back(std::make_unique<Replica>(*this, g, r));
+    }
+  }
+}
+
+void System::start() {
+  amcast_->start();
+  for (auto& r : replicas_) r->start();
+}
+
+Client& System::add_client() {
+  auto& ep = amcast_->add_client();
+  clients_.push_back(std::make_unique<Client>(*this, ep));
+  return *clients_.back();
+}
+
+std::uint64_t System::total_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->completed();
+  return total;
+}
+
+void System::reset_stats() {
+  for (auto& r : replicas_) r->reset_stats();
+  for (auto& c : clients_) c->reset_stats();
+}
+
+Client::Client(System& system, amcast::ClientEndpoint& ep)
+    : system_(&system), ep_(&ep) {
+  reply_mr_ = ep.node().register_region(
+      static_cast<std::size_t>(system.partitions()) * sizeof(ReplySlot));
+}
+
+sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
+                                         std::span<const std::byte> payload) {
+  const sim::Nanos start = system_->simulator().now();
+
+  std::vector<std::byte> wire(sizeof(RequestHeader) + payload.size());
+  RequestHeader header{start, kind, 0};
+  std::memcpy(wire.data(), &header, sizeof(header));
+  std::memcpy(wire.data() + sizeof(header), payload.data(), payload.size());
+
+  const amcast::MsgUid uid = co_await ep_->multicast(dst, wire);
+
+  // Wait for one reply per involved partition (any replica of each).
+  auto& region = ep_->node().region(reply_mr_);
+  auto all_replied = [this, &region, uid, dst] {
+    for (GroupId g = 0; g < system_->partitions(); ++g) {
+      if (!amcast::dst_contains(dst, g)) continue;
+      const auto slot = rdma::load_pod<ReplySlot>(
+          region.bytes(), static_cast<std::uint64_t>(g) * sizeof(ReplySlot));
+      if (slot.uid != uid) return false;
+    }
+    return true;
+  };
+  co_await sim::wait_until(region.on_write(), all_replied);
+
+  Result result;
+  result.latency = system_->simulator().now() - start;
+  for (GroupId g = 0; g < system_->partitions(); ++g) {
+    if (!amcast::dst_contains(dst, g)) continue;
+    const auto slot = rdma::load_pod<ReplySlot>(
+        region.bytes(), static_cast<std::uint64_t>(g) * sizeof(ReplySlot));
+    result.reply.status = slot.status;
+    result.reply.payload.assign(slot.payload.begin(),
+                                slot.payload.begin() + slot.payload_len);
+    break;  // lowest-id partition's reply
+  }
+  ++completed_;
+  latencies_.record(result.latency);
+  co_return result;
+}
+
+}  // namespace heron::core

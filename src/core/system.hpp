@@ -1,0 +1,100 @@
+// Heron deployment wiring: an atomic multicast system plus one Replica
+// per multicast endpoint and client handles with reply memory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amcast/system.hpp"
+#include "core/replica.hpp"
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+
+namespace heron::core {
+
+/// Factory producing one Application instance per replica.
+using AppFactory = std::function<std::unique_ptr<Application>()>;
+
+/// Client handle: submits requests and awaits one reply per involved
+/// partition (the paper's closed-loop client).
+class Client {
+ public:
+  Client(System& system, amcast::ClientEndpoint& ep);
+
+  struct Result {
+    Reply reply;            // reply from the lowest-id involved partition
+    sim::Nanos latency = 0; // submit -> all partitions replied
+  };
+
+  /// Submits a request to the partitions in `dst` and awaits replies.
+  sim::Task<Result> submit(DstMask dst, std::uint32_t kind,
+                           std::span<const std::byte> payload);
+
+  [[nodiscard]] std::uint32_t id() const { return ep_->client_id(); }
+  [[nodiscard]] rdma::Node& node() { return ep_->node(); }
+  [[nodiscard]] rdma::MrId reply_mr() const { return reply_mr_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] sim::LatencyRecorder& latencies() { return latencies_; }
+  void reset_stats() {
+    completed_ = 0;
+    latencies_.clear();
+  }
+
+ private:
+  System* system_;
+  amcast::ClientEndpoint* ep_;
+  rdma::MrId reply_mr_{};
+  std::uint64_t completed_ = 0;
+  sim::LatencyRecorder latencies_;
+};
+
+class System {
+ public:
+  /// Builds a Heron deployment with `partitions` groups of `replicas`
+  /// members each. `factory` creates the application for every replica.
+  System(rdma::Fabric& fabric, int partitions, int replicas,
+         AppFactory factory, HeronConfig config = {},
+         amcast::Config amcast_config = {});
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Starts multicast endpoints and replica runtimes.
+  void start();
+
+  [[nodiscard]] rdma::Fabric& fabric() { return amcast_->fabric(); }
+  [[nodiscard]] sim::Simulator& simulator() {
+    return fabric().simulator();
+  }
+  [[nodiscard]] amcast::System& amcast() { return *amcast_; }
+  [[nodiscard]] const HeronConfig& config() const { return config_; }
+  [[nodiscard]] int partitions() const { return amcast_->group_count(); }
+  [[nodiscard]] int replicas_per_partition() const {
+    return amcast_->replicas_per_group();
+  }
+
+  [[nodiscard]] Replica& replica(GroupId g, int rank) {
+    return *replicas_[static_cast<std::size_t>(g) *
+                          static_cast<std::size_t>(replicas_per_partition()) +
+                      static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] AppFactory& app_factory() { return factory_; }
+
+  Client& add_client();
+  [[nodiscard]] Client& client(std::uint32_t id) { return *clients_[id]; }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+  /// Total completions across clients (throughput accounting).
+  [[nodiscard]] std::uint64_t total_completed() const;
+  void reset_stats();
+
+ private:
+  std::unique_ptr<amcast::System> amcast_;
+  HeronConfig config_;
+  AppFactory factory_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace heron::core

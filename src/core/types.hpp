@@ -1,0 +1,183 @@
+// Core types of the Heron replica runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "amcast/types.hpp"
+#include "sim/time.hpp"
+
+namespace heron::core {
+
+using amcast::DstMask;
+using amcast::GroupId;
+using amcast::MsgUid;
+
+/// Application object identifier (the paper's `oid`). Applications encode
+/// table/key structure into the 64 bits however they like.
+using Oid = std::uint64_t;
+
+/// Timestamp type: the packed, globally unique timestamps produced by
+/// atomic multicast (amcast::pack_ts).
+using Tmp = std::uint64_t;
+
+/// Execution mode of a replica (used by the Fig. 4 experiment ladder).
+enum class Mode : std::uint8_t {
+  kOrderOnly,  // reply at delivery; no coordination, no execution
+  kNull,       // coordinate multi-partition requests but execute nothing
+  kApp,        // full Heron: coordinate + execute the application
+};
+
+/// Fixed header every client prepends to its application payload.
+struct RequestHeader {
+  sim::Nanos sent_at = 0;   // client virtual time, for latency breakdowns
+  std::uint32_t kind = 0;   // application-defined request type
+  std::uint32_t flags = 0;
+};
+static_assert(std::is_trivially_copyable_v<RequestHeader>);
+
+/// A delivered request as seen by the replica and the application.
+struct Request {
+  MsgUid uid = 0;
+  Tmp tmp = 0;
+  DstMask dst = 0;
+  RequestHeader header{};
+  std::vector<std::byte> payload;  // application payload (header stripped)
+
+  [[nodiscard]] int partition_count() const { return amcast::dst_count(dst); }
+  [[nodiscard]] bool single_partition() const { return partition_count() == 1; }
+};
+
+/// Reply written into the client's per-group reply slot.
+constexpr std::size_t kMaxReplyPayload = 64;
+
+struct ReplySlot {
+  MsgUid uid = 0;        // request this reply answers
+  std::uint32_t status = 0;
+  std::uint32_t payload_len = 0;
+  std::array<std::byte, kMaxReplyPayload> payload{};
+};
+static_assert(std::is_trivially_copyable_v<ReplySlot>);
+
+/// Application-level reply value.
+struct Reply {
+  std::uint32_t status = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Coordination memory entry (Algorithm 1's coord_mem[h][q]).
+struct CoordEntry {
+  Tmp tmp = 0;
+  std::uint32_t state = 0;  // 1 after Phase 2, 2 after Phase 4
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<CoordEntry>);
+
+/// State-transfer memory entry (Algorithm 3's statesync_mem[q]).
+struct StateSyncEntry {
+  Tmp req_tmp = 0;       // request the lagger failed to execute
+  std::uint64_t status = 0;  // 0: idle, 1: transfer requested
+  Tmp rid = 0;           // last request covered by the completed transfer
+  std::uint64_t serial = 0;  // change detection
+};
+static_assert(std::is_trivially_copyable_v<StateSyncEntry>);
+
+/// Object-address query/answer records (Algorithm 2 lines 8-13).
+struct AddrQuery {
+  std::uint64_t seq = 0;
+  Oid oid = 0;
+};
+static_assert(std::is_trivially_copyable_v<AddrQuery>);
+
+struct AddrAnswer {
+  std::uint64_t seq = 0;
+  Oid oid = 0;
+  std::uint64_t offset = 0;  // object slot offset in the object region
+  std::uint32_t size = 0;    // object payload size
+  std::uint32_t found = 0;
+};
+static_assert(std::is_trivially_copyable_v<AddrAnswer>);
+
+/// Runtime knobs for the Heron replica layer.
+struct HeronConfig {
+  Mode mode = Mode::kApp;
+
+  /// §III-D1 extension: number of worker cores per replica executing
+  /// non-conflicting single-partition requests concurrently. 1 preserves
+  /// the paper's single-threaded prototype. >1 requires the application
+  /// to report complete conflict_keys() (see core::Application).
+  int exec_threads = 1;
+
+  /// Registered object memory per replica.
+  std::size_t object_region_bytes = 64u << 20;
+
+  /// Post-majority extra wait in Phase 4, the paper's lagger-avoidance
+  /// heuristic (§III-A last paragraph, Table I). 0 disables it.
+  sim::Nanos coord_extra_delay = sim::us(3);
+
+  /// Wait-for-all statistics collection (Table I) happens regardless;
+  /// this also controls whether Phase 2 uses the extra delay (the paper
+  /// applies it only to the second coordination phase).
+  bool extra_delay_in_phase2 = false;
+
+  /// State transfer: suspicion timeout per candidate handler.
+  sim::Nanos statesync_timeout = sim::ms(5);
+
+  /// State transfer chunk payload (the paper uses 32 KB RDMA writes).
+  std::uint32_t statesync_chunk_bytes = 32u << 10;
+  std::uint32_t statesync_ring_slots = 64;
+
+  /// Update-log capacity (entries); laggers older than the log tail get a
+  /// full-state transfer.
+  std::size_t update_log_capacity = 1u << 20;
+
+  /// Per-replica service-time jitter: lognormal sigma applied to each
+  /// request's execution CPU. Models real-machine variance (GC, cache,
+  /// interrupts); it is what makes stragglers — and hence Table I's
+  /// delayed-transaction statistics and the laggers of §III-A — occur.
+  double exec_jitter_sigma = 0.08;
+
+  /// Occasional large stalls (GC pause / interrupt storm): probability per
+  /// executed request and stall length. Off by default; the coordination
+  /// ablation uses them to provoke laggers.
+  double hiccup_prob = 0.0;
+  sim::Nanos hiccup_duration = sim::us(150);
+
+  /// CPU cost model (calibration handles; see EXPERIMENTS.md).
+  sim::Nanos coord_check_proc = sim::us(0.15);  // scan coordination memory
+  sim::Nanos exec_dispatch_proc = sim::us(1.0); // request decode + dispatch
+  sim::Nanos reply_proc = sim::us(0.5);         // marshal + post the reply
+  double serialize_ns_per_byte = 1.0;    // Java-style (de)serialization
+  double memcpy_ns_per_byte = 0.05;      // raw copy for non-serialized data
+};
+
+/// Per-replica coordination statistics backing Table I.
+struct CoordStats {
+  std::uint64_t multi_partition = 0;  // coordinated requests
+  std::uint64_t delayed = 0;          // majority present but not all
+  sim::Nanos delay_sum = 0;           // extra wait until all present
+  std::uint64_t gave_up = 0;          // cutoff hit before all present
+
+  [[nodiscard]] double delayed_fraction() const {
+    return multi_partition == 0
+               ? 0.0
+               : static_cast<double>(delayed) /
+                     static_cast<double>(multi_partition);
+  }
+  [[nodiscard]] double avg_delay_us() const {
+    return delayed == 0 ? 0.0
+                        : sim::to_us(delay_sum) / static_cast<double>(delayed);
+  }
+};
+
+/// Per-replica stage timing (Fig. 6 breakdown), aggregated by the harness.
+struct StageBreakdown {
+  sim::Nanos ordering = 0;
+  sim::Nanos coordination = 0;
+  sim::Nanos execution = 0;
+};
+
+}  // namespace heron::core

@@ -1,0 +1,194 @@
+// DynaStar baseline: message-passing partitioned state machine
+// replication with a location oracle and move-based multi-partition
+// execution (Le et al., ICDCS'19; the comparison system of Fig. 5).
+//
+// Request flow:
+//   * every request goes through the location oracle, which resolves the
+//     partitions currently holding the request's objects;
+//   * single-partition requests are forwarded to that partition, ordered
+//     by its leader (one accept round to a majority), executed by all its
+//     replicas, and answered to the client;
+//   * multi-partition requests trigger object moves: each source
+//     partition orders a move command, extracts the rows and ships them
+//     to the executing partition, which orders the request together with
+//     the moved bytes, executes the whole transaction and replies. The
+//     oracle updates its mapping, so moved rows live at the executor
+//     afterwards (DynaStar's dynamic repartitioning — and the source of
+//     its multi-partition costs on TPC-C-style workloads).
+//
+// The transport charges kernel-path costs per message (see msgnet.hpp);
+// execution reuses the same Application (TPC-C) as Heron, scaled by a
+// Java-prototype factor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/app.hpp"
+#include "core/system.hpp"
+#include "dynastar/msgnet.hpp"
+#include "sim/stats.hpp"
+
+namespace heron::dynastar {
+
+struct Config {
+  NetConfig net{};
+  sim::Nanos oracle_proc = sim::us(40);   // mapping lookup + route
+  sim::Nanos leader_proc = sim::us(60);   // ordering bookkeeping per msg
+  sim::Nanos apply_proc = sim::us(30);    // follower apply
+  /// Latency of one Multi-Ring-Paxos-style ordered delivery. Every
+  /// ordered step pays it: routing at the oracle partition, move commands
+  /// at source partitions, and the request at the executor. (DynaStar
+  /// orders everything through atomic multicast; this is the bulk of its
+  /// ~1 ms single-partition latency.)
+  sim::Nanos order_latency = sim::us(300);
+  double exec_factor = 3.0;               // Java prototype vs Heron's path
+  double msg_cpu_ns_per_byte = 1.0;       // (de)serialize message bodies
+  std::size_t store_bytes = 96u << 20;    // per-replica object memory
+};
+
+/// Message types.
+enum MsgType : std::uint32_t {
+  kClientReq = 1,
+  kRouteExec = 2,   // oracle -> executor leader
+  kMoveCmd = 3,     // oracle -> source leader
+  kObjectData = 4,  // source leader -> executor leader
+  kAccept = 5,      // leader -> followers
+  kAck = 6,         // follower -> leader
+  kReply = 7,       // executor leader -> client
+};
+
+class DynastarSystem;
+
+/// One partition replica (leader if rank 0; no failover modeled).
+class Replica {
+ public:
+  Replica(DynastarSystem& sys, int partition, int rank);
+  ~Replica();  // out of line: PendingReq is defined in the .cpp
+
+  void start();
+  [[nodiscard]] core::ObjectStore& store() { return *store_; }
+  [[nodiscard]] std::int32_t addr() const { return addr_; }
+  [[nodiscard]] rdma::Node& node();
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  friend class DynastarSystem;
+  struct PendingReq;
+
+  sim::Task<void> loop();
+  sim::Task<void> handle_move(Message m);    // source leader: move-out
+  sim::Task<void> drive(std::uint64_t rid);  // leader: move-wait + order + exec
+  sim::Task<void> order_and_execute(std::uint64_t rid);
+  void execute_locally(std::uint64_t seq, std::span<const std::byte> blob);
+
+  DynastarSystem* sys_;
+  int partition_;
+  int rank_;
+  std::int32_t addr_ = -1;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<core::ObjectStore> store_;
+  std::set<core::Oid> tombstones_;  // rows moved away
+
+  // Leader ordering state.
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t applied_seq_ = 0;
+  std::map<std::uint64_t, std::uint64_t> acks_;  // seq -> ack count
+  std::unique_ptr<sim::Notifier> ack_notifier_;
+
+  // Leader per-request assembly state.
+  std::map<std::uint64_t, PendingReq> pending_;
+  std::unique_ptr<sim::Notifier> pending_notifier_;
+
+  // Outputs of the most recent execute_locally (leader uses them to
+  // charge CPU and reply; execution is synchronous per request).
+  sim::Nanos last_exec_cpu_ = 0;
+  core::Reply last_reply_;
+
+  std::uint64_t executed_ = 0;
+};
+
+class Client {
+ public:
+  Client(DynastarSystem& sys, std::uint32_t id);
+
+  struct Result {
+    core::Reply reply;
+    sim::Nanos latency = 0;
+  };
+  sim::Task<Result> submit(amcast::DstMask dst_hint, std::uint32_t kind,
+                           std::span<const std::byte> payload);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] std::int32_t addr() const { return addr_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] sim::LatencyRecorder& latencies() { return latencies_; }
+  void reset_stats() {
+    completed_ = 0;
+    latencies_.clear();
+  }
+
+ private:
+  friend class DynastarSystem;
+  DynastarSystem* sys_;
+  std::uint32_t id_;
+  std::int32_t addr_ = -1;
+  std::uint64_t next_req_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::LatencyRecorder latencies_;
+  std::unique_ptr<sim::Notifier> reply_notifier_;
+  std::map<std::uint64_t, core::Reply> replies_;
+};
+
+class DynastarSystem {
+ public:
+  DynastarSystem(sim::Simulator& sim, int partitions, int replicas,
+                 core::AppFactory factory, Config cfg = {});
+
+  void start();
+
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] Net& net() { return *net_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] int partitions() const { return partitions_; }
+  [[nodiscard]] int replicas() const { return replicas_; }
+  [[nodiscard]] Replica& replica(int p, int r) {
+    return *replicas_store_[static_cast<std::size_t>(p * replicas_ + r)];
+  }
+  [[nodiscard]] core::AppFactory& app_factory() { return factory_; }
+
+  Client& add_client();
+  [[nodiscard]] Client& client(std::uint32_t id) { return *clients_[id]; }
+  [[nodiscard]] std::uint64_t total_completed() const;
+  void reset_stats();
+
+  /// Current partition of an object per the oracle's mapping.
+  [[nodiscard]] int mapped_partition(core::Oid oid) const;
+
+ private:
+  friend class Replica;
+  friend class Client;
+
+  sim::Task<void> oracle_loop();
+  sim::Task<void> route_request(Message m);
+
+  sim::Simulator* sim_;
+  Config cfg_;
+  int partitions_;
+  int replicas_;
+  core::AppFactory factory_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<core::Application> oracle_app_;  // read-set resolution
+  std::int32_t oracle_addr_ = -1;
+  rdma::Node* oracle_node_ = nullptr;
+  std::unordered_map<core::Oid, int> mapping_override_;
+  std::vector<std::unique_ptr<Replica>> replicas_store_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<rdma::Fabric> node_owner_;  // owns the simulated hosts
+};
+
+}  // namespace heron::dynastar

@@ -1,0 +1,81 @@
+// Closed-loop benchmark harness: builds a Heron cluster running TPC-C,
+// attaches closed-loop clients (the paper's measurement methodology,
+// §V-B), and measures throughput/latency over a virtual-time window
+// after a warmup.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "tpcc/app.hpp"
+#include "tpcc/gen.hpp"
+
+namespace heron::harness {
+
+struct RunResult {
+  double throughput_tps = 0;
+  sim::LatencyRecorder latency;          // all requests
+  sim::LatencyRecorder latency_single;   // single-partition
+  sim::LatencyRecorder latency_multi;    // multi-partition
+  std::map<std::uint32_t, sim::LatencyRecorder> latency_by_kind;
+  std::map<std::uint32_t, sim::LatencyRecorder> latency_by_kind_multi;
+  std::uint64_t completed = 0;
+  sim::Nanos window = 0;
+};
+
+class TpccCluster {
+ public:
+  TpccCluster(int partitions, int replicas, tpcc::TpccScale scale,
+              core::HeronConfig heron_cfg = {},
+              amcast::Config amcast_cfg = {}, std::uint64_t seed = 99,
+              rdma::LatencyModel fabric_model = {});
+
+  /// Adds `per_partition` closed-loop clients homed at each partition.
+  void add_clients(int per_partition, tpcc::WorkloadConfig workload);
+
+  /// Adds one closed-loop client homed at `partition`.
+  void add_client_at(int partition, tpcc::WorkloadConfig workload);
+
+  /// Runs warmup, clears stats, runs the measurement window and returns
+  /// aggregated results. Callable repeatedly (windows accumulate).
+  RunResult run(sim::Nanos warmup, sim::Nanos duration);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] core::System& system() { return *sys_; }
+  [[nodiscard]] rdma::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] int partitions() const { return partitions_; }
+  [[nodiscard]] int replicas() const { return replicas_; }
+
+ private:
+  sim::Task<void> client_loop(core::Client& client,
+                              std::unique_ptr<tpcc::WorkloadGen> gen);
+
+  struct Sample {
+    std::uint32_t kind;
+    bool multi;
+    sim::Nanos latency;
+  };
+
+  sim::Simulator sim_;
+  rdma::Fabric fabric_;
+  std::unique_ptr<core::System> sys_;
+  int partitions_;
+  int replicas_;
+  tpcc::TpccScale scale_;
+  std::uint64_t seed_;
+  std::uint64_t next_client_seed_ = 1;
+  bool recording_ = false;
+  std::vector<Sample> samples_;
+};
+
+/// Formats microseconds with two decimals (report printing helper).
+std::string fmt_us(double ns);
+std::string fmt_us(sim::Nanos ns);
+
+}  // namespace heron::harness

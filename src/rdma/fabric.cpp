@@ -1,0 +1,158 @@
+#include "rdma/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace heron::rdma {
+
+namespace {
+
+bool in_bounds(const MemoryRegion& region, std::uint64_t offset,
+               std::uint64_t len) {
+  return offset + len <= region.size() && offset + len >= offset;
+}
+
+}  // namespace
+
+sim::Nanos Fabric::jitter(sim::Nanos base) {
+  double scaled = static_cast<double>(base);
+  if (model_.oversub_nodes != 0 && nodes_.size() > model_.oversub_nodes) {
+    scaled *= model_.oversub_factor;
+  }
+  if (model_.jitter_sigma > 0.0) {
+    scaled *= rng_.lognormal_mean(1.0, model_.jitter_sigma);
+  }
+  return static_cast<sim::Nanos>(scaled);
+}
+
+sim::Nanos Fabric::depart(std::int32_t initiator) {
+  const sim::Nanos now = sim_->now();
+  sim::Nanos& free_at = nic_free_at_[initiator];
+  const sim::Nanos at = std::max(now + model_.post_overhead, free_at);
+  free_at = at;
+  return at;
+}
+
+sim::Nanos Fabric::arrival_on_channel(std::int32_t initiator,
+                                      std::int32_t target,
+                                      sim::Nanos proposed) {
+  Channel& ch = channels_[{initiator, target}];
+  const sim::Nanos at = std::max(proposed, ch.last_arrival);
+  ch.last_arrival = at;
+  return at;
+}
+
+sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
+                                   std::span<std::byte> out) {
+  ++stats_.reads;
+  stats_.read_bytes += out.size();
+
+  Node& target = node(addr.node);
+  if (!in_bounds(target.region(addr.mr), addr.offset, out.size())) {
+    ++stats_.failures;
+    co_return Completion{Status::kBadAddress};
+  }
+
+  const sim::Nanos departed = depart(initiator);
+  nic_free_at_[initiator] = departed;  // read request itself is tiny
+  if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
+
+  // Request propagates to the remote NIC; value is sampled there.
+  const sim::Nanos arrive = arrival_on_channel(
+      initiator, addr.node, departed + jitter(model_.read_base / 2));
+  if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
+
+  if (!target.alive()) {
+    ++stats_.failures;
+    const sim::Nanos err_at = departed + model_.failure_detect;
+    if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
+    co_return Completion{Status::kRemoteFailure};
+  }
+
+  // Atomic sample at arrival time (one event = one atomic step).
+  const auto src = target.region(addr.mr).bytes().subspan(addr.offset, out.size());
+  std::memcpy(out.data(), src.data(), out.size());
+
+  // Response carries the payload back to the initiator.
+  const sim::Nanos done_at =
+      arrive + jitter(model_.read_base / 2) + model_.transfer_time(out.size());
+  if (done_at > sim_->now()) co_await sim_->sleep(done_at - sim_->now());
+  co_return Completion{Status::kOk};
+}
+
+void Fabric::deliver_write(std::int32_t target_id, RAddr addr,
+                           std::vector<std::byte> data) {
+  Node& target = node(target_id);
+  if (!target.alive()) {
+    ++stats_.failures;
+    return;  // payload dropped; initiator (if waiting) sees the WC error
+  }
+  auto& region = target.region(addr.mr);
+  auto dst = region.bytes().subspan(addr.offset, data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
+  region.on_write().notify_all();
+}
+
+sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
+                                    std::span<const std::byte> data) {
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+
+  Node& target = node(addr.node);
+  if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
+    ++stats_.failures;
+    co_return Completion{Status::kBadAddress};
+  }
+
+  const sim::Nanos departed = depart(initiator);
+  // Large payloads occupy the send NIC for their transfer duration.
+  nic_free_at_[initiator] = departed + model_.transfer_time(data.size());
+  if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
+
+  const sim::Nanos arrive = arrival_on_channel(
+      initiator, addr.node, departed + jitter(model_.write_base) +
+                                model_.transfer_time(data.size()));
+  if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
+
+  if (!target.alive()) {
+    ++stats_.failures;
+    const sim::Nanos err_at = departed + model_.failure_detect;
+    if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
+    co_return Completion{Status::kRemoteFailure};
+  }
+
+  auto dst = target.region(addr.mr).bytes().subspan(addr.offset, data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
+  target.region(addr.mr).on_write().notify_all();
+  co_return Completion{Status::kOk};
+}
+
+void Fabric::write_async(std::int32_t initiator, RAddr addr,
+                         std::span<const std::byte> data) {
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+
+  Node& target = node(addr.node);
+  if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
+    ++stats_.failures;
+    return;
+  }
+
+  const sim::Nanos departed = depart(initiator);
+  nic_free_at_[initiator] = departed + model_.transfer_time(data.size());
+  const sim::Nanos arrive = arrival_on_channel(
+      initiator, addr.node, departed + jitter(model_.write_base) +
+                                model_.transfer_time(data.size()));
+
+  std::vector<std::byte> payload(data.begin(), data.end());
+  const std::int32_t target_id = addr.node;
+  sim_->schedule_at(arrive, [this, target_id, addr,
+                             payload = std::move(payload)]() mutable {
+    deliver_write(target_id, addr, std::move(payload));
+  });
+}
+
+}  // namespace heron::rdma

@@ -1,0 +1,141 @@
+// The simulated RDMA fabric: nodes + reliable-connection verbs.
+//
+// Semantics modeled after libibverbs RC queue pairs, which is all Heron
+// relies on (§II-C of the paper):
+//   * one-sided READ / WRITE that never involve the remote CPU;
+//   * reliable, in-order delivery per (initiator, target) channel;
+//   * remote crash surfaces as a work-completion error (the paper's
+//     RDMA_EXCEPTION) after a detection delay;
+//   * 8-byte aligned accesses are atomic. The simulator is stricter: an
+//     entire op lands in one event, so any span is observed atomically.
+//
+// The latency model is calibrated against the paper's testbed (ConnectX-4,
+// 25 Gbps): a per-verb base cost, a bandwidth term, and optional
+// multiplicative jitter. Congestion is modeled per initiator NIC: verbs
+// posted back-to-back serialize on the send side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rdma/memory.hpp"
+#include "rdma/node.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace heron::rdma {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRemoteFailure = 1,  // target crashed: WC error on the initiator QP
+  kBadAddress = 2,     // out-of-bounds access (programming error guard)
+};
+
+/// Outcome of a one-sided verb.
+struct Completion {
+  Status status = Status::kOk;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+/// Latency knobs; defaults approximate the paper's XL170 testbed.
+struct LatencyModel {
+  sim::Nanos read_base = sim::us(1.6);    // one-sided READ round trip
+  sim::Nanos write_base = sim::us(0.9);   // one-sided WRITE until remote visibility
+  sim::Nanos post_overhead = sim::us(0.15);  // CPU cost to post a verb
+  double bandwidth_bytes_per_ns = 3.125;  // 25 Gbps
+  sim::Nanos failure_detect = sim::us(400);  // WC error latency on dead peer
+  double jitter_sigma = 0.0;  // lognormal sigma on the network component
+
+  /// Testbed oversubscription (§V-C1: beyond 40 XL170 nodes, traffic
+  /// crosses the top-of-rack switch with no bandwidth guarantee). When
+  /// the fabric has more than `oversub_nodes` nodes, network components
+  /// are scaled by `oversub_factor`. 0 disables the model.
+  std::size_t oversub_nodes = 0;
+  double oversub_factor = 1.3;
+
+  [[nodiscard]] sim::Nanos transfer_time(std::uint64_t bytes) const {
+    return static_cast<sim::Nanos>(static_cast<double>(bytes) /
+                                   bandwidth_bytes_per_ns);
+  }
+};
+
+/// Counters for substrate-level reporting.
+struct FabricStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t failures = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, LatencyModel model = {},
+         std::uint64_t seed = 42)
+      : sim_(&sim), model_(model), rng_(seed) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] const LatencyModel& model() const { return model_; }
+  [[nodiscard]] LatencyModel& model() { return model_; }
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Creates a node attached to this fabric.
+  Node& add_node() {
+    nodes_.push_back(
+        std::make_unique<Node>(*sim_, static_cast<std::int32_t>(nodes_.size())));
+    return *nodes_.back();
+  }
+
+  [[nodiscard]] Node& node(std::int32_t id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// One-sided RDMA READ: copies `out.size()` bytes from (addr) on the
+  /// remote node into `out`. The value is sampled at the instant the read
+  /// reaches the remote NIC. Initiator blocks until the completion.
+  sim::Task<Completion> read(std::int32_t initiator, RAddr addr,
+                             std::span<std::byte> out);
+
+  /// One-sided RDMA WRITE: copies `data` into (addr) on the remote node.
+  /// Data becomes remotely visible at arrival time; the region's on_write
+  /// notifier fires then. Initiator blocks until the completion.
+  sim::Task<Completion> write(std::int32_t initiator, RAddr addr,
+                              std::span<const std::byte> data);
+
+  /// Fire-and-forget WRITE: posts the verb and returns after the post
+  /// overhead only. Used where Heron does not wait for the WC (e.g.
+  /// coordination-message fan-out, Algorithm 1 line 9).
+  void write_async(std::int32_t initiator, RAddr addr,
+                   std::span<const std::byte> data);
+
+ private:
+  struct Channel {
+    sim::Nanos last_arrival = 0;  // enforces RC in-order delivery
+  };
+
+  sim::Nanos jitter(sim::Nanos base);
+  sim::Nanos depart(std::int32_t initiator);
+  sim::Nanos arrival_on_channel(std::int32_t initiator, std::int32_t target,
+                                sim::Nanos proposed);
+  void deliver_write(std::int32_t target, RAddr addr,
+                     std::vector<std::byte> data);
+
+  sim::Simulator* sim_;
+  LatencyModel model_;
+  sim::Rng rng_;
+  FabricStats stats_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::pair<std::int32_t, std::int32_t>, Channel> channels_;
+  std::map<std::int32_t, sim::Nanos> nic_free_at_;  // send-side serialization
+};
+
+}  // namespace heron::rdma

@@ -1,0 +1,54 @@
+// RDMA-registered memory regions.
+//
+// A simulated host (Node) registers byte regions; remote peers address
+// them as (node, region, offset). Each region carries a Notifier that
+// fires whenever a remote write lands, standing in for the busy-poll loop
+// a real Heron replica runs over its registered memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/notifier.hpp"
+
+namespace heron::rdma {
+
+/// Handle to a registered memory region (index within its node).
+struct MrId {
+  std::uint32_t value = UINT32_MAX;
+
+  [[nodiscard]] bool valid() const { return value != UINT32_MAX; }
+  bool operator==(const MrId&) const = default;
+};
+
+/// A remote (or local) RDMA address: node + region + byte offset.
+struct RAddr {
+  std::int32_t node = -1;
+  MrId mr{};
+  std::uint64_t offset = 0;
+
+  bool operator==(const RAddr&) const = default;
+};
+
+/// One registered region: owned bytes + wake-on-write notifier.
+class MemoryRegion {
+ public:
+  MemoryRegion(sim::Simulator& sim, std::size_t size)
+      : bytes_(size), notifier_(sim) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] std::span<std::byte> bytes() { return bytes_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return bytes_; }
+
+  /// Fired after every remote write into this region.
+  [[nodiscard]] sim::Notifier& on_write() { return notifier_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+  sim::Notifier notifier_;
+};
+
+}  // namespace heron::rdma

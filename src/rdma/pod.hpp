@@ -1,0 +1,36 @@
+// Helpers to move trivially-copyable records in and out of registered
+// memory regions. All protocol state that crosses the fabric is a POD
+// record stored at a computed offset.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace heron::rdma {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T load_pod(std::span<const std::byte> region, std::uint64_t offset) {
+  assert(offset + sizeof(T) <= region.size());
+  T out;
+  std::memcpy(&out, region.data() + offset, sizeof(T));
+  return out;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void store_pod(std::span<std::byte> region, std::uint64_t offset,
+               const T& value) {
+  assert(offset + sizeof(T) <= region.size());
+  std::memcpy(region.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const std::byte> pod_bytes(const T& value) {
+  return {reinterpret_cast<const std::byte*>(&value), sizeof(T)};
+}
+
+}  // namespace heron::rdma

@@ -1,0 +1,18 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace heron::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log_line(Nanos now, const std::string& msg) {
+  std::fprintf(stderr, "[%12.3f us] %s\n", to_us(now), msg.c_str());
+}
+
+}  // namespace heron::sim

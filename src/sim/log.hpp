@@ -1,0 +1,33 @@
+// Minimal leveled tracing for debugging simulated runs.
+//
+// Off by default; tests/benches enable it with set_log_level. The macro
+// avoids building the message string when the level is disabled.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace heron::sim {
+
+enum class LogLevel : int { kNone = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+void log_line(Nanos now, const std::string& msg);
+
+}  // namespace heron::sim
+
+// Usage: HSIM_LOG(sim, kDebug, "replica " << id << " delivered " << tmp);
+#define HSIM_LOG(sim_expr, level, stream_expr)                              \
+  do {                                                                      \
+    if (static_cast<int>(::heron::sim::log_level()) >=                      \
+        static_cast<int>(::heron::sim::LogLevel::level)) {                  \
+      std::ostringstream hsim_log_os_;                                      \
+      hsim_log_os_ << stream_expr;                                          \
+      ::heron::sim::log_line((sim_expr).now(), hsim_log_os_.str());         \
+    }                                                                       \
+  } while (0)

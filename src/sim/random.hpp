@@ -1,0 +1,126 @@
+// Deterministic, seedable random number generation for the simulator.
+//
+// We provide our own small generator (xoshiro256**, seeded via splitmix64)
+// instead of std::mt19937 for two reasons: (a) identical streams across
+// standard libraries, so benchmark output is reproducible everywhere, and
+// (b) cheap per-process forks — every simulated process derives its own
+// stream from a root seed, so adding a process never perturbs the draws
+// seen by another.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace heron::sim {
+
+/// splitmix64 step; used for seeding and stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with distribution helpers used by workloads and
+/// latency jitter models.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream; `stream` distinguishes children.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    std::uint64_t sm = state_[0] ^ (state_[3] * 0x9e3779b97f4a7c15ULL) ^
+                       (stream + 0x2545f4914f6cdd1dULL);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(range));
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 yields 0.
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple > fast).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Lognormal parameterised by the *target* mean and sigma of log-space;
+  /// used for service-time jitter (heavy right tail, like real CPUs).
+  double lognormal_mean(double target_mean, double sigma) {
+    const double mu = std::log(target_mean) - 0.5 * sigma * sigma;
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// TPC-C NURand non-uniform distribution (spec clause 2.1.6).
+  std::int64_t nurand(std::int64_t a, std::int64_t x, std::int64_t y,
+                      std::int64_t c) {
+    return (((uniform_int(0, a) | uniform_int(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace heron::sim

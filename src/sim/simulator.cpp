@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace heron::sim {
+
+void Simulator::spawn(Task<void> task) {
+  task.start();
+  if (!task.done()) {
+    roots_.push_back(std::move(task));
+  } else {
+    task.rethrow_if_failed();
+  }
+  // Lazy cleanup so long runs with many short-lived roots don't grow.
+  if (roots_.size() > 64) reap_roots();
+}
+
+void Simulator::reap_roots() {
+  for (const auto& t : roots_) t.rethrow_if_failed();
+  std::erase_if(roots_, [](const Task<void>& t) { return t.done(); });
+}
+
+void Simulator::step(Event&& ev) {
+  now_ = ev.when;
+  ++events_executed_;
+  ev.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(std::move(ev));
+  }
+  reap_roots();
+}
+
+void Simulator::run_until(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(std::move(ev));
+  }
+  now_ = std::max(now_, deadline);
+  reap_roots();
+}
+
+}  // namespace heron::sim

@@ -1,0 +1,100 @@
+// Measurement helpers shared by tests and the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace heron::sim {
+
+/// Collects latency samples (ns) and answers summary queries. Samples are
+/// kept verbatim; bench runs record at most a few million points.
+class LatencyRecorder {
+ public:
+  void record(Nanos v) { samples_.push_back(v); }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (Nanos v : samples_) sum += static_cast<double>(v);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (Nanos v : samples_) {
+      const double d = static_cast<double>(v) - m;
+      acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  [[nodiscard]] Nanos min() const {
+    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] Nanos max() const {
+    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on the sorted samples.
+  [[nodiscard]] Nanos percentile(double p) {
+    if (samples_.empty()) return 0;
+    sort_samples();
+    const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(rank));
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  /// Evenly spaced CDF points: `n` pairs of (latency_ns, cumulative_frac).
+  [[nodiscard]] std::vector<std::pair<Nanos, double>> cdf(std::size_t n = 100) {
+    std::vector<std::pair<Nanos, double>> out;
+    if (samples_.empty() || n == 0) return out;
+    sort_samples();
+    out.reserve(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      const double frac = static_cast<double>(i) / static_cast<double>(n);
+      const auto idx = static_cast<std::size_t>(
+          frac * static_cast<double>(samples_.size() - 1));
+      out.emplace_back(samples_[idx], frac);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<Nanos>& samples() const { return samples_; }
+
+ private:
+  void sort_samples() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<Nanos> samples_;
+  bool sorted_ = false;
+};
+
+/// Throughput bookkeeping: completed operations over a virtual-time window.
+struct ThroughputWindow {
+  std::uint64_t completed = 0;
+  Nanos window = 0;
+
+  [[nodiscard]] double per_second() const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(completed) /
+                             (static_cast<double>(window) /
+                              static_cast<double>(kNanosPerSec));
+  }
+};
+
+}  // namespace heron::sim

@@ -1,0 +1,178 @@
+// TPC-C workload generator: the standard transaction mix (45% NewOrder,
+// 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel), remote-access
+// probabilities per the spec (1% remote supply per order line, 15% remote
+// Payment customer), plus the paper's experiment variants: local-only
+// TPC-C (Fig. 4, 4th set) and NewOrder pinned to exactly N partitions
+// (Fig. 6 top bars).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amcast/types.hpp"
+#include "sim/random.hpp"
+#include "tpcc/requests.hpp"
+
+namespace heron::tpcc {
+
+struct WorkloadConfig {
+  int partitions = 1;
+  TpccScale scale{};
+  bool local_only = false;        // restrict every request to one partition
+  bool new_order_only = false;    // Fig. 6 bottom bar: NewOrder stream
+  int force_partitions = 0;       // >0: all-NewOrder spanning exactly N parts
+  double remote_item_prob = 0.01;
+  double remote_customer_prob = 0.15;
+};
+
+struct GeneratedRequest {
+  std::uint32_t kind = 0;
+  amcast::DstMask dst = 0;
+  std::vector<std::byte> payload;
+
+  template <typename T>
+  void set(const T& req) {
+    payload.resize(sizeof(T));
+    std::memcpy(payload.data(), &req, sizeof(T));
+  }
+};
+
+class WorkloadGen {
+ public:
+  WorkloadGen(WorkloadConfig cfg, std::uint32_t home_warehouse,
+              std::uint64_t seed)
+      : cfg_(cfg), home_(home_warehouse), rng_(seed) {}
+
+  [[nodiscard]] std::uint32_t home() const { return home_; }
+
+  GeneratedRequest next() {
+    if (cfg_.force_partitions > 0) return new_order(cfg_.force_partitions);
+    if (cfg_.new_order_only) return new_order(0);
+    const auto roll = rng_.bounded(100);
+    if (roll < 45) return new_order(0);
+    if (roll < 88) return payment();
+    if (roll < 92) return order_status();
+    if (roll < 96) return delivery();
+    return stock_level();
+  }
+
+  GeneratedRequest new_order(int span_partitions) {
+    NewOrderReq req;
+    req.w_id = home_;
+    req.d_id = pick_district();
+    req.c_id = pick_customer();
+    req.ol_cnt = static_cast<std::uint32_t>(5 + rng_.bounded(11));
+
+    std::vector<std::uint32_t> span;  // distinct partitions to hit
+    if (span_partitions > 1) {
+      span.push_back(home_);
+      for (int p = 0; static_cast<int>(span.size()) < span_partitions; ++p) {
+        const auto cand = static_cast<std::uint32_t>(
+            (home_ + 1 + p) % static_cast<std::uint32_t>(cfg_.partitions));
+        if (cand != home_) span.push_back(cand);
+      }
+      req.ol_cnt = std::max<std::uint32_t>(req.ol_cnt,
+                                           static_cast<std::uint32_t>(span_partitions));
+    }
+
+    amcast::DstMask dst = amcast::dst_of(static_cast<amcast::GroupId>(home_));
+    for (std::uint32_t i = 0; i < req.ol_cnt; ++i) {
+      auto& it = req.items[i];
+      it.i_id = pick_item();
+      it.quantity = static_cast<std::uint32_t>(1 + rng_.bounded(10));
+      it.supply_w_id = home_;
+      if (!span.empty()) {
+        it.supply_w_id = span[i % span.size()];
+      } else if (!cfg_.local_only && cfg_.partitions > 1 &&
+                 rng_.chance(cfg_.remote_item_prob)) {
+        it.supply_w_id = pick_other_warehouse();
+      }
+      dst |= amcast::dst_of(static_cast<amcast::GroupId>(it.supply_w_id));
+    }
+
+    GeneratedRequest out;
+    out.kind = kNewOrder;
+    out.dst = dst;
+    out.set(req);
+    return out;
+  }
+
+  GeneratedRequest payment() {
+    PaymentReq req;
+    req.w_id = home_;
+    req.d_id = pick_district();
+    req.c_w_id = home_;
+    req.c_d_id = req.d_id;
+    if (!cfg_.local_only && cfg_.partitions > 1 &&
+        rng_.chance(cfg_.remote_customer_prob)) {
+      req.c_w_id = pick_other_warehouse();
+      req.c_d_id = pick_district();
+    }
+    req.c_id = pick_customer();
+    req.amount = 1.0 + static_cast<double>(rng_.bounded(500000)) / 100.0;
+
+    GeneratedRequest out;
+    out.kind = kPayment;
+    out.dst = amcast::dst_of(static_cast<amcast::GroupId>(home_)) |
+              amcast::dst_of(static_cast<amcast::GroupId>(req.c_w_id));
+    out.set(req);
+    return out;
+  }
+
+  GeneratedRequest order_status() {
+    OrderStatusReq req{home_, pick_district(), pick_customer()};
+    GeneratedRequest out;
+    out.kind = kOrderStatus;
+    out.dst = amcast::dst_of(static_cast<amcast::GroupId>(home_));
+    out.set(req);
+    return out;
+  }
+
+  GeneratedRequest delivery() {
+    DeliveryReq req{home_, pick_district(),
+                    static_cast<std::uint32_t>(1 + rng_.bounded(10))};
+    GeneratedRequest out;
+    out.kind = kDelivery;
+    out.dst = amcast::dst_of(static_cast<amcast::GroupId>(home_));
+    out.set(req);
+    return out;
+  }
+
+  GeneratedRequest stock_level() {
+    StockLevelReq req{home_, pick_district(),
+                      static_cast<std::int32_t>(10 + rng_.bounded(11))};
+    GeneratedRequest out;
+    out.kind = kStockLevel;
+    out.dst = amcast::dst_of(static_cast<amcast::GroupId>(home_));
+    out.set(req);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t pick_district() {
+    return static_cast<std::uint32_t>(1 +
+                                      rng_.bounded(kDistrictsPerWarehouse));
+  }
+  [[nodiscard]] std::uint32_t pick_customer() {
+    // NURand(1023, ...) shape per spec clause 2.1.6, scaled to range.
+    return static_cast<std::uint32_t>(rng_.nurand(
+        1023, 1, static_cast<std::int64_t>(cfg_.scale.customers_per_district()),
+        259));
+  }
+  [[nodiscard]] std::uint32_t pick_item() {
+    return static_cast<std::uint32_t>(
+        rng_.nurand(8191, 1, static_cast<std::int64_t>(cfg_.scale.items()),
+                    7911 % static_cast<std::int64_t>(cfg_.scale.items())));
+  }
+  [[nodiscard]] std::uint32_t pick_other_warehouse() {
+    const auto other = static_cast<std::uint32_t>(
+        rng_.bounded(static_cast<std::uint64_t>(cfg_.partitions - 1)));
+    return other >= home_ ? other + 1 : other;
+  }
+
+  WorkloadConfig cfg_;
+  std::uint32_t home_;
+  sim::Rng rng_;
+};
+
+}  // namespace heron::tpcc

@@ -1,0 +1,68 @@
+// TPC-C request wire formats (client -> replicas, inside the multicast
+// payload) and the transaction mix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tpcc/schema.hpp"
+
+namespace heron::tpcc {
+
+enum Kind : std::uint32_t {
+  kNewOrder = 1,
+  kPayment = 2,
+  kOrderStatus = 3,
+  kDelivery = 4,
+  kStockLevel = 5,
+};
+
+struct NewOrderItem {
+  std::uint32_t i_id = 0;
+  std::uint32_t supply_w_id = 0;
+  std::uint32_t quantity = 0;
+};
+
+struct NewOrderReq {
+  std::uint32_t w_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t c_id = 0;
+  std::uint32_t ol_cnt = 0;
+  std::array<NewOrderItem, kMaxOrderLines> items{};
+};
+
+struct PaymentReq {
+  std::uint32_t w_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t c_w_id = 0;
+  std::uint32_t c_d_id = 0;
+  std::uint32_t c_id = 0;
+  double amount = 0;
+};
+
+struct OrderStatusReq {
+  std::uint32_t w_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t c_id = 0;
+};
+
+struct DeliveryReq {
+  std::uint32_t w_id = 0;
+  std::uint32_t d_id = 0;  // district processed by this request
+  std::uint32_t carrier_id = 0;
+};
+
+struct StockLevelReq {
+  std::uint32_t w_id = 0;
+  std::uint32_t d_id = 0;
+  std::int32_t threshold = 0;
+};
+
+static_assert(sizeof(NewOrderReq) <= 200);
+static_assert(std::is_trivially_copyable_v<NewOrderReq>);
+static_assert(std::is_trivially_copyable_v<PaymentReq>);
+static_assert(std::is_trivially_copyable_v<OrderStatusReq>);
+static_assert(std::is_trivially_copyable_v<DeliveryReq>);
+static_assert(std::is_trivially_copyable_v<StockLevelReq>);
+
+}  // namespace heron::tpcc

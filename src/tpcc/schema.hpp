@@ -1,0 +1,214 @@
+// TPC-C schema: fixed-size row types and object-id encoding.
+//
+// Row sizes follow the paper's prototype (§V-E2): a full warehouse is
+// ~137.69 MB, of which the serialized tables (Stock, Customer) are
+// ~105.3 MB and the rest ~32.39 MB. Stock and Customer are flagged
+// `serialized` in the object store: accesses pay the (de)serialization
+// cost model and state transfer ships them without receiver-side
+// deserialization (§IV-A, §V-E2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "core/types.hpp"
+
+namespace heron::tpcc {
+
+using core::Oid;
+
+// --- table ids encoded into the top bits of an Oid ---------------------
+
+enum class Table : std::uint8_t {
+  kWarehouse = 1,
+  kDistrict = 2,
+  kCustomer = 3,
+  kItem = 4,
+  kStock = 5,
+  kOrder = 6,
+  kNewOrder = 7,
+  kOrderLine = 8,
+  kHistory = 9,
+  kCustomerIndex = 10,  // per-customer last-order pointer (for OrderStatus)
+};
+
+// Oid layout: [ table:8 | warehouse:12 | district:8 | key:36 ]
+constexpr Oid make_oid(Table t, std::uint32_t w, std::uint32_t d,
+                       std::uint64_t key) {
+  return (static_cast<Oid>(t) << 56) | (static_cast<Oid>(w & 0xfff) << 44) |
+         (static_cast<Oid>(d & 0xff) << 36) | (key & 0xfffffffffULL);
+}
+constexpr Table oid_table(Oid oid) {
+  return static_cast<Table>(oid >> 56);
+}
+constexpr std::uint32_t oid_warehouse(Oid oid) {
+  return static_cast<std::uint32_t>((oid >> 44) & 0xfff);
+}
+constexpr std::uint32_t oid_district(Oid oid) {
+  return static_cast<std::uint32_t>((oid >> 36) & 0xff);
+}
+constexpr std::uint64_t oid_key(Oid oid) { return oid & 0xfffffffffULL; }
+
+// Order-line key packs (order id, line number).
+constexpr std::uint64_t ol_key(std::uint64_t o_id, std::uint32_t ol_number) {
+  return o_id * 16 + ol_number;
+}
+
+// --- row types ----------------------------------------------------------
+
+constexpr int kDistrictsPerWarehouse = 10;
+constexpr int kMaxOrderLines = 15;
+
+/// Warehouse row. Replicated in every partition, never updated (§IV-A).
+struct WarehouseRow {
+  std::uint32_t w_id = 0;
+  double tax = 0;
+  double ytd = 0;
+  std::array<char, 32> name{};
+  std::array<char, 64> address{};
+};
+
+/// District row (one of 10 per warehouse).
+struct DistrictRow {
+  std::uint32_t d_id = 0;
+  std::uint32_t w_id = 0;
+  double tax = 0;
+  double ytd = 0;
+  std::uint64_t next_o_id = 1;     // next order number to assign
+  std::uint64_t next_del_o_id = 1; // oldest undelivered order (Delivery)
+  std::array<char, 32> name{};
+  std::array<char, 64> address{};
+};
+
+/// Customer row: serialized table (~1.3 KB / row, 30k rows = ~40 MB/WH).
+struct CustomerRow {
+  std::uint32_t c_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t w_id = 0;
+  std::uint32_t payment_cnt = 0;
+  std::uint32_t delivery_cnt = 0;
+  std::uint32_t credit_ok = 1;
+  double balance = -10.0;
+  double ytd_payment = 10.0;
+  double discount = 0;
+  std::array<char, 64> name{};
+  std::array<char, 1200> data{};  // credit history blob
+};
+
+/// Item row. Replicated in every partition, read-only.
+struct ItemRow {
+  std::uint32_t i_id = 0;
+  std::uint32_t im_id = 0;
+  double price = 0;
+  std::array<char, 32> name{};
+  std::array<char, 56> data{};
+};
+
+/// Stock row: serialized table (~640 B / row, 100k rows = ~65 MB/WH).
+struct StockRow {
+  std::uint32_t i_id = 0;
+  std::uint32_t w_id = 0;
+  std::int32_t quantity = 0;
+  std::uint32_t ytd = 0;
+  std::uint32_t order_cnt = 0;
+  std::uint32_t remote_cnt = 0;
+  std::array<char, 24 * kDistrictsPerWarehouse> dist{};  // s_dist_01..10
+  std::array<char, 360> data{};
+};
+
+struct OrderRow {
+  std::uint64_t o_id = 0;
+  std::uint32_t c_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t w_id = 0;
+  std::uint32_t carrier_id = 0;  // 0 = undelivered
+  std::uint32_t ol_cnt = 0;
+  std::uint32_t all_local = 1;
+  std::int64_t entry_d = 0;
+};
+
+struct NewOrderRow {
+  std::uint64_t o_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t w_id = 0;
+  std::uint32_t delivered = 0;
+};
+
+struct OrderLineRow {
+  std::uint64_t o_id = 0;
+  std::uint32_t ol_number = 0;
+  std::uint32_t i_id = 0;
+  std::uint32_t supply_w_id = 0;
+  std::uint32_t quantity = 0;
+  double amount = 0;
+  std::int64_t delivery_d = 0;
+  std::array<char, 24> dist_info{};
+};
+
+struct HistoryRow {
+  std::uint32_t c_id = 0;
+  std::uint32_t c_d_id = 0;
+  std::uint32_t c_w_id = 0;
+  std::uint32_t d_id = 0;
+  std::uint32_t w_id = 0;
+  double amount = 0;
+  std::int64_t date = 0;
+  std::array<char, 24> data{};
+};
+
+/// Per-customer pointer to their most recent order (OrderStatus support).
+struct CustomerIndexRow {
+  std::uint64_t last_o_id = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<WarehouseRow>);
+static_assert(std::is_trivially_copyable_v<DistrictRow>);
+static_assert(std::is_trivially_copyable_v<CustomerRow>);
+static_assert(std::is_trivially_copyable_v<ItemRow>);
+static_assert(std::is_trivially_copyable_v<StockRow>);
+static_assert(std::is_trivially_copyable_v<OrderRow>);
+static_assert(std::is_trivially_copyable_v<NewOrderRow>);
+static_assert(std::is_trivially_copyable_v<OrderLineRow>);
+static_assert(std::is_trivially_copyable_v<HistoryRow>);
+static_assert(std::is_trivially_copyable_v<CustomerIndexRow>);
+
+/// Scale knobs. scale=1.0 matches the spec (100k items/stock, 3000
+/// customers per district); throughput benches run reduced scales with
+/// unchanged row sizes so per-request costs stay representative.
+struct TpccScale {
+  double factor = 0.05;
+  std::uint32_t initial_orders_per_district = 30;
+
+  [[nodiscard]] std::uint32_t items() const {
+    return std::max<std::uint32_t>(100, static_cast<std::uint32_t>(100'000 * factor));
+  }
+  [[nodiscard]] std::uint32_t customers_per_district() const {
+    return std::max<std::uint32_t>(30, static_cast<std::uint32_t>(3'000 * factor));
+  }
+
+  /// Object-region bytes needed per replica for `own_warehouses` local
+  /// warehouses (with headroom for runtime row creation).
+  [[nodiscard]] std::size_t region_bytes(double headroom = 1.8) const {
+    const std::size_t stock =
+        static_cast<std::size_t>(items()) * (24 + 2 * sizeof(StockRow));
+    const std::size_t cust = static_cast<std::size_t>(customers_per_district()) *
+                             kDistrictsPerWarehouse *
+                             (24 + 2 * sizeof(CustomerRow) + 24 +
+                              2 * sizeof(CustomerIndexRow));
+    const std::size_t item =
+        static_cast<std::size_t>(items()) * (24 + 2 * sizeof(ItemRow));
+    const std::size_t orders =
+        static_cast<std::size_t>(initial_orders_per_district) *
+        kDistrictsPerWarehouse *
+        (24 + 2 * sizeof(OrderRow) + 24 + 2 * sizeof(NewOrderRow) +
+         10 * (24 + 2 * sizeof(OrderLineRow)));
+    const std::size_t fixed = (24 + 2 * sizeof(WarehouseRow)) +
+                              kDistrictsPerWarehouse *
+                                  (24 + 2 * sizeof(DistrictRow));
+    return static_cast<std::size_t>(
+        static_cast<double>(stock + cust + item + orders + fixed) * headroom);
+  }
+};
+
+}  // namespace heron::tpcc

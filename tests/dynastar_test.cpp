@@ -1,0 +1,187 @@
+// Tests for the DynaStar baseline: routing through the oracle, ordered
+// execution within a partition, move-based multi-partition execution with
+// mapping updates, and the kernel-path latency profile Fig. 5 contrasts
+// with Heron.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dynastar/system.hpp"
+#include "tpcc/app.hpp"
+#include "tpcc/gen.hpp"
+
+namespace heron::dynastar {
+namespace {
+
+using sim::Task;
+using tpcc::TpccScale;
+
+struct Fixture {
+  sim::Simulator sim;
+  TpccScale scale{.factor = 0.01, .initial_orders_per_district = 6};
+  DynastarSystem sys;
+  Client* client;
+
+  explicit Fixture(int partitions, Config cfg = {})
+      : sys(sim, partitions, 3,
+            [partitions, this] {
+              return std::make_unique<tpcc::TpccApp>(partitions, scale, 7);
+            },
+            cfg) {
+    sys.start();
+    client = &sys.add_client();
+  }
+
+  core::Reply run(const tpcc::GeneratedRequest& req, sim::Nanos* lat = nullptr) {
+    core::Reply reply;
+    sim.spawn([](Client& c, const tpcc::GeneratedRequest& r, core::Reply& out,
+                 sim::Nanos* lat_out) -> Task<void> {
+      auto result = co_await c.submit(r.dst, r.kind, r.payload);
+      out = std::move(result.reply);
+      if (lat_out) *lat_out = result.latency;
+    }(*client, req, reply, lat));
+    sim.run_for(sim::ms(100));
+    return reply;
+  }
+};
+
+tpcc::GeneratedRequest local_new_order(std::uint32_t w) {
+  tpcc::NewOrderReq req;
+  req.w_id = w;
+  req.d_id = 1;
+  req.c_id = 1;
+  req.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req.ol_cnt; ++i) req.items[i] = {i + 1, w, 2};
+  tpcc::GeneratedRequest g;
+  g.kind = tpcc::kNewOrder;
+  g.dst = amcast::dst_of(static_cast<amcast::GroupId>(w));
+  g.set(req);
+  return g;
+}
+
+TEST(Dynastar, LocalNewOrderExecutesOnAllReplicas) {
+  Fixture f(2);
+  sim::Nanos latency = 0;
+  auto reply = f.run(local_new_order(0), &latency);
+  ASSERT_EQ(reply.status, 0u);
+
+  // District advanced identically on every replica of partition 0.
+  for (int r = 0; r < 3; ++r) {
+    const auto d = tpcc::load_row<tpcc::DistrictRow>(
+        f.sys.replica(0, r).store(),
+        tpcc::make_oid(tpcc::Table::kDistrict, 0, 1, 0));
+    EXPECT_EQ(d.next_o_id, 8u) << "rank " << r;
+  }
+  // Kernel-path latency: hundreds of microseconds (paper: ~1 ms), far
+  // above Heron's tens of microseconds.
+  EXPECT_GT(latency, sim::us(200));
+  EXPECT_LT(latency, sim::ms(5));
+}
+
+TEST(Dynastar, RemoteNewOrderMovesStockToExecutor) {
+  Fixture f(2);
+  tpcc::NewOrderReq req;
+  req.w_id = 0;
+  req.d_id = 1;
+  req.c_id = 1;
+  req.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req.ol_cnt; ++i) req.items[i] = {i + 1, 0, 2};
+  req.items[2].supply_w_id = 1;  // stock row 3 of warehouse 1
+  tpcc::GeneratedRequest g;
+  g.kind = tpcc::kNewOrder;
+  g.dst = amcast::dst_of(0) | amcast::dst_of(1);
+  g.set(req);
+
+  sim::Nanos multi_latency = 0;
+  f.run(g, &multi_latency);
+
+  // The stock row of warehouse 1 now lives at partition 0 (the executor)
+  // and was updated there.
+  const core::Oid soid = tpcc::make_oid(tpcc::Table::kStock, 1, 0, 3);
+  EXPECT_EQ(f.sys.mapped_partition(soid), 0);
+  ASSERT_TRUE(f.sys.replica(0, 0).store().exists(soid));
+  const auto stock =
+      tpcc::load_row<tpcc::StockRow>(f.sys.replica(0, 0).store(), soid);
+  EXPECT_EQ(stock.order_cnt, 1u);
+  EXPECT_EQ(stock.remote_cnt, 1u);
+
+  // Multi-partition is substantially slower than single-partition.
+  sim::Nanos single_latency = 0;
+  f.run(local_new_order(0), &single_latency);
+  // Structural gap; the paper's ~10x appears at load (bench/fig5).
+  EXPECT_GT(multi_latency, static_cast<sim::Nanos>(1.7 * static_cast<double>(single_latency)));
+}
+
+TEST(Dynastar, MovedRowsMakeLaterHomeRequestsMultiPartition) {
+  // After stock of warehouse 1 migrates to partition 0, a NewOrder homed
+  // at warehouse 1 touching that row must now involve partition 0 again
+  // (migration thrash — DynaStar's weakness on partitioned workloads).
+  Fixture f(2);
+  tpcc::NewOrderReq req;
+  req.w_id = 0;
+  req.d_id = 1;
+  req.c_id = 1;
+  req.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req.ol_cnt; ++i) req.items[i] = {i + 1, 1, 2};
+  tpcc::GeneratedRequest g;
+  g.kind = tpcc::kNewOrder;
+  g.dst = amcast::dst_of(0) | amcast::dst_of(1);
+  g.set(req);
+  f.run(g);  // moves w1 stock rows 1..5 to partition 0
+
+  // Now a w1-homed NewOrder on the same items: rows must move back.
+  tpcc::NewOrderReq req2;
+  req2.w_id = 1;
+  req2.d_id = 1;
+  req2.c_id = 1;
+  req2.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req2.ol_cnt; ++i) req2.items[i] = {i + 1, 1, 2};
+  tpcc::GeneratedRequest g2;
+  g2.kind = tpcc::kNewOrder;
+  g2.dst = amcast::dst_of(1);
+  g2.set(req2);
+  f.run(g2);
+
+  const core::Oid soid = tpcc::make_oid(tpcc::Table::kStock, 1, 0, 3);
+  EXPECT_EQ(f.sys.mapped_partition(soid), 1);
+  const auto stock =
+      tpcc::load_row<tpcc::StockRow>(f.sys.replica(1, 0).store(), soid);
+  EXPECT_EQ(stock.order_cnt, 2u);  // updated by both orders
+}
+
+TEST(Dynastar, PaymentRemoteCustomerMovesRow) {
+  Fixture f(2);
+  tpcc::PaymentReq req{0, 1, /*c_w=*/1, /*c_d=*/2, /*c_id=*/3, 80.0};
+  tpcc::GeneratedRequest g;
+  g.kind = tpcc::kPayment;
+  g.dst = amcast::dst_of(0) | amcast::dst_of(1);
+  g.set(req);
+  f.run(g);
+
+  const core::Oid coid = tpcc::make_oid(tpcc::Table::kCustomer, 1, 2, 3);
+  EXPECT_EQ(f.sys.mapped_partition(coid), 0);
+  const auto cust =
+      tpcc::load_row<tpcc::CustomerRow>(f.sys.replica(0, 0).store(), coid);
+  EXPECT_DOUBLE_EQ(cust.balance, -90.0);
+}
+
+TEST(Dynastar, ClosedLoopMixCompletes) {
+  Fixture f(2);
+  tpcc::WorkloadConfig wl;
+  wl.partitions = 2;
+  wl.scale = f.scale;
+  auto gen = std::make_shared<tpcc::WorkloadGen>(wl, 0, 11);
+  f.sim.spawn([](Client& c, std::shared_ptr<tpcc::WorkloadGen> g)
+                  -> Task<void> {
+    for (int i = 0; i < 30; ++i) {
+      auto req = g->next();
+      co_await c.submit(req.dst, req.kind, req.payload);
+    }
+  }(*f.client, gen));
+  f.sim.run_for(sim::sec(1));
+  EXPECT_EQ(f.client->completed(), 30u);
+  EXPECT_GT(f.client->latencies().mean(), static_cast<double>(sim::us(200)));
+}
+
+}  // namespace
+}  // namespace heron::dynastar

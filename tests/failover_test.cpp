@@ -1,0 +1,152 @@
+// Full-stack failure injection: crash replicas (including the atomic
+// multicast leader) while Heron executes the bank workload, and verify
+// the system keeps completing requests, stays conservative, and the
+// surviving replicas converge. Complements the amcast-level failover
+// tests by exercising the whole stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/random.hpp"
+#include "test_app.hpp"
+
+namespace heron::core {
+namespace {
+
+using sim::Task;
+using testapp::BankApp;
+
+struct Cluster {
+  sim::Simulator sim;
+  rdma::Fabric fabric{sim, rdma::LatencyModel{}, 17};
+  std::unique_ptr<System> sys;
+  int partitions;
+
+  explicit Cluster(int parts) : partitions(parts) {
+    HeronConfig cfg;
+    cfg.object_region_bytes = 1u << 20;
+    sys = std::make_unique<System>(
+        fabric, parts, 3,
+        [parts] { return std::make_unique<BankApp>(parts, 8); }, cfg);
+    sys->start();
+  }
+
+  Task<void> client_loop(Client& client, std::uint64_t seed, int ops) {
+    sim::Rng rng(seed);
+    const auto total = static_cast<std::uint64_t>(partitions) * 8;
+    for (int k = 0; k < ops; ++k) {
+      const std::uint64_t a = rng.bounded(total);
+      std::uint64_t b = rng.bounded(total);
+      if (b == a) b = (a + 1) % total;
+      testapp::TransferReq req{a, b, 2};
+      const auto dst =
+          amcast::dst_of(static_cast<amcast::GroupId>(
+              a % static_cast<std::uint64_t>(partitions))) |
+          amcast::dst_of(static_cast<amcast::GroupId>(
+              b % static_cast<std::uint64_t>(partitions)));
+      co_await client.submit(dst, testapp::kTransfer,
+                             std::as_bytes(std::span(&req, 1)));
+    }
+  }
+
+  std::int64_t total_balance(int rank) {
+    std::int64_t total = 0;
+    for (int p = 0; p < partitions; ++p) {
+      for (std::uint64_t k = 0; k < 8; ++k) {
+        const Oid oid =
+            static_cast<Oid>(p) + k * static_cast<Oid>(partitions);
+        total += testapp::stored_balance(sys->replica(p, rank), oid);
+      }
+    }
+    return total;
+  }
+};
+
+TEST(FullStackFailover, AmcastLeaderCrashMidLoad) {
+  // Rank 0 is the initial multicast leader of its group; crashing it
+  // forces a leader change in the ordering layer while Heron clients keep
+  // submitting. Everything submitted must still complete.
+  Cluster c(2);
+  constexpr int kClients = 3;
+  constexpr int kOps = 25;
+  for (int i = 0; i < kClients; ++i) {
+    c.sim.spawn(c.client_loop(c.sys->add_client(),
+                              400 + static_cast<std::uint64_t>(i), kOps));
+  }
+  c.sim.schedule(sim::ms(1), [&c] { c.sys->replica(0, 0).node().crash(); });
+  c.sim.run_for(sim::sec(2));
+
+  EXPECT_EQ(c.sys->total_completed(),
+            static_cast<std::uint64_t>(kClients) * kOps);
+  // Conservation on the surviving replicas.
+  for (int rank = 1; rank < 3; ++rank) {
+    EXPECT_EQ(c.total_balance(rank), 2 * 8 * 1000) << "rank " << rank;
+  }
+  // A new leader took over the crashed group's ordering.
+  const bool l1 = c.sys->amcast().endpoint(0, 1).is_leader();
+  const bool l2 = c.sys->amcast().endpoint(0, 2).is_leader();
+  EXPECT_TRUE(l1 || l2);
+}
+
+TEST(FullStackFailover, FollowerCrashesInEveryPartition) {
+  Cluster c(3);
+  constexpr int kClients = 3;
+  constexpr int kOps = 20;
+  for (int i = 0; i < kClients; ++i) {
+    c.sim.spawn(c.client_loop(c.sys->add_client(),
+                              500 + static_cast<std::uint64_t>(i), kOps));
+  }
+  // One follower per partition dies mid-run; majorities survive.
+  c.sim.schedule(sim::ms(1), [&c] {
+    for (int p = 0; p < 3; ++p) c.sys->replica(p, 2).node().crash();
+  });
+  c.sim.run_for(sim::sec(2));
+
+  EXPECT_EQ(c.sys->total_completed(),
+            static_cast<std::uint64_t>(kClients) * kOps);
+  for (int rank = 0; rank < 2; ++rank) {
+    EXPECT_EQ(c.total_balance(rank), 3 * 8 * 1000) << "rank " << rank;
+  }
+}
+
+TEST(FullStackFailover, CrashBeforeAnyTraffic) {
+  // Failure before the first request: ordering must elect a leader and
+  // the system must serve from a cold start with f failures.
+  Cluster c(2);
+  c.sys->replica(0, 0).node().crash();
+  c.sys->replica(1, 1).node().crash();
+  auto& client = c.sys->add_client();
+  c.sim.spawn(c.client_loop(client, 77, 10));
+  c.sim.run_for(sim::sec(2));
+  EXPECT_EQ(client.completed(), 10u);
+}
+
+TEST(FullStackFailover, RemoteReadFailsOverToAnotherReplica) {
+  // Crash one replica of the *remote* partition right before a transfer
+  // that must read from it; Algorithm 2's RDMA-exception path retries on
+  // another replica.
+  Cluster c(2);
+  auto& client = c.sys->add_client();
+  c.sim.spawn([](Cluster& cl, Client& cli) -> Task<void> {
+    // Warm up the address cache so reads may target any rank.
+    testapp::TransferReq warm{0, 1, 1};
+    co_await cli.submit(amcast::dst_of(0) | amcast::dst_of(1),
+                        testapp::kTransfer,
+                        std::as_bytes(std::span(&warm, 1)));
+    cl.sys->replica(1, 1).node().crash();
+    for (int i = 0; i < 10; ++i) {
+      testapp::TransferReq req{0, 1, 1};
+      co_await cli.submit(amcast::dst_of(0) | amcast::dst_of(1),
+                          testapp::kTransfer,
+                          std::as_bytes(std::span(&req, 1)));
+    }
+  }(c, client));
+  c.sim.run_for(sim::sec(2));
+  EXPECT_EQ(client.completed(), 11u);
+  EXPECT_EQ(testapp::stored_balance(c.sys->replica(1, 0), 1), 1000 + 11);
+}
+
+}  // namespace
+}  // namespace heron::core

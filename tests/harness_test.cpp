@@ -1,0 +1,92 @@
+// Tests for the benchmark harness: measurement windows, stat resets,
+// kind/multi splitting, and saturation behaviour under growing client
+// counts (closed-loop throughput must increase then plateau).
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+
+namespace heron::harness {
+namespace {
+
+const tpcc::TpccScale kScale{.factor = 0.01, .initial_orders_per_district = 6};
+
+TEST(Harness, MeasuresThroughputAndLatency) {
+  TpccCluster cluster(2, 3, kScale);
+  cluster.add_clients(2, {});
+  auto result = cluster.run(sim::ms(5), sim::ms(40));
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_NEAR(result.throughput_tps,
+              static_cast<double>(result.completed) / 0.040, 1.0);
+  EXPECT_GT(result.latency.count(), 0u);
+  EXPECT_GT(result.latency.mean(), 0.0);
+}
+
+TEST(Harness, WarmupExcludedFromStats) {
+  TpccCluster cluster(2, 3, kScale);
+  cluster.add_clients(1, {});
+  auto result = cluster.run(sim::ms(20), sim::ms(20));
+  // Completions counted only in the window: roughly window / latency.
+  const double expected =
+      0.020 / (result.latency.mean() / 1e9) * 2 /* clients */;
+  EXPECT_NEAR(static_cast<double>(result.completed), expected,
+              expected * 0.3);
+}
+
+TEST(Harness, RepeatedWindowsAreIndependent) {
+  TpccCluster cluster(2, 3, kScale);
+  cluster.add_clients(2, {});
+  auto first = cluster.run(sim::ms(5), sim::ms(30));
+  auto second = cluster.run(0, sim::ms(30));
+  EXPECT_GT(second.completed, 0u);
+  // Same steady state: throughput within 30%.
+  EXPECT_NEAR(second.throughput_tps, first.throughput_tps,
+              first.throughput_tps * 0.3);
+}
+
+TEST(Harness, SplitsByKindAndPartitionCount) {
+  TpccCluster cluster(2, 3, kScale);
+  cluster.add_clients(3, {});
+  auto result = cluster.run(sim::ms(5), sim::ms(60));
+  EXPECT_EQ(result.latency.count(),
+            result.latency_single.count() + result.latency_multi.count());
+  std::size_t by_kind = 0;
+  for (auto& [kind, rec] : result.latency_by_kind) by_kind += rec.count();
+  EXPECT_EQ(by_kind, result.latency.count());
+  // The TPC-C mix reaches every transaction type in a 60ms window.
+  EXPECT_GE(result.latency_by_kind.size(), 4u);
+}
+
+TEST(Harness, ThroughputSaturatesWithClients) {
+  double tput[3];
+  int idx = 0;
+  for (int clients : {1, 4, 16}) {
+    TpccCluster cluster(2, 3, kScale);
+    cluster.add_clients(clients, {});
+    tput[idx++] = cluster.run(sim::ms(10), sim::ms(50)).throughput_tps;
+  }
+  EXPECT_GT(tput[1], tput[0] * 1.1);   // more clients -> more throughput
+  EXPECT_LT(tput[2], tput[1] * 2.5);   // ...but the single core saturates
+}
+
+TEST(Harness, LocalOnlyWorkloadScalesAcrossPartitions) {
+  double tput2, tput4;
+  {
+    TpccCluster cluster(2, 3, kScale);
+    tpcc::WorkloadConfig wl;
+    wl.local_only = true;
+    cluster.add_clients(4, wl);
+    tput2 = cluster.run(sim::ms(10), sim::ms(50)).throughput_tps;
+  }
+  {
+    TpccCluster cluster(4, 3, kScale);
+    tpcc::WorkloadConfig wl;
+    wl.local_only = true;
+    cluster.add_clients(4, wl);
+    tput4 = cluster.run(sim::ms(10), sim::ms(50)).throughput_tps;
+  }
+  // Local-only TPCC scales near-linearly with partitions (Fig. 4 set 4).
+  EXPECT_GT(tput4, tput2 * 1.6);
+}
+
+}  // namespace
+}  // namespace heron::harness

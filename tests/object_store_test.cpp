@@ -1,0 +1,210 @@
+// Unit tests for the dual-versioned object store (§III-A dual-versioning,
+// Algorithm 2 lines 22 and 29-31).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/object_store.hpp"
+#include "rdma/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace heron::core {
+namespace {
+
+struct Env {
+  sim::Simulator sim;
+  rdma::Fabric fabric{sim};
+  rdma::Node* node = &fabric.add_node();
+  ObjectStore store{*node, 1 << 20};
+};
+
+std::vector<std::byte> bytes_of(std::uint64_t v) {
+  std::vector<std::byte> out(sizeof(v));
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+std::uint64_t value_of(std::span<const std::byte> b) {
+  std::uint64_t v;
+  std::memcpy(&v, b.data(), sizeof(v));
+  return v;
+}
+
+TEST(ObjectStore, CreateInitialisesBothVersionsAtTmpZero) {
+  Env env;
+  env.store.create(7, bytes_of(42));
+  const auto view = env.store.view(7);
+  EXPECT_EQ(view.tmp_a, 0u);
+  EXPECT_EQ(view.tmp_b, 0u);
+  EXPECT_EQ(value_of(view.val_a), 42u);
+  EXPECT_EQ(value_of(view.val_b), 42u);
+  auto [tmp, val] = env.store.get(7);
+  EXPECT_EQ(tmp, 0u);
+  EXPECT_EQ(value_of(val), 42u);
+}
+
+TEST(ObjectStore, SetOverwritesOlderVersion) {
+  Env env;
+  env.store.create(1, bytes_of(10));
+  env.store.set(1, bytes_of(20), /*tmp=*/100);
+  {
+    const auto view = env.store.view(1);
+    // One version must still be the original at tmp 0.
+    EXPECT_TRUE((view.tmp_a == 0 && view.tmp_b == 100) ||
+                (view.tmp_a == 100 && view.tmp_b == 0));
+    auto [tmp, val] = env.store.get(1);
+    EXPECT_EQ(tmp, 100u);
+    EXPECT_EQ(value_of(val), 20u);
+  }
+  env.store.set(1, bytes_of(30), /*tmp=*/200);
+  {
+    const auto view = env.store.view(1);
+    // tmp 0 version is gone; 100 and 200 remain.
+    EXPECT_EQ(std::min(view.tmp_a, view.tmp_b), 100u);
+    EXPECT_EQ(std::max(view.tmp_a, view.tmp_b), 200u);
+    auto [tmp, val] = env.store.get(1);
+    EXPECT_EQ(tmp, 200u);
+    EXPECT_EQ(value_of(val), 30u);
+  }
+}
+
+TEST(ObjectStore, VersionBeforePicksHighestSmaller) {
+  Env env;
+  env.store.create(1, bytes_of(10));
+  env.store.set(1, bytes_of(20), 100);
+  env.store.set(1, bytes_of(30), 200);
+  const auto view = env.store.view(1);
+
+  // Reader at tmp 150 must see the tmp-100 version.
+  auto v150 = view.version_before(150);
+  ASSERT_TRUE(v150.has_value());
+  EXPECT_EQ(v150->first, 100u);
+  EXPECT_EQ(value_of(v150->second), 20u);
+
+  // Reader at tmp 250 sees the tmp-200 version.
+  auto v250 = view.version_before(250);
+  ASSERT_TRUE(v250.has_value());
+  EXPECT_EQ(v250->first, 200u);
+  EXPECT_EQ(value_of(v250->second), 30u);
+
+  // Reader at tmp 100 (inclusive bound is strict) sees... nothing: both
+  // versions are 100 and 200, neither < 100. That reader lags.
+  EXPECT_FALSE(view.version_before(100).has_value());
+  EXPECT_FALSE(view.version_before(50).has_value());
+}
+
+TEST(ObjectStore, SequenceOfUpdatesKeepsExactlyTwoNewestVersions) {
+  Env env;
+  env.store.create(1, bytes_of(0));
+  for (std::uint64_t t = 1; t <= 50; ++t) {
+    env.store.set(1, bytes_of(t), t * 10);
+  }
+  const auto view = env.store.view(1);
+  EXPECT_EQ(std::max(view.tmp_a, view.tmp_b), 500u);
+  EXPECT_EQ(std::min(view.tmp_a, view.tmp_b), 490u);
+}
+
+TEST(ObjectStore, SetWithWrongSizeThrows) {
+  Env env;
+  env.store.create(1, bytes_of(0));
+  std::vector<std::byte> wrong(4);
+  EXPECT_THROW(env.store.set(1, wrong, 10), std::logic_error);
+}
+
+TEST(ObjectStore, DuplicateCreateThrows) {
+  Env env;
+  env.store.create(1, bytes_of(0));
+  EXPECT_THROW(env.store.create(1, bytes_of(0)), std::logic_error);
+}
+
+TEST(ObjectStore, RegionExhaustionThrows) {
+  sim::Simulator sim;
+  rdma::Fabric fabric{sim};
+  auto& node = fabric.add_node();
+  ObjectStore small(node, 128);
+  std::vector<std::byte> big(64);
+  EXPECT_NO_THROW(small.create(1, std::span<const std::byte>(big).first(16)));
+  EXPECT_THROW(small.create(2, big), std::runtime_error);
+}
+
+TEST(ObjectStore, OffsetsAreStableAndAligned) {
+  Env env;
+  const auto off1 = env.store.create(1, bytes_of(1));
+  const auto off2 = env.store.create(2, bytes_of(2));
+  EXPECT_EQ(env.store.offset_of(1), off1);
+  EXPECT_EQ(env.store.offset_of(2), off2);
+  EXPECT_EQ(off1 % 8, 0u);
+  EXPECT_EQ(off2 % 8, 0u);
+  EXPECT_GT(off2, off1);
+}
+
+TEST(ObjectStore, InstallSlotOverwritesWholeSlot) {
+  Env env;
+  env.store.create(1, bytes_of(10));
+
+  // Build a donor store with a newer state for object 1.
+  Env donor;
+  donor.store.create(1, bytes_of(10));
+  donor.store.set(1, bytes_of(77), 300);
+  donor.store.set(1, bytes_of(88), 400);
+
+  env.store.install_slot(1, donor.store.raw_slot(1), donor.store.size_of(1),
+                         false);
+  auto [tmp, val] = env.store.get(1);
+  EXPECT_EQ(tmp, 400u);
+  EXPECT_EQ(value_of(val), 88u);
+  const auto view = env.store.view(1);
+  EXPECT_EQ(std::min(view.tmp_a, view.tmp_b), 300u);
+}
+
+TEST(ObjectStore, InstallSlotCreatesMissingObject) {
+  Env env;
+  Env donor;
+  donor.store.create(9, bytes_of(5), /*serialized=*/true);
+  donor.store.set(9, bytes_of(6), 100);
+
+  EXPECT_FALSE(env.store.exists(9));
+  env.store.install_slot(9, donor.store.raw_slot(9), donor.store.size_of(9),
+                         true);
+  ASSERT_TRUE(env.store.exists(9));
+  EXPECT_TRUE(env.store.is_serialized(9));
+  auto [tmp, val] = env.store.get(9);
+  EXPECT_EQ(tmp, 100u);
+  EXPECT_EQ(value_of(val), 6u);
+}
+
+TEST(ObjectStore, SerializedFlagRoundTrips) {
+  Env env;
+  env.store.create(1, bytes_of(0), true);
+  env.store.create(2, bytes_of(0), false);
+  EXPECT_TRUE(env.store.is_serialized(1));
+  EXPECT_FALSE(env.store.is_serialized(2));
+  EXPECT_EQ(env.store.view(1).serialized, 1u);
+}
+
+TEST(ObjectStore, ForEachOidVisitsAll) {
+  Env env;
+  for (Oid oid = 1; oid <= 10; ++oid) env.store.create(oid, bytes_of(oid));
+  std::vector<Oid> seen;
+  env.store.for_each_oid([&](Oid o) { seen.push_back(o); });
+  EXPECT_EQ(seen.size(), 10u);
+  std::sort(seen.begin(), seen.end());
+  for (Oid oid = 1; oid <= 10; ++oid) EXPECT_EQ(seen[oid - 1], oid);
+}
+
+TEST(ObjectStore, SlotParseMatchesRawLayout) {
+  Env env;
+  env.store.create(1, bytes_of(123));
+  env.store.set(1, bytes_of(456), 42);
+  const auto raw = env.store.raw_slot(1);
+  const auto view = SlotView::parse(raw);
+  EXPECT_EQ(view.size, 8u);
+  EXPECT_EQ(view.slot_bytes(), raw.size());
+  auto [tmp, val] = view.current();
+  EXPECT_EQ(tmp, 42u);
+  EXPECT_EQ(value_of(val), 456u);
+}
+
+}  // namespace
+}  // namespace heron::core

@@ -1,0 +1,145 @@
+// A small replicated bank used by the core tests: one account object per
+// key, partitioned by key modulo partition count. Deposits are
+// single-partition; transfers read both accounts (one possibly remote)
+// and each involved partition updates its local account. Conservation of
+// the total balance across partitions is the linearizability canary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/app.hpp"
+#include "core/system.hpp"
+
+namespace heron::testapp {
+
+using core::ExecContext;
+using core::GroupId;
+using core::Oid;
+using core::Reply;
+using core::Request;
+
+enum Kind : std::uint32_t { kDeposit = 1, kTransfer = 2, kRead = 3 };
+
+struct DepositReq {
+  std::uint64_t account;
+  std::int64_t amount;
+};
+struct TransferReq {
+  std::uint64_t from;
+  std::uint64_t to;
+  std::int64_t amount;
+};
+struct ReadReq {
+  std::uint64_t account;
+};
+
+struct Account {
+  std::int64_t balance;
+};
+
+class BankApp : public core::Application {
+ public:
+  BankApp(int partitions, std::uint64_t accounts_per_partition,
+          std::int64_t initial_balance = 1000)
+      : partitions_(partitions),
+        per_partition_(accounts_per_partition),
+        initial_(initial_balance) {}
+
+  [[nodiscard]] GroupId partition_of(Oid oid) const override {
+    return static_cast<GroupId>(oid % static_cast<std::uint64_t>(partitions_));
+  }
+
+  [[nodiscard]] std::vector<Oid> read_set(const Request& r,
+                                          GroupId) const override {
+    switch (r.header.kind) {
+      case kDeposit:
+        return {decode<DepositReq>(r).account};
+      case kTransfer: {
+        const auto t = decode<TransferReq>(r);
+        return {t.from, t.to};
+      }
+      case kRead:
+        return {decode<ReadReq>(r).account};
+      default:
+        return {};
+    }
+  }
+
+  Reply execute(const Request& r, ExecContext& ctx) override {
+    ctx.charge(sim::us(1));  // nominal application CPU
+    switch (r.header.kind) {
+      case kDeposit: {
+        const auto req = decode<DepositReq>(r);
+        auto acct = ctx.value_as<Account>(req.account);
+        acct.balance += req.amount;
+        ctx.write_as(req.account, acct);
+        return make_reply(acct.balance);
+      }
+      case kTransfer: {
+        const auto req = decode<TransferReq>(r);
+        const auto from = ctx.value_as<Account>(req.from);
+        const auto to = ctx.value_as<Account>(req.to);
+        // Each partition updates only its local account (§III-A).
+        if (partition_of(req.from) == ctx.my_partition()) {
+          Account nf{from.balance - req.amount};
+          ctx.write_as(req.from, nf);
+        }
+        if (partition_of(req.to) == ctx.my_partition()) {
+          Account nt{to.balance + req.amount};
+          ctx.write_as(req.to, nt);
+        }
+        return make_reply(from.balance - req.amount);
+      }
+      case kRead: {
+        const auto req = decode<ReadReq>(r);
+        return make_reply(ctx.value_as<Account>(req.account).balance);
+      }
+      default:
+        return Reply{.status = 1};
+    }
+  }
+
+  void bootstrap(GroupId partition, core::ObjectStore& store) override {
+    const Account init{initial_};
+    for (std::uint64_t k = 0; k < per_partition_; ++k) {
+      const Oid oid = static_cast<std::uint64_t>(partition) +
+                      k * static_cast<std::uint64_t>(partitions_);
+      store.create(oid, std::as_bytes(std::span(&init, 1)));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t accounts_per_partition() const {
+    return per_partition_;
+  }
+  [[nodiscard]] std::int64_t initial_balance() const { return initial_; }
+
+  template <typename T>
+  static T decode(const Request& r) {
+    T out;
+    std::memcpy(&out, r.payload.data(), sizeof(T));
+    return out;
+  }
+
+ private:
+  static Reply make_reply(std::int64_t v) {
+    Reply rep;
+    rep.payload.resize(sizeof(v));
+    std::memcpy(rep.payload.data(), &v, sizeof(v));
+    return rep;
+  }
+
+  int partitions_;
+  std::uint64_t per_partition_;
+  std::int64_t initial_;
+};
+
+/// Balance of `oid` as currently stored at a replica.
+inline std::int64_t stored_balance(core::Replica& rep, Oid oid) {
+  auto [tmp, bytes] = rep.store().get(oid);
+  Account a;
+  std::memcpy(&a, bytes.data(), sizeof(a));
+  return a.balance;
+}
+
+}  // namespace heron::testapp

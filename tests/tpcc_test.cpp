@@ -1,0 +1,404 @@
+// TPC-C on Heron: schema/oid encoding, bootstrap shape, per-transaction
+// correctness, multi-partition NewOrder/Payment semantics, replica
+// convergence, and full-mix integration through the harness.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "harness/runner.hpp"
+#include "tpcc/app.hpp"
+#include "tpcc/gen.hpp"
+
+namespace heron::tpcc {
+namespace {
+
+using core::Oid;
+using sim::Task;
+
+// --- oid encoding --------------------------------------------------------
+
+TEST(TpccSchema, OidRoundTrip) {
+  const Oid oid = make_oid(Table::kOrderLine, 11, 7, ol_key(123456, 9));
+  EXPECT_EQ(oid_table(oid), Table::kOrderLine);
+  EXPECT_EQ(oid_warehouse(oid), 11u);
+  EXPECT_EQ(oid_district(oid), 7u);
+  EXPECT_EQ(oid_key(oid), ol_key(123456, 9));
+}
+
+TEST(TpccSchema, OidsAreDistinctAcrossTables) {
+  const Oid a = make_oid(Table::kStock, 1, 0, 5);
+  const Oid b = make_oid(Table::kItem, 1, 0, 5);
+  const Oid c = make_oid(Table::kStock, 2, 0, 5);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TpccSchema, RowSizesMatchPaperShape) {
+  // Serialized tables dominate: Stock ~ 640B, Customer ~ 1.3KB. A full
+  // warehouse (scale 1.0) must land near the paper's 137.69 MB:
+  // 100k stock + 30k customers serialized ~= 105 MB.
+  const double stock_mb = 100'000.0 * sizeof(StockRow) / 1e6;
+  const double cust_mb = 30'000.0 * sizeof(CustomerRow) / 1e6;
+  EXPECT_NEAR(stock_mb + cust_mb, 105.3, 15.0);
+  EXPECT_GT(sizeof(CustomerRow), 1200u);
+  EXPECT_NEAR(static_cast<double>(sizeof(StockRow)), 640.0, 64.0);
+}
+
+TEST(TpccScaleTest, RegionBytesCoverBootstrap) {
+  TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim);
+  auto& node = fabric.add_node();
+  core::ObjectStore store(node, scale.region_bytes());
+  TpccApp app(4, scale);
+  EXPECT_NO_THROW(app.bootstrap(0, store));
+  EXPECT_LT(store.bytes_used(), store.mr().valid()
+                ? node.region(store.mr()).size()
+                : 0u);
+}
+
+// --- bootstrap ------------------------------------------------------------
+
+TEST(TpccBootstrap, PopulatesExpectedObjects) {
+  TpccScale scale{.factor = 0.01, .initial_orders_per_district = 6};
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim);
+  auto& node = fabric.add_node();
+  core::ObjectStore store(node, scale.region_bytes());
+  TpccApp app(2, scale);
+  app.bootstrap(1, store);
+
+  // Replicated tables.
+  EXPECT_TRUE(store.exists(make_oid(Table::kWarehouse, 0, 0, 0)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kWarehouse, 1, 0, 0)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kItem, 1, 0, 1)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kItem, 1, 0, scale.items())));
+  // Local tables for warehouse 1 only.
+  EXPECT_TRUE(store.exists(make_oid(Table::kStock, 1, 0, 1)));
+  EXPECT_FALSE(store.exists(make_oid(Table::kStock, 0, 0, 1)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kDistrict, 1, 1, 0)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kDistrict, 1, 10, 0)));
+  EXPECT_TRUE(store.exists(make_oid(Table::kCustomer, 1, 1, 1)));
+
+  const auto district =
+      load_row<DistrictRow>(store, make_oid(Table::kDistrict, 1, 1, 0));
+  EXPECT_EQ(district.next_o_id, 7u);
+  EXPECT_EQ(district.next_del_o_id, 5u);
+  // Initial orders exist with their lines.
+  const auto order =
+      load_row<OrderRow>(store, make_oid(Table::kOrder, 1, 1, 1));
+  EXPECT_GE(order.ol_cnt, 5u);
+  EXPECT_TRUE(store.exists(
+      make_oid(Table::kOrderLine, 1, 1, ol_key(1, 1))));
+  // Stock is serialized, Item is not.
+  EXPECT_TRUE(store.is_serialized(make_oid(Table::kStock, 1, 0, 1)));
+  EXPECT_FALSE(store.is_serialized(make_oid(Table::kItem, 1, 0, 1)));
+  EXPECT_TRUE(store.is_serialized(make_oid(Table::kCustomer, 1, 1, 1)));
+}
+
+// --- transaction semantics through the full stack -------------------------
+
+struct TpccHarness {
+  harness::TpccCluster cluster;
+  core::Client* client;
+
+  explicit TpccHarness(int partitions,
+                       TpccScale scale = {.factor = 0.01,
+                                          .initial_orders_per_district = 6})
+      : cluster(partitions, 3, scale) {
+    client = &cluster.system().add_client();
+  }
+
+  core::Reply run(const GeneratedRequest& req) {
+    core::Reply reply;
+    cluster.simulator().spawn(
+        [](core::Client& c, const GeneratedRequest& r,
+           core::Reply& out) -> Task<void> {
+          auto result = co_await c.submit(r.dst, r.kind, r.payload);
+          out = std::move(result.reply);
+        }(*client, req, reply));
+    cluster.simulator().run_for(sim::ms(10));
+    return reply;
+  }
+
+  core::ObjectStore& store(int partition, int rank = 0) {
+    return cluster.system().replica(partition, rank).store();
+  }
+};
+
+TEST(TpccTxn, LocalNewOrderCreatesOrderAndBumpsDistrict) {
+  TpccHarness h(2);
+  NewOrderReq req;
+  req.w_id = 0;
+  req.d_id = 1;
+  req.c_id = 1;
+  req.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req.ol_cnt; ++i) {
+    req.items[i] = {i + 1, 0, 2};
+  }
+  GeneratedRequest g;
+  g.kind = kNewOrder;
+  g.dst = amcast::dst_of(0);
+  g.set(req);
+
+  const auto before =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 1, 0));
+  core::Reply reply = h.run(g);
+  ASSERT_EQ(reply.status, 0u);
+
+  const auto after =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 1, 0));
+  EXPECT_EQ(after.next_o_id, before.next_o_id + 1);
+  const std::uint64_t o_id = before.next_o_id;
+  EXPECT_TRUE(h.store(0).exists(make_oid(Table::kOrder, 0, 1, o_id)));
+  EXPECT_TRUE(h.store(0).exists(make_oid(Table::kNewOrder, 0, 1, o_id)));
+  EXPECT_TRUE(
+      h.store(0).exists(make_oid(Table::kOrderLine, 0, 1, ol_key(o_id, 5))));
+
+  // Stock updated for each line.
+  const auto stock =
+      load_row<StockRow>(h.store(0), make_oid(Table::kStock, 0, 0, 1));
+  EXPECT_EQ(stock.order_cnt, 1u);
+  EXPECT_EQ(stock.ytd, 2u);
+
+  // Reply carries the computed total.
+  double total;
+  std::memcpy(&total, reply.payload.data(), sizeof(total));
+  EXPECT_GT(total, 0.0);
+
+  // All three replicas of partition 0 converged.
+  for (int r = 1; r < 3; ++r) {
+    const auto d = load_row<DistrictRow>(
+        h.cluster.system().replica(0, r).store(),
+        make_oid(Table::kDistrict, 0, 1, 0));
+    EXPECT_EQ(d.next_o_id, after.next_o_id);
+  }
+}
+
+TEST(TpccTxn, RemoteNewOrderUpdatesSupplyPartitionStock) {
+  TpccHarness h(2);
+  NewOrderReq req;
+  req.w_id = 0;
+  req.d_id = 1;
+  req.c_id = 1;
+  req.ol_cnt = 5;
+  for (std::uint32_t i = 0; i < req.ol_cnt; ++i) {
+    req.items[i] = {i + 1, 0, 2};
+  }
+  req.items[2].supply_w_id = 1;  // one remote line -> multi-partition
+  GeneratedRequest g;
+  g.kind = kNewOrder;
+  g.dst = amcast::dst_of(0) | amcast::dst_of(1);
+  g.set(req);
+
+  h.run(g);
+
+  // Supply partition 1 updated its own stock row (remote_cnt set).
+  const auto remote_stock =
+      load_row<StockRow>(h.store(1), make_oid(Table::kStock, 1, 0, 3));
+  EXPECT_EQ(remote_stock.order_cnt, 1u);
+  EXPECT_EQ(remote_stock.remote_cnt, 1u);
+  // Home partition did NOT update partition 1's row (no such object).
+  EXPECT_FALSE(h.store(0).exists(make_oid(Table::kStock, 1, 0, 3)));
+  // The order line carries the remote supplier.
+  const auto district =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 1, 0));
+  const auto line = load_row<OrderLineRow>(
+      h.store(0),
+      make_oid(Table::kOrderLine, 0, 1, ol_key(district.next_o_id - 1, 3)));
+  EXPECT_EQ(line.supply_w_id, 1u);
+  // Order flagged non-local.
+  const auto order = load_row<OrderRow>(
+      h.store(0), make_oid(Table::kOrder, 0, 1, district.next_o_id - 1));
+  EXPECT_EQ(order.all_local, 0u);
+}
+
+TEST(TpccTxn, LocalPaymentUpdatesCustomerAndDistrict) {
+  TpccHarness h(2);
+  PaymentReq req{0, 2, 0, 2, 3, 125.5};
+  GeneratedRequest g;
+  g.kind = kPayment;
+  g.dst = amcast::dst_of(0);
+  g.set(req);
+
+  const auto cust_before = load_row<CustomerRow>(
+      h.store(0), make_oid(Table::kCustomer, 0, 2, 3));
+  h.run(g);
+  const auto cust = load_row<CustomerRow>(
+      h.store(0), make_oid(Table::kCustomer, 0, 2, 3));
+  EXPECT_DOUBLE_EQ(cust.balance, cust_before.balance - 125.5);
+  EXPECT_EQ(cust.payment_cnt, cust_before.payment_cnt + 1);
+  const auto district =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 2, 0));
+  EXPECT_DOUBLE_EQ(district.ytd, 125.5);
+}
+
+TEST(TpccTxn, RemotePaymentIsMultiPartition) {
+  TpccHarness h(2);
+  PaymentReq req{0, 1, /*c_w=*/1, /*c_d=*/4, /*c_id=*/7, 60.0};
+  GeneratedRequest g;
+  g.kind = kPayment;
+  g.dst = amcast::dst_of(0) | amcast::dst_of(1);
+  g.set(req);
+  h.run(g);
+
+  // Customer at partition 1 debited; district YTD at partition 0 credited.
+  const auto cust = load_row<CustomerRow>(
+      h.store(1), make_oid(Table::kCustomer, 1, 4, 7));
+  EXPECT_DOUBLE_EQ(cust.balance, -10.0 - 60.0);
+  const auto district =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 1, 0));
+  EXPECT_DOUBLE_EQ(district.ytd, 60.0);
+  // Coordination happened.
+  EXPECT_EQ(h.cluster.system().replica(0, 0).coord_stats().multi_partition,
+            1u);
+}
+
+TEST(TpccTxn, OrderStatusReturnsBalanceAndLastOrder) {
+  TpccHarness h(1);
+  OrderStatusReq req{0, 1, 1};
+  GeneratedRequest g;
+  g.kind = kOrderStatus;
+  g.dst = amcast::dst_of(0);
+  g.set(req);
+  core::Reply reply = h.run(g);
+  ASSERT_EQ(reply.payload.size(), 2 * sizeof(double));
+  double balance;
+  std::memcpy(&balance, reply.payload.data(), sizeof(double));
+  EXPECT_DOUBLE_EQ(balance, -10.0);
+}
+
+TEST(TpccTxn, DeliveryAdvancesOldestUndelivered) {
+  TpccHarness h(1);
+  const auto before =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 3, 0));
+  ASSERT_LT(before.next_del_o_id, before.next_o_id);
+
+  DeliveryReq req{0, 3, 5};
+  GeneratedRequest g;
+  g.kind = kDelivery;
+  g.dst = amcast::dst_of(0);
+  g.set(req);
+  core::Reply reply = h.run(g);
+
+  std::uint64_t delivered;
+  std::memcpy(&delivered, reply.payload.data(), sizeof(delivered));
+  EXPECT_EQ(delivered, before.next_del_o_id);
+  const auto after =
+      load_row<DistrictRow>(h.store(0), make_oid(Table::kDistrict, 0, 3, 0));
+  EXPECT_EQ(after.next_del_o_id, before.next_del_o_id + 1);
+  const auto order = load_row<OrderRow>(
+      h.store(0), make_oid(Table::kOrder, 0, 3, delivered));
+  EXPECT_EQ(order.carrier_id, 5u);
+}
+
+TEST(TpccTxn, StockLevelCountsLowItems) {
+  TpccHarness h(1);
+  StockLevelReq req{0, 1, /*threshold=*/101};  // everything is below 101
+  GeneratedRequest g;
+  g.kind = kStockLevel;
+  g.dst = amcast::dst_of(0);
+  g.set(req);
+  core::Reply reply = h.run(g);
+  std::uint64_t low;
+  std::memcpy(&low, reply.payload.data(), sizeof(low));
+  EXPECT_GT(low, 0u);
+}
+
+// --- generator -------------------------------------------------------------
+
+TEST(TpccGen, MixMatchesSpec) {
+  WorkloadConfig cfg;
+  cfg.partitions = 4;
+  cfg.scale = TpccScale{.factor = 0.01, .initial_orders_per_district = 6};
+  WorkloadGen gen(cfg, 0, 42);
+  std::map<std::uint32_t, int> counts;
+  int multi = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    auto req = gen.next();
+    counts[req.kind]++;
+    if (amcast::dst_count(req.dst) > 1) ++multi;
+  }
+  EXPECT_NEAR(counts[kNewOrder] / static_cast<double>(n), 0.45, 0.02);
+  EXPECT_NEAR(counts[kPayment] / static_cast<double>(n), 0.43, 0.02);
+  EXPECT_NEAR(counts[kOrderStatus] / static_cast<double>(n), 0.04, 0.01);
+  EXPECT_NEAR(counts[kDelivery] / static_cast<double>(n), 0.04, 0.01);
+  EXPECT_NEAR(counts[kStockLevel] / static_cast<double>(n), 0.04, 0.01);
+  // ~10% of requests are multi-partition (paper §V-D1).
+  EXPECT_NEAR(multi / static_cast<double>(n), 0.10, 0.04);
+}
+
+TEST(TpccGen, LocalOnlyNeverCrossesPartitions) {
+  WorkloadConfig cfg;
+  cfg.partitions = 8;
+  cfg.scale = TpccScale{.factor = 0.01, .initial_orders_per_district = 6};
+  cfg.local_only = true;
+  WorkloadGen gen(cfg, 3, 42);
+  for (int i = 0; i < 5'000; ++i) {
+    auto req = gen.next();
+    EXPECT_EQ(req.dst, amcast::dst_of(3));
+  }
+}
+
+TEST(TpccGen, ForcedSpanHitsExactPartitionCount) {
+  WorkloadConfig cfg;
+  cfg.partitions = 8;
+  cfg.scale = TpccScale{.factor = 0.01, .initial_orders_per_district = 6};
+  cfg.force_partitions = 4;
+  WorkloadGen gen(cfg, 2, 42);
+  for (int i = 0; i < 1'000; ++i) {
+    auto req = gen.next();
+    EXPECT_EQ(req.kind, kNewOrder);
+    EXPECT_EQ(amcast::dst_count(req.dst), 4);
+    EXPECT_TRUE(amcast::dst_contains(req.dst, 2));  // home always included
+  }
+}
+
+// --- full-mix integration ---------------------------------------------------
+
+TEST(TpccIntegration, MixedWorkloadRunsAndConverges) {
+  harness::TpccCluster cluster(
+      2, 3, TpccScale{.factor = 0.01, .initial_orders_per_district = 6});
+  tpcc::WorkloadConfig workload;
+  cluster.add_clients(2, workload);
+  auto result = cluster.run(sim::ms(5), sim::ms(60));
+
+  EXPECT_GT(result.completed, 200u);
+  EXPECT_GT(result.throughput_tps, 1'000.0);
+  // Latencies are tens of microseconds, not milliseconds.
+  EXPECT_LT(result.latency.mean(), static_cast<double>(sim::us(300)));
+
+  // Replicas of each partition converged on district state.
+  auto& sys = cluster.system();
+  for (int p = 0; p < 2; ++p) {
+    for (std::uint32_t d = 1; d <= 10; ++d) {
+      const auto expect = load_row<DistrictRow>(
+          sys.replica(p, 0).store(),
+          make_oid(Table::kDistrict, static_cast<std::uint32_t>(p), d, 0));
+      for (int r = 1; r < 3; ++r) {
+        const auto got = load_row<DistrictRow>(
+            sys.replica(p, r).store(),
+            make_oid(Table::kDistrict, static_cast<std::uint32_t>(p), d, 0));
+        EXPECT_EQ(got.next_o_id, expect.next_o_id)
+            << "partition " << p << " district " << d << " rank " << r;
+        EXPECT_DOUBLE_EQ(got.ytd, expect.ytd);
+      }
+    }
+  }
+  EXPECT_GT(result.latency_multi.count(), 0u);
+  EXPECT_GT(result.latency_single.count(), result.latency_multi.count());
+}
+
+TEST(TpccIntegration, MultiPartitionLatencyExceedsSinglePartition) {
+  harness::TpccCluster cluster(
+      2, 3, TpccScale{.factor = 0.01, .initial_orders_per_district = 6});
+  tpcc::WorkloadConfig workload;
+  cluster.add_clients(1, workload);
+  auto result = cluster.run(sim::ms(5), sim::ms(80));
+  ASSERT_GT(result.latency_multi.count(), 5u);
+  EXPECT_GT(result.latency_multi.mean(), result.latency_single.mean());
+}
+
+}  // namespace
+}  // namespace heron::tpcc
