@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coord_delay.dir/ablation_coord_delay.cpp.o"
+  "CMakeFiles/ablation_coord_delay.dir/ablation_coord_delay.cpp.o.d"
+  "ablation_coord_delay"
+  "ablation_coord_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coord_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multithread.dir/ablation_multithread.cpp.o"
+  "CMakeFiles/ablation_multithread.dir/ablation_multithread.cpp.o.d"
+  "ablation_multithread"
+  "ablation_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

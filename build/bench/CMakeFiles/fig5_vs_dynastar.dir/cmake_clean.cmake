@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vs_dynastar.dir/fig5_vs_dynastar.cpp.o"
+  "CMakeFiles/fig5_vs_dynastar.dir/fig5_vs_dynastar.cpp.o.d"
+  "fig5_vs_dynastar"
+  "fig5_vs_dynastar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vs_dynastar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_txn_latency.dir/fig7_txn_latency.cpp.o"
+  "CMakeFiles/fig7_txn_latency.dir/fig7_txn_latency.cpp.o.d"
+  "fig7_txn_latency"
+  "fig7_txn_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_txn_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

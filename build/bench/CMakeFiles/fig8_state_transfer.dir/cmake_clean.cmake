@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_state_transfer.dir/fig8_state_transfer.cpp.o"
+  "CMakeFiles/fig8_state_transfer.dir/fig8_state_transfer.cpp.o.d"
+  "fig8_state_transfer"
+  "fig8_state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_wait_for_all.dir/table1_wait_for_all.cpp.o"
+  "CMakeFiles/table1_wait_for_all.dir/table1_wait_for_all.cpp.o.d"
+  "table1_wait_for_all"
+  "table1_wait_for_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_wait_for_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_amcast.dir/endpoint.cpp.o"
+  "CMakeFiles/heron_amcast.dir/endpoint.cpp.o.d"
+  "CMakeFiles/heron_amcast.dir/system.cpp.o"
+  "CMakeFiles/heron_amcast.dir/system.cpp.o.d"
+  "libheron_amcast.a"
+  "libheron_amcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_amcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/object_store.cpp" "src/core/CMakeFiles/heron_core.dir/object_store.cpp.o" "gcc" "src/core/CMakeFiles/heron_core.dir/object_store.cpp.o.d"
+  "/root/repo/src/core/replica.cpp" "src/core/CMakeFiles/heron_core.dir/replica.cpp.o" "gcc" "src/core/CMakeFiles/heron_core.dir/replica.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/heron_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/heron_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amcast/CMakeFiles/heron_amcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/heron_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/heron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_core.dir/object_store.cpp.o"
+  "CMakeFiles/heron_core.dir/object_store.cpp.o.d"
+  "CMakeFiles/heron_core.dir/replica.cpp.o"
+  "CMakeFiles/heron_core.dir/replica.cpp.o.d"
+  "CMakeFiles/heron_core.dir/system.cpp.o"
+  "CMakeFiles/heron_core.dir/system.cpp.o.d"
+  "libheron_core.a"
+  "libheron_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

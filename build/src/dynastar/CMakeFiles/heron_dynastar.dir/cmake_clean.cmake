@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_dynastar.dir/system.cpp.o"
+  "CMakeFiles/heron_dynastar.dir/system.cpp.o.d"
+  "libheron_dynastar.a"
+  "libheron_dynastar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_dynastar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

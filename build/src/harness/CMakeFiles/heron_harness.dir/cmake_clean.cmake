@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_harness.dir/runner.cpp.o"
+  "CMakeFiles/heron_harness.dir/runner.cpp.o.d"
+  "libheron_harness.a"
+  "libheron_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

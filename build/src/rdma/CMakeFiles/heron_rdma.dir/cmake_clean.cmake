@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_rdma.dir/fabric.cpp.o"
+  "CMakeFiles/heron_rdma.dir/fabric.cpp.o.d"
+  "libheron_rdma.a"
+  "libheron_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_sim.dir/log.cpp.o"
+  "CMakeFiles/heron_sim.dir/log.cpp.o.d"
+  "CMakeFiles/heron_sim.dir/simulator.cpp.o"
+  "CMakeFiles/heron_sim.dir/simulator.cpp.o.d"
+  "libheron_sim.a"
+  "libheron_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_tpcc.dir/app.cpp.o"
+  "CMakeFiles/heron_tpcc.dir/app.cpp.o.d"
+  "libheron_tpcc.a"
+  "libheron_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amcast_test.dir/amcast_test.cpp.o"
+  "CMakeFiles/amcast_test.dir/amcast_test.cpp.o.d"
+  "amcast_test"
+  "amcast_test.pdb"
+  "amcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynastar_test.dir/dynastar_test.cpp.o"
+  "CMakeFiles/dynastar_test.dir/dynastar_test.cpp.o.d"
+  "dynastar_test"
+  "dynastar_test.pdb"
+  "dynastar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynastar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

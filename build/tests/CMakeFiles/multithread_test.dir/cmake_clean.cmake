@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithread_test.dir/multithread_test.cpp.o"
+  "CMakeFiles/multithread_test.dir/multithread_test.cpp.o.d"
+  "multithread_test"
+  "multithread_test.pdb"
+  "multithread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statetransfer_test.dir/statetransfer_test.cpp.o"
+  "CMakeFiles/statetransfer_test.dir/statetransfer_test.cpp.o.d"
+  "statetransfer_test"
+  "statetransfer_test.pdb"
+  "statetransfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statetransfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_invariants_test.dir/tpcc_invariants_test.cpp.o"
+  "CMakeFiles/tpcc_invariants_test.dir/tpcc_invariants_test.cpp.o.d"
+  "tpcc_invariants_test"
+  "tpcc_invariants_test.pdb"
+  "tpcc_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

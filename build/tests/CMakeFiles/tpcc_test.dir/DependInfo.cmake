@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpcc_test.cpp" "tests/CMakeFiles/tpcc_test.dir/tpcc_test.cpp.o" "gcc" "tests/CMakeFiles/tpcc_test.dir/tpcc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/heron_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/heron_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/heron_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/amcast/CMakeFiles/heron_amcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/heron_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/heron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
