@@ -6,17 +6,34 @@
 // hold flat from 1WH to 2WH (coordination appears), then scale by
 // ~1.5x/3x/5x (null) and ~1.5x/2.7x/4x (TPCC) at 4/8/16 WH; local TPCC
 // scales linearly.
+//
+// Flags:
+//   --json <path>   write a machine-readable report (throughput and
+//                   per-kind latency summaries for every cell)
+//   --trace <path>  additionally run a small instrumented TPCC cluster
+//                   and export a Chrome trace_event file (load it in
+//                   chrome://tracing or https://ui.perfetto.dev)
+//   --quick         short windows and fewer cells (CI smoke mode)
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 
 using namespace heron;
 
 namespace {
 
-double run_config(core::Mode mode, bool local_only, int partitions,
-                  int clients_per_partition) {
+struct Options {
+  std::string json_path;
+  std::string trace_path;
+  bool quick = false;
+};
+
+harness::RunResult run_config(core::Mode mode, bool local_only, int partitions,
+                              int clients_per_partition, bool quick) {
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
   core::HeronConfig cfg;
   cfg.mode = mode;
@@ -30,14 +47,60 @@ double run_config(core::Mode mode, bool local_only, int partitions,
   workload.local_only = local_only;
   cluster.add_clients(clients_per_partition, workload);
 
-  auto result = cluster.run(sim::ms(15), sim::ms(60));
-  return result.throughput_tps;
+  return quick ? cluster.run(sim::ms(3), sim::ms(10))
+               : cluster.run(sim::ms(15), sim::ms(60));
+}
+
+/// Dedicated traced run: a small TPCC cluster with full telemetry on, so
+/// the exported trace stays readable (and the big throughput cells above
+/// run uninstrumented, at full speed).
+void export_trace(const std::string& path) {
+  tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
+  core::HeronConfig cfg;
+  cfg.mode = core::Mode::kApp;
+  harness::TpccCluster cluster(/*partitions=*/2, /*replicas=*/3, scale, cfg);
+
+  cluster.telemetry().enable_all();
+  cluster.telemetry().capture_logs();
+  cluster.add_clients(2, tpcc::WorkloadConfig{});
+  cluster.run(sim::ms(2), sim::ms(5));
+
+  if (cluster.telemetry().tracer.write_file(path)) {
+    std::printf("trace: %zu events -> %s\n",
+                cluster.telemetry().tracer.event_count(), path.c_str());
+  } else {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
+    } else if (a == "--quick") {
+      opt.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--trace <path>] [--quick]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
 }
 
 }  // namespace
 
-int main() {
-  const int warehouses[] = {1, 2, 4, 8, 16};
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  std::vector<int> warehouses = {1, 2, 4, 8, 16};
+  if (opt.quick) warehouses = {1, 2};
+
   struct Set {
     const char* label;
     core::Mode mode;
@@ -51,25 +114,52 @@ int main() {
       {"tpcc-local", core::Mode::kApp, true, 8},
   };
 
+  harness::ReportWriter report("fig4_throughput");
+
   std::printf(
       "Figure 4: max throughput (tps) vs warehouses "
       "(1 warehouse/partition, 3 replicas)\n\n");
   std::printf("%-12s", "set");
   for (int wh : warehouses) std::printf(" %10dWH", wh);
-  std::printf("   scaling(4/8/16 vs 2WH)\n");
+  if (!opt.quick) std::printf("   scaling(4/8/16 vs 2WH)");
+  std::printf("\n");
 
   for (const auto& set : sets) {
     std::vector<double> tput;
     for (int wh : warehouses) {
-      tput.push_back(run_config(set.mode, set.local_only, wh, set.clients));
+      harness::RunResult result =
+          run_config(set.mode, set.local_only, wh, set.clients, opt.quick);
+      tput.push_back(result.throughput_tps);
+      if (!opt.json_path.empty()) {
+        report.row(std::string(set.label) + "/" + std::to_string(wh) + "wh",
+                   result, [&](telemetry::JsonWriter& w) {
+                     w.kv("set", set.label);
+                     w.kv("warehouses", wh);
+                   });
+      }
     }
     std::printf("%-12s", set.label);
     for (double t : tput) std::printf(" %12.0f", t);
-    std::printf("   %.2fx %.2fx %.2fx\n", tput[2] / tput[1], tput[3] / tput[1],
-                tput[4] / tput[1]);
+    if (!opt.quick) {
+      std::printf("   %.2fx %.2fx %.2fx", tput[2] / tput[1], tput[3] / tput[1],
+                  tput[4] / tput[1]);
+    }
+    std::printf("\n");
   }
-  std::printf(
-      "\npaper: null requests flat 1WH->2WH then 1.57x/2.98x/4.80x; "
-      "TPCC flat then 1.52x/2.65x/3.98x; local TPCC ~linear\n");
+  if (!opt.quick) {
+    std::printf(
+        "\npaper: null requests flat 1WH->2WH then 1.57x/2.98x/4.80x; "
+        "TPCC flat then 1.52x/2.65x/3.98x; local TPCC ~linear\n");
+  }
+
+  if (!opt.json_path.empty()) {
+    if (report.finish_to_file(opt.json_path)) {
+      std::printf("report -> %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "report: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+  }
+  if (!opt.trace_path.empty()) export_trace(opt.trace_path);
   return 0;
 }

@@ -6,13 +6,26 @@
 // (ordering ~18 us, execution ~16 us, coordination ~2 us); requests
 // pinned to 1WH have no coordination; coordination never exceeds ~3 us
 // even at 4 partitions (§V-D1).
+//
+// Flags:
+//   --json <path>   machine-readable report: per-case latency summaries
+//                   plus the stage-mean breakdown
+//   --trace <path>  run the plain-TPCC case with tracing enabled and
+//                   export the measurement window as a Chrome trace
 #include <cstdio>
+#include <string>
 
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 
 using namespace heron;
 
 namespace {
+
+struct Options {
+  std::string json_path;
+  std::string trace_path;
+};
 
 struct Row {
   const char* label;
@@ -22,7 +35,8 @@ struct Row {
   double client_us;
 };
 
-Row run_case(const char* label, bool plain_tpcc, int span) {
+Row run_case(const char* label, bool plain_tpcc, int span,
+             harness::ReportWriter* report, const std::string& trace_path) {
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
   harness::TpccCluster cluster(/*partitions=*/4, /*replicas=*/3, scale);
 
@@ -35,7 +49,20 @@ Row run_case(const char* label, bool plain_tpcc, int span) {
   // Exactly one client, homed at partition 0 (closed loop, §V-B).
   cluster.add_client_at(0, workload);
 
+  const bool traced = !trace_path.empty() && plain_tpcc;
+  if (traced) cluster.telemetry().enable_all();
+
   auto result = cluster.run(sim::ms(10), sim::ms(120));
+
+  if (traced) {
+    if (cluster.telemetry().tracer.write_file(trace_path)) {
+      std::printf("trace: %zu events -> %s\n",
+                  cluster.telemetry().tracer.event_count(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+    }
+  }
 
   // Replica-side stage means, averaged over partition 0's replicas (the
   // client's home; the paper breaks down the request path end to end).
@@ -46,6 +73,14 @@ Row run_case(const char* label, bool plain_tpcc, int span) {
   row.coord_us = rep.coord_lat().empty() ? 0.0 : rep.coord_lat().mean() / 1000.0;
   row.exec_us = rep.exec_lat().mean() / 1000.0;
   row.client_us = result.latency.mean() / 1000.0;
+
+  if (report != nullptr) {
+    report->row(label, result, [&](telemetry::JsonWriter& w) {
+      w.kv("ordering_us", row.ordering_us);
+      w.kv("coordination_us", row.coord_us);
+      w.kv("execution_us", row.exec_us);
+    });
+  }
 
   // CDF series (right-hand plot).
   std::printf("# CDF %s\n", label);
@@ -58,18 +93,35 @@ Row run_case(const char* label, bool plain_tpcc, int span) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  harness::ReportWriter report("fig6_latency_breakdown");
+  harness::ReportWriter* rep = opt.json_path.empty() ? nullptr : &report;
+
   std::printf(
       "Figure 6: latency breakdown with 1 client (4 partitions, 3 replicas)\n"
       "paper: TPCC NewOrder ~35.4us total = ordering ~18 + execution ~16 + "
       "coordination ~2; coordination <= ~3us at 4WH\n\n");
 
   Row rows[] = {
-      run_case("tpcc", true, 0),
-      run_case("1WH", false, 1),
-      run_case("2WH", false, 2),
-      run_case("3WH", false, 3),
-      run_case("4WH", false, 4),
+      run_case("tpcc", true, 0, rep, opt.trace_path),
+      run_case("1WH", false, 1, rep, opt.trace_path),
+      run_case("2WH", false, 2, rep, opt.trace_path),
+      run_case("3WH", false, 3, rep, opt.trace_path),
+      run_case("4WH", false, 4, rep, opt.trace_path),
   };
 
   std::printf("\n%-8s %12s %14s %12s %12s\n", "workload", "ordering(us)",
@@ -77,6 +129,15 @@ int main() {
   for (const auto& r : rows) {
     std::printf("%-8s %12.2f %14.2f %12.2f %12.2f\n", r.label, r.ordering_us,
                 r.coord_us, r.exec_us, r.client_us);
+  }
+
+  if (rep != nullptr) {
+    if (report.finish_to_file(opt.json_path)) {
+      std::printf("report -> %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "report: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the figure benchmarks that emit machine-readable reports and
+# collects BENCH_*.json (+ a Chrome trace) into an output directory.
+#
+# Usage: bench/run_all.sh [build_dir] [out_dir]
+#   build_dir  cmake build tree holding bench/ binaries (default: build)
+#   out_dir    where to put the artifacts (default: .)
+# Env: QUICK=1 runs fig4 in smoke mode (short windows, fewer cells).
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+mkdir -p "$out_dir"
+
+if [[ ! -x "$build_dir/bench/fig4_throughput" ]]; then
+  echo "error: $build_dir/bench/fig4_throughput not found; build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+fig4_flags=()
+[[ "${QUICK:-0}" == "1" ]] && fig4_flags+=(--quick)
+
+echo "== fig4_throughput =="
+"$build_dir/bench/fig4_throughput" "${fig4_flags[@]}" \
+  --json "$out_dir/BENCH_fig4_throughput.json" \
+  --trace "$out_dir/BENCH_fig4.trace.json"
+
+echo "== fig6_latency_breakdown =="
+"$build_dir/bench/fig6_latency_breakdown" \
+  --json "$out_dir/BENCH_fig6_latency_breakdown.json"
+
+echo
+echo "artifacts:"
+ls -l "$out_dir"/BENCH_*.json

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "amcast/system.hpp"
 #include "rdma/pod.hpp"
@@ -36,6 +37,17 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
   delivered_wm_.assign(cfg.max_clients, 0);
   ready_notifier_ = std::make_unique<sim::Notifier>(
       system.fabric().simulator());
+
+  hub_ = &system.fabric().telemetry();
+  const std::string label =
+      "g" + std::to_string(group) + ".r" + std::to_string(rank);
+  hub_->tracer.set_tid_name(node.id(), label);
+  ctr_proposes_ = &hub_->metrics.counter("amcast", "proposes", label);
+  ctr_commits_ = &hub_->metrics.counter("amcast", "commits", label);
+  ctr_deliveries_ = &hub_->metrics.counter("amcast", "deliveries", label);
+  ctr_takeovers_ = &hub_->metrics.counter("amcast", "takeovers", label);
+  ctr_reproposals_ = &hub_->metrics.counter("amcast", "reproposals", label);
+
   update_status_page();
 }
 
@@ -164,6 +176,10 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
     Pending& p = it->second;
     if (p.proposed_locally) co_return;
 
+    // Timestamp assignment: leader CPU + clock bump + local PROPOSE.
+    auto ts_span = hub_->tracer.span("amcast", "assign_ts", node_->id());
+    ts_span.arg("uid", uid);
+
     co_await node_->cpu().use(system_->config().leader_proc);
     // Re-validate after the await: delivery or takeover may have raced.
     if (!is_leader() || !pending_.contains(uid)) co_return;
@@ -174,6 +190,8 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
     p.local_clock = ++clock_;
     p.proposals[group_] = p.local_clock;
     seen_.erase(uid);
+    ctr_proposes_->inc();
+    ts_span.arg("clock", p.local_clock);
 
     LogRecord rec;
     rec.seq = ++append_seq_;
@@ -188,6 +206,8 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
 
   // Wait for a majority of the group to have the proposal before it can
   // influence any other group (failover then always recovers it).
+  auto ack_span = hub_->tracer.span("amcast", "propose", node_->id());
+  ack_span.arg("uid", uid);
   const std::uint64_t seq = pending_.at(uid).propose_seq;
   co_await sim::wait_until(node_->region(acks_mr_).on_write(), [this, seq] {
     return propose_majority_acked(seq);
@@ -261,6 +281,10 @@ void Endpoint::commit(MsgUid uid) {
     final_ts = std::max(final_ts, pack_ts(clk, g));
   }
   clock_ = std::max(clock_, ts_clock(final_ts));
+
+  ctr_commits_->inc();
+  hub_->tracer.instant("amcast", "commit", node_->id(),
+                       {{"uid", uid}, {"final_ts", final_ts}});
 
   LogRecord rec;
   rec.seq = ++append_seq_;
@@ -440,6 +464,9 @@ void Endpoint::try_deliver() {
     pending_.erase(best_uid);
     seen_.erase(best_uid);
     ++delivered_count_;
+    ctr_deliveries_->inc();
+    hub_->tracer.instant("amcast", "deliver", node_->id(),
+                         {{"uid", d.uid}, {"tmp", d.tmp}});
     ready_.push_back(d);
     ready_notifier_->notify_all();
   }
@@ -498,6 +525,10 @@ sim::Task<void> Endpoint::control_loop() {
     if (ctl.epoch > epoch_) {
       epoch_ = ctl.epoch;
       leader_ = ctl.leader_rank;
+      hub_->tracer.instant(
+          "amcast", "leader_change", node_->id(),
+          {{"epoch", ctl.epoch},
+           {"leader", static_cast<std::uint64_t>(ctl.leader_rank)}});
       // Discard any log suffix the old leader never majority-replicated;
       // the new leader's records for those positions supersede them.
       applied_seq_ = std::min(applied_seq_, ctl.reset_seq);
@@ -540,6 +571,8 @@ sim::Task<void> Endpoint::heartbeat_loop() {
       misses = 0;
     }
     if (!suspect) continue;
+    hub_->tracer.instant("amcast", "suspect_leader", node_->id(),
+                         {{"leader", static_cast<std::uint64_t>(leader_)}});
 
     last_seen = 0;
     // Deterministic succession: the lowest alive rank leads. Aliveness is
@@ -580,6 +613,10 @@ sim::Task<void> Endpoint::takeover() {
   leader_ = rank_;
   auto& fabric = system_->fabric();
   const int n = system_->replicas_per_group();
+
+  ctr_takeovers_->inc();
+  auto takeover_span = hub_->tracer.span("amcast", "takeover", node_->id());
+  takeover_span.arg("group", static_cast<std::uint64_t>(group_));
 
   HSIM_LOG(fabric.simulator(), kInfo,
            "group " << group_ << " replica " << rank_ << " taking over");
@@ -716,6 +753,7 @@ sim::Task<void> Endpoint::takeover() {
       to_propose.push_back(uid);
     }
   }
+  ctr_reproposals_->inc(to_propose.size());
   for (MsgUid uid : to_propose) {
     system_->fabric().simulator().spawn(drive_message(uid));
   }

@@ -22,6 +22,7 @@
 #include "rdma/fabric.hpp"
 #include "sim/notifier.hpp"
 #include "sim/task.hpp"
+#include "telemetry/hub.hpp"
 
 namespace heron::amcast {
 
@@ -173,6 +174,14 @@ class Endpoint {
   // Delivery queue to the application.
   std::deque<Delivery> ready_;
   std::unique_ptr<sim::Notifier> ready_notifier_;
+
+  // Telemetry handles (see telemetry/hub.hpp), keyed by "g<g>.r<r>".
+  telemetry::Hub* hub_;
+  telemetry::Counter* ctr_proposes_;
+  telemetry::Counter* ctr_commits_;
+  telemetry::Counter* ctr_deliveries_;
+  telemetry::Counter* ctr_takeovers_;
+  telemetry::Counter* ctr_reproposals_;
 };
 
 }  // namespace heron::amcast

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "rdma/pod.hpp"
 
@@ -46,7 +47,10 @@ ClientEndpoint& System::add_client() {
 
 ClientEndpoint::ClientEndpoint(System& system, std::uint32_t client_id,
                                rdma::Node& node)
-    : system_(&system), client_id_(client_id), node_(&node) {}
+    : system_(&system), client_id_(client_id), node_(&node) {
+  system.fabric().telemetry().tracer.set_tid_name(
+      node.id(), "client" + std::to_string(client_id));
+}
 
 sim::Task<MsgUid> ClientEndpoint::multicast(DstMask dst,
                                             std::span<const std::byte> payload) {

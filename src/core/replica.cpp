@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "core/system.hpp"
 #include "rdma/pod.hpp"
@@ -74,6 +75,24 @@ Replica::Replica(System& system, GroupId group, int rank)
   addra_next_.assign(stripes, 0);
   staging_next_.assign(reps, 0);
   staging_sent_.assign(reps, 0);
+
+  hub_ = &system.fabric().telemetry();
+  const std::string label =
+      "g" + std::to_string(group) + ".r" + std::to_string(rank);
+  auto& m = hub_->metrics;
+  ctr_executed_ = &m.counter("core", "executed", label);
+  ctr_skipped_ = &m.counter("core", "skipped", label);
+  ctr_addr_hits_ = &m.counter("core", "addr_cache_hits", label);
+  ctr_addr_misses_ = &m.counter("core", "addr_cache_misses", label);
+  ctr_remote_reads_ = &m.counter("core", "remote_reads", label);
+  ctr_remote_retries_ = &m.counter("core", "remote_read_retries", label);
+  ctr_lagging_ = &m.counter("core", "lagging_detected", label);
+  ctr_state_transfers_ = &m.counter("core", "state_transfers", label);
+  ctr_transfers_served_ = &m.counter("core", "transfers_served", label);
+  ctr_xfer_bytes_sent_ = &m.counter("core", "transfer_bytes_sent", label);
+  ctr_xfer_bytes_applied_ = &m.counter("core", "transfer_bytes_applied", label);
+  hist_exec_ = &m.histogram("core", "exec_ns", label);
+  hist_coord_ = &m.histogram("core", "coord_ns", label);
 }
 
 rdma::Node& Replica::node() {
@@ -152,6 +171,7 @@ sim::Task<void> Replica::main_loop() {
     // Lines 3-4: skip requests already covered by a state transfer.
     if (r.tmp <= last_req_) {
       ++skipped_;
+      ctr_skipped_->inc();
       continue;
     }
     last_req_ = r.tmp;
@@ -203,8 +223,11 @@ sim::Task<void> Replica::exec_concurrent(Request r, int slot,
                                          std::vector<Oid> keys) {
   const sim::Nanos t0 = system_->simulator().now();
   ExecOutcome out = co_await execute_on(r, *exec_cpus_[static_cast<std::size_t>(slot)]);
-  exec_lat_.record(system_->simulator().now() - t0);
+  const sim::Nanos exec_ns = system_->simulator().now() - t0;
+  exec_lat_.record(exec_ns);
+  hist_exec_->observe(exec_ns);
   ++executed_;
+  ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
   co_await send_reply(r, out.reply);
 
@@ -220,6 +243,7 @@ sim::Task<void> Replica::handle_request(Request r) {
 
   if (cfg.mode == Mode::kOrderOnly) {
     ++executed_;
+    ctr_executed_->inc();
     last_executed_ = std::max(last_executed_, r.tmp);
     co_await send_reply(r, Reply{});
     co_return;
@@ -231,12 +255,15 @@ sim::Task<void> Replica::handle_request(Request r) {
     if (cfg.mode == Mode::kApp) {
       const sim::Nanos t0 = system_->simulator().now();
       ExecOutcome out = co_await execute(r);
-      exec_lat_.record(system_->simulator().now() - t0);
+      const sim::Nanos exec_ns = system_->simulator().now() - t0;
+      exec_lat_.record(exec_ns);
+      hist_exec_->observe(exec_ns);
       // Single-partition requests only touch local objects; they cannot
       // observe remote progress, hence cannot detect lagging.
       reply = std::move(out.reply);
     }
     ++executed_;
+    ctr_executed_->inc();
     last_executed_ = std::max(last_executed_, r.tmp);
     co_await send_reply(r, reply);
     co_return;
@@ -252,7 +279,9 @@ sim::Task<void> Replica::handle_request(Request r) {
   if (cfg.mode == Mode::kApp) {
     const sim::Nanos t0 = system_->simulator().now();
     ExecOutcome out = co_await execute(r);
-    exec_lat_.record(system_->simulator().now() - t0);
+    const sim::Nanos exec_ns = system_->simulator().now() - t0;
+    exec_lat_.record(exec_ns);
+    hist_exec_->observe(exec_ns);
     if (out.lagging) {
       co_await request_state_transfer(r.tmp);
       co_return;  // no reply from this replica; others answer the client
@@ -263,10 +292,13 @@ sim::Task<void> Replica::handle_request(Request r) {
   // Phase 4 (lines 14-16); carries the wait-for-all statistics.
   const sim::Nanos c1 = system_->simulator().now();
   co_await coordinate(r, 2, /*collect_stats=*/true);
-  coord_lat_.record(phase2 + (system_->simulator().now() - c1));
+  const sim::Nanos coord_ns = phase2 + (system_->simulator().now() - c1);
+  coord_lat_.record(coord_ns);
+  hist_coord_->observe(coord_ns);
   ++coord_stats_.multi_partition;
 
   ++executed_;
+  ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
   co_await send_reply(r, reply);  // Phase 5 (line 17)
 }
@@ -316,6 +348,9 @@ bool Replica::coord_satisfied(const Request& r, std::uint32_t phase,
 sim::Task<void> Replica::coordinate(const Request& r, std::uint32_t phase,
                                     bool collect_stats) {
   const HeronConfig& cfg = system_->config();
+  auto span = hub_->tracer.span("core", "coordinate", node().id());
+  span.arg("uid", r.uid);
+  span.arg("phase", phase);
   co_await node().cpu().use(cfg.coord_check_proc);
   write_coord(r, phase);
 
@@ -373,6 +408,9 @@ sim::Task<Replica::ExecOutcome> Replica::execute(const Request& r) {
 sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
                                                     sim::Cpu& cpu) {
   const HeronConfig& cfg = system_->config();
+  auto span = hub_->tracer.span("core", "execute", node().id());
+  span.arg("uid", r.uid);
+  span.arg("kind", r.header.kind);
   if (cfg.hiccup_prob > 0 && rng_.chance(cfg.hiccup_prob)) {
     co_await cpu.use(cfg.hiccup_duration);
   }
@@ -464,6 +502,10 @@ void Replica::apply_writes(const Request& r, ExecContext& ctx) {
 
 sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
                                                     GroupId h) {
+  ctr_remote_reads_->inc();
+  auto span = hub_->tracer.span("core", "remote_read", node().id());
+  span.arg("oid", oid);
+  span.arg("home", static_cast<std::uint64_t>(h));
   const bool resolved = co_await resolve_addr(oid, h);
   if (!resolved) co_return RemoteRead{};  // unreachable partition
 
@@ -502,6 +544,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
         buf);
     if (!cc.ok()) {
       // Line 20-21: RDMA exception — the peer failed; pick another.
+      ctr_remote_retries_->inc();
       locs[static_cast<std::size_t>(q)].known = false;
       continue;
     }
@@ -510,6 +553,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
     const auto version = view.version_before(r.tmp);
     if (!version) {
       // Line 23-25: both versions postdate r — we lag behind our group.
+      ctr_lagging_->inc();
       co_return RemoteRead{.lagging = true};
     }
     RemoteRead out;
@@ -561,7 +605,11 @@ sim::Task<bool> Replica::resolve_addr(Oid oid, GroupId h) {
   };
 
   drain();
-  if (known_count() >= majority) co_return true;
+  if (known_count() >= majority) {
+    ctr_addr_hits_->inc();
+    co_return true;
+  }
+  ctr_addr_misses_->inc();
 
   // Lines 8-13: query every replica of h, wait for a majority.
   for (int q = 0; q < reps; ++q) {
@@ -664,6 +712,9 @@ std::vector<Oid> Replica::log_objects_since(Tmp from_tmp,
 
 sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp) {
   ++state_transfers_;
+  ctr_state_transfers_->inc();
+  auto span = hub_->tracer.span("core", "state_transfer", node().id());
+  span.arg("from_tmp", failed_tmp);
   const StateSyncEntry entry{failed_tmp, 1, 0, ++statesync_serial_};
 
   // Lines 2-4: write the request into every group member's statesync
@@ -771,6 +822,10 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
   // so serving the transfer and executing requests are mutually exclusive.
   in_state_transfer_ = true;
   ++transfers_served_;
+  ctr_transfers_served_->inc();
+  auto span = hub_->tracer.span("core", "serve_transfer", node().id());
+  span.arg("lagger", static_cast<std::uint64_t>(lagger_rank));
+  span.arg("from_tmp", from_tmp);
   const Tmp rid = last_executed_;
 
   bool full = false;
@@ -796,6 +851,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
     }
     const std::uint64_t seq =
         ++staging_sent_[static_cast<std::size_t>(lagger_rank)];
+    ctr_xfer_bytes_sent_->inc(sizeof(ChunkHeader) + fill);
     ChunkHeader hdr{seq, count, fill};
     rdma::store_pod(std::span(chunk), 0, hdr);
     // Flow control: never run more than ring_slots-2 chunks ahead of the
@@ -901,6 +957,7 @@ sim::Task<void> Replica::staging_apply_loop() {
                                    : cfg.serialize_ns_per_byte));
         }
         staging_next_[static_cast<std::size_t>(s)] = next;
+        ctr_xfer_bytes_applied_->inc(hdr.payload_bytes);
         if (apply_cpu > 0) co_await node().cpu().use(apply_cpu);
         region.on_write().notify_all();  // progress signal for the waiter
       }

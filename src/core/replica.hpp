@@ -18,6 +18,7 @@
 #include "core/object_store.hpp"
 #include "core/types.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/hub.hpp"
 
 namespace heron::core {
 
@@ -179,6 +180,22 @@ class Replica {
   sim::LatencyRecorder ordering_lat_;
   sim::LatencyRecorder coord_lat_;
   sim::LatencyRecorder exec_lat_;
+
+  // Telemetry handles (see telemetry/hub.hpp), keyed by "g<g>.r<r>".
+  telemetry::Hub* hub_;
+  telemetry::Counter* ctr_executed_;
+  telemetry::Counter* ctr_skipped_;
+  telemetry::Counter* ctr_addr_hits_;
+  telemetry::Counter* ctr_addr_misses_;
+  telemetry::Counter* ctr_remote_reads_;
+  telemetry::Counter* ctr_remote_retries_;
+  telemetry::Counter* ctr_lagging_;
+  telemetry::Counter* ctr_state_transfers_;
+  telemetry::Counter* ctr_transfers_served_;
+  telemetry::Counter* ctr_xfer_bytes_sent_;
+  telemetry::Counter* ctr_xfer_bytes_applied_;
+  telemetry::Histogram* hist_exec_;
+  telemetry::Histogram* hist_coord_;
 
   sim::Rng rng_;
 };

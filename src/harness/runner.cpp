@@ -57,6 +57,10 @@ sim::Task<void> TpccCluster::client_loop(
 RunResult TpccCluster::run(sim::Nanos warmup, sim::Nanos duration) {
   sim_.run_for(warmup);
   sys_->reset_stats();
+  // Telemetry measures the same window as the latency samples: drop
+  // whatever accumulated during warmup (or a previous window).
+  fabric_.telemetry().metrics.reset_values();
+  fabric_.telemetry().tracer.clear();
   samples_.clear();
   recording_ = true;
   const std::uint64_t before = sys_->total_completed();

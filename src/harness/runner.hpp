@@ -49,6 +49,9 @@ class TpccCluster {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] core::System& system() { return *sys_; }
   [[nodiscard]] rdma::Fabric& fabric() { return fabric_; }
+  /// The cluster-wide telemetry hub (owned by the fabric). Disabled by
+  /// default; call telemetry().enable_all() before run() to collect.
+  [[nodiscard]] telemetry::Hub& telemetry() { return fabric_.telemetry(); }
   [[nodiscard]] int partitions() const { return partitions_; }
   [[nodiscard]] int replicas() const { return replicas_; }
 

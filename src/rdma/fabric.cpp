@@ -17,6 +17,22 @@ bool in_bounds(const MemoryRegion& region, std::uint64_t offset,
 
 }  // namespace
 
+Fabric::Fabric(sim::Simulator& sim, LatencyModel model, std::uint64_t seed)
+    : sim_(&sim),
+      model_(model),
+      rng_(seed),
+      hub_(std::make_unique<telemetry::Hub>(sim)) {
+  auto& m = hub_->metrics;
+  ctr_reads_ = &m.counter("rdma", "read_ops");
+  ctr_writes_ = &m.counter("rdma", "write_ops");
+  ctr_writes_async_ = &m.counter("rdma", "write_async_ops");
+  ctr_read_bytes_ = &m.counter("rdma", "read_bytes");
+  ctr_write_bytes_ = &m.counter("rdma", "write_bytes");
+  ctr_errors_ = &m.counter("rdma", "completion_errors");
+  ctr_bad_addr_ = &m.counter("rdma", "bad_address");
+  hist_queue_wait_ = &m.histogram("rdma", "nic_queue_wait_ns");
+}
+
 sim::Nanos Fabric::jitter(sim::Nanos base) {
   double scaled = static_cast<double>(base);
   if (model_.oversub_nodes != 0 && nodes_.size() > model_.oversub_nodes) {
@@ -32,6 +48,9 @@ sim::Nanos Fabric::depart(std::int32_t initiator) {
   const sim::Nanos now = sim_->now();
   sim::Nanos& free_at = nic_free_at_[initiator];
   const sim::Nanos at = std::max(now + model_.post_overhead, free_at);
+  // Send-side serialization wait: how long the verb sat behind earlier
+  // posts before the NIC picked it up.
+  hist_queue_wait_->observe(at - (now + model_.post_overhead));
   free_at = at;
   return at;
 }
@@ -49,10 +68,16 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
                                    std::span<std::byte> out) {
   ++stats_.reads;
   stats_.read_bytes += out.size();
+  ctr_reads_->inc();
+  ctr_read_bytes_->inc(out.size());
+  auto span = hub_->tracer.span("rdma", "read", initiator);
+  span.arg("target", static_cast<std::uint64_t>(addr.node));
+  span.arg("bytes", out.size());
 
   Node& target = node(addr.node);
   if (!in_bounds(target.region(addr.mr), addr.offset, out.size())) {
     ++stats_.failures;
+    ctr_bad_addr_->inc();
     co_return Completion{Status::kBadAddress};
   }
 
@@ -67,6 +92,8 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
 
   if (!target.alive()) {
     ++stats_.failures;
+    ctr_errors_->inc();
+    span.arg("wc_error", 1);
     const sim::Nanos err_at = departed + model_.failure_detect;
     if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
     co_return Completion{Status::kRemoteFailure};
@@ -100,10 +127,16 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
                                     std::span<const std::byte> data) {
   ++stats_.writes;
   stats_.write_bytes += data.size();
+  ctr_writes_->inc();
+  ctr_write_bytes_->inc(data.size());
+  auto span = hub_->tracer.span("rdma", "write", initiator);
+  span.arg("target", static_cast<std::uint64_t>(addr.node));
+  span.arg("bytes", data.size());
 
   Node& target = node(addr.node);
   if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
     ++stats_.failures;
+    ctr_bad_addr_->inc();
     co_return Completion{Status::kBadAddress};
   }
 
@@ -119,6 +152,8 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
 
   if (!target.alive()) {
     ++stats_.failures;
+    ctr_errors_->inc();
+    span.arg("wc_error", 1);
     const sim::Nanos err_at = departed + model_.failure_detect;
     if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
     co_return Completion{Status::kRemoteFailure};
@@ -134,10 +169,13 @@ void Fabric::write_async(std::int32_t initiator, RAddr addr,
                          std::span<const std::byte> data) {
   ++stats_.writes;
   stats_.write_bytes += data.size();
+  ctr_writes_async_->inc();
+  ctr_write_bytes_->inc(data.size());
 
   Node& target = node(addr.node);
   if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
     ++stats_.failures;
+    ctr_bad_addr_->inc();
     return;
   }
 
@@ -146,6 +184,15 @@ void Fabric::write_async(std::int32_t initiator, RAddr addr,
   const sim::Nanos arrive = arrival_on_channel(
       initiator, addr.node, departed + jitter(model_.write_base) +
                                 model_.transfer_time(data.size()));
+
+  // The arrival instant is known synchronously, so the span covers the
+  // wire flight of the fire-and-forget write.
+  {
+    auto span = hub_->tracer.span("rdma", "write_async", initiator);
+    span.arg("target", static_cast<std::uint64_t>(addr.node));
+    span.arg("bytes", data.size());
+    span.finish_at(arrive);
+  }
 
   std::vector<std::byte> payload(data.begin(), data.end());
   const std::int32_t target_id = addr.node;

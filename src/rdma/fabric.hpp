@@ -27,6 +27,7 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "telemetry/hub.hpp"
 
 namespace heron::rdma {
 
@@ -77,8 +78,7 @@ struct FabricStats {
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, LatencyModel model = {},
-         std::uint64_t seed = 42)
-      : sim_(&sim), model_(model), rng_(seed) {}
+         std::uint64_t seed = 42);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -89,10 +89,15 @@ class Fabric {
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// The telemetry hub shared by every layer attached to this fabric
+  /// (amcast endpoints, core replicas, the harness). Disabled by default.
+  [[nodiscard]] telemetry::Hub& telemetry() { return *hub_; }
+
   /// Creates a node attached to this fabric.
   Node& add_node() {
-    nodes_.push_back(
-        std::make_unique<Node>(*sim_, static_cast<std::int32_t>(nodes_.size())));
+    const auto id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(*sim_, id));
+    hub_->tracer.set_tid_name(id, "node" + std::to_string(id));
     return *nodes_.back();
   }
 
@@ -133,9 +138,20 @@ class Fabric {
   LatencyModel model_;
   sim::Rng rng_;
   FabricStats stats_;
+  std::unique_ptr<telemetry::Hub> hub_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::pair<std::int32_t, std::int32_t>, Channel> channels_;
   std::map<std::int32_t, sim::Nanos> nic_free_at_;  // send-side serialization
+
+  // Telemetry handles (registered once; recording is branch-guarded).
+  telemetry::Counter* ctr_reads_;
+  telemetry::Counter* ctr_writes_;
+  telemetry::Counter* ctr_writes_async_;
+  telemetry::Counter* ctr_read_bytes_;
+  telemetry::Counter* ctr_write_bytes_;
+  telemetry::Counter* ctr_errors_;
+  telemetry::Counter* ctr_bad_addr_;
+  telemetry::Histogram* hist_queue_wait_;
 };
 
 }  // namespace heron::rdma

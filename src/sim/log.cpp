@@ -6,12 +6,19 @@ namespace heron::sim {
 
 namespace {
 LogLevel g_level = LogLevel::kNone;
+LogSink g_sink;
 }  // namespace
 
 LogLevel log_level() noexcept { return g_level; }
 void set_log_level(LogLevel level) noexcept { g_level = level; }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
 void log_line(Nanos now, const std::string& msg) {
+  if (g_sink) {
+    g_sink(now, msg);
+    return;
+  }
   std::fprintf(stderr, "[%12.3f us] %s\n", to_us(now), msg.c_str());
 }
 

@@ -4,6 +4,7 @@
 // avoids building the message string when the level is disabled.
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -16,6 +17,14 @@ enum class LogLevel : int { kNone = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Receives every emitted log line (virtual timestamp + message).
+using LogSink = std::function<void(Nanos, const std::string&)>;
+
+/// Installs a sink replacing the default stderr writer; an empty function
+/// restores the default. Tests use this to capture output; telemetry uses
+/// it to mirror log lines into traces.
+void set_log_sink(LogSink sink);
 
 void log_line(Nanos now, const std::string& msg);
 

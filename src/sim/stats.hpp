@@ -15,7 +15,10 @@ namespace heron::sim {
 /// kept verbatim; bench runs record at most a few million points.
 class LatencyRecorder {
  public:
-  void record(Nanos v) { samples_.push_back(v); }
+  void record(Nanos v) {
+    samples_.push_back(v);
+    sorted_ = false;  // a prior percentile()/cdf() sort is now stale
+  }
   void clear() { samples_.clear(); sorted_ = false; }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -47,7 +50,7 @@ class LatencyRecorder {
   }
 
   /// Percentile in [0, 100] by nearest-rank on the sorted samples.
-  [[nodiscard]] Nanos percentile(double p) {
+  [[nodiscard]] Nanos percentile(double p) const {
     if (samples_.empty()) return 0;
     sort_samples();
     const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
@@ -56,7 +59,8 @@ class LatencyRecorder {
   }
 
   /// Evenly spaced CDF points: `n` pairs of (latency_ns, cumulative_frac).
-  [[nodiscard]] std::vector<std::pair<Nanos, double>> cdf(std::size_t n = 100) {
+  [[nodiscard]] std::vector<std::pair<Nanos, double>> cdf(
+      std::size_t n = 100) const {
     std::vector<std::pair<Nanos, double>> out;
     if (samples_.empty() || n == 0) return out;
     sort_samples();
@@ -73,15 +77,16 @@ class LatencyRecorder {
   [[nodiscard]] const std::vector<Nanos>& samples() const { return samples_; }
 
  private:
-  void sort_samples() {
+  // Sorting is a caching detail; queries stay logically const.
+  void sort_samples() const {
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
   }
 
-  std::vector<Nanos> samples_;
-  bool sorted_ = false;
+  mutable std::vector<Nanos> samples_;
+  mutable bool sorted_ = false;
 };
 
 /// Throughput bookkeeping: completed operations over a virtual-time window.

@@ -1,0 +1,23 @@
+#include "telemetry/hub.hpp"
+
+#include "sim/log.hpp"
+
+namespace heron::telemetry {
+
+void Hub::capture_logs() {
+  if (capturing_) return;
+  capturing_ = true;
+  sim::set_log_sink([this](sim::Nanos /*now*/, const std::string& msg) {
+    // The tracer stamps the current virtual time itself; log_line is
+    // always called at emit time, so the two agree.
+    tracer.instant_str("log", "log", kGlobalTid, "line", msg);
+  });
+}
+
+void Hub::release_logs() {
+  if (!capturing_) return;
+  capturing_ = false;
+  sim::set_log_sink({});
+}
+
+}  // namespace heron::telemetry

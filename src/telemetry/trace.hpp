@@ -1,0 +1,161 @@
+// Span-based tracing on virtual time.
+//
+// TraceSpan is an RAII handle: it records the begin timestamp when the
+// tracer hands it out and the end timestamp when it is finished (or
+// destroyed — safe inside coroutine frames, which destroy locals when the
+// coroutine completes). Events buffer in memory, keyed by a `tid` (the
+// simulated node id), and export as a Chrome `trace_event` JSON array
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Disabled tracing costs one branch per span/instant call. Export is
+// deterministic: virtual timestamps only, stable ordering, fixed float
+// formatting — same seed, byte-identical file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/json.hpp"
+
+namespace heron::telemetry {
+
+class Tracer;
+
+/// One key/value argument attached to a span or instant event. Values are
+/// unsigned integers (uids, byte counts, sequence numbers, timestamps).
+struct Arg {
+  const char* key;
+  std::uint64_t value;
+};
+
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& o) noexcept { steal(o); }
+  TraceSpan& operator=(TraceSpan&& o) noexcept {
+    if (this != &o) {
+      finish();
+      steal(o);
+    }
+    return *this;
+  }
+  ~TraceSpan() { finish(); }
+
+  /// Attaches a key/value argument (no-op on an inert span).
+  void arg(const char* key, std::uint64_t value);
+
+  /// Stamps the end timestamp now; idempotent. The destructor calls this.
+  void finish();
+
+  /// Stamps an explicit end timestamp (may lie in the virtual future, e.g.
+  /// the computed arrival of a fire-and-forget write).
+  void finish_at(sim::Nanos end);
+
+  /// True when this span records into a live tracer.
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  TraceSpan(Tracer* tracer, std::shared_ptr<const bool> alive,
+            std::size_t index, std::uint64_t epoch)
+      : tracer_(tracer), alive_(std::move(alive)), index_(index),
+        epoch_(epoch) {}
+  void steal(TraceSpan& o) {
+    tracer_ = o.tracer_;
+    alive_ = std::move(o.alive_);
+    index_ = o.index_;
+    epoch_ = o.epoch_;
+    o.tracer_ = nullptr;
+  }
+
+  // Open spans can outlive their tracer: coroutine frames are destroyed
+  // by the simulator, which outlives the fabric (and thus the hub) in the
+  // usual declaration order. `alive_` keeps the liveness flag valid so
+  // such a late finish() degrades to a no-op instead of touching freed
+  // memory.
+  Tracer* tracer_ = nullptr;
+  std::shared_ptr<const bool> alive_;
+  std::size_t index_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator& sim) : sim_(&sim) {}
+  ~Tracer() { *alive_ = false; }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Caps the event buffer; events past the cap are counted as dropped.
+  void set_capacity(std::size_t max_events) { capacity_ = max_events; }
+
+  /// Opens a span at the current virtual time. `cat`/`name` must be
+  /// string literals (stored by pointer). Returns an inert span when
+  /// tracing is disabled or the buffer is full.
+  [[nodiscard]] TraceSpan span(const char* cat, const char* name,
+                               std::int64_t tid);
+
+  /// Records a zero-duration instant event.
+  void instant(const char* cat, const char* name, std::int64_t tid,
+               std::initializer_list<Arg> args = {});
+
+  /// Instant event carrying one string payload (log-line capture).
+  void instant_str(const char* cat, const char* name, std::int64_t tid,
+                   const char* key, std::string text);
+
+  /// Names a tid lane in the viewer (emitted as "M" metadata events).
+  /// Later calls for the same tid replace the earlier name.
+  void set_tid_name(std::int64_t tid, std::string name) {
+    tid_names_[tid] = std::move(name);
+  }
+
+  /// Drops all buffered events. Spans still open across a clear() detach
+  /// harmlessly (epoch guard).
+  void clear();
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Chrome trace_event JSON array. Unfinished spans are skipped.
+  void write_chrome_json(JsonWriter& w) const;
+  [[nodiscard]] std::string chrome_json() const;
+  /// Writes chrome_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct Event {
+    const char* cat;
+    const char* name;
+    std::int64_t tid;
+    sim::Nanos begin;
+    sim::Nanos end;  // -1: open span; -2: instant
+    std::vector<Arg> args;
+    std::string str_key;  // non-empty: one extra string arg
+    std::string str_value;
+  };
+
+  static constexpr sim::Nanos kOpen = -1;
+  static constexpr sim::Nanos kInstant = -2;
+
+  sim::Simulator* sim_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool enabled_ = false;
+  std::size_t capacity_ = 4u << 20;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+  std::map<std::int64_t, std::string> tid_names_;  // sorted => stable export
+};
+
+}  // namespace heron::telemetry

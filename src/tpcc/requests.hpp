@@ -17,6 +17,18 @@ enum Kind : std::uint32_t {
   kStockLevel = 5,
 };
 
+/// Stable transaction-kind name for reports and traces.
+constexpr const char* kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kNewOrder: return "new_order";
+    case kPayment: return "payment";
+    case kOrderStatus: return "order_status";
+    case kDelivery: return "delivery";
+    case kStockLevel: return "stock_level";
+    default: return "unknown";
+  }
+}
+
 struct NewOrderItem {
   std::uint32_t i_id = 0;
   std::uint32_t supply_w_id = 0;
