@@ -4,13 +4,25 @@
 // small extra delay for the remaining replicas so slow ones don't become
 // laggers. This sweep varies the cutoff and reports lagger activity
 // (state transfers + skipped requests) and the throughput cost.
+// Flags: --seed <n> sets the fabric/workload seed (default 99).
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "harness/runner.hpp"
 
 using namespace heron;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = 99;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed <n>]\n", argv[0]);
+      return 2;
+    }
+  }
   std::printf(
       "Ablation: Phase-4 wait-for-all cutoff vs lagger rate "
       "(4 partitions, 3 replicas, all-multi-partition NewOrder, 1%% 150us stalls)\n\n");
@@ -24,7 +36,7 @@ int main() {
     // Inject occasional stalls (1% of requests stall 150us) so slow
     // replicas actually fall behind the fast majority.
     cfg.hiccup_prob = 0.01;
-    harness::TpccCluster cluster(4, 3, scale, cfg);
+    harness::TpccCluster cluster(4, 3, scale, cfg, {}, seed);
 
     tpcc::WorkloadConfig workload;
     workload.force_partitions = 2;  // every request coordinates

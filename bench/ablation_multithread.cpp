@@ -8,9 +8,12 @@
 // Expected: throughput scales with worker cores until another resource
 // (ordering, conflicts) binds; the conflict-heavy column shows the
 // mechanism degrading gracefully to sequential execution.
+// Flags: --seed <n> sets the fabric/client seed (default 31).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/system.hpp"
 #include "rdma/fabric.hpp"
@@ -54,10 +57,10 @@ class CpuBoundApp : public core::Application {
   std::uint64_t keys_;
 };
 
-double run_config(int threads, bool conflict_heavy) {
+double run_config(int threads, bool conflict_heavy, std::uint64_t seed) {
   constexpr std::uint64_t kKeys = 256;
   sim::Simulator sim;
-  rdma::Fabric fabric(sim, {}, 31);
+  rdma::Fabric fabric(sim, {}, seed);
   core::HeronConfig cfg;
   cfg.exec_threads = threads;
   cfg.object_region_bytes = 1u << 20;
@@ -68,8 +71,8 @@ double run_config(int threads, bool conflict_heavy) {
   constexpr int kClients = 24;
   for (int i = 0; i < kClients; ++i) {
     auto& client = sys.add_client();
-    sim.spawn([](core::Client& cl, int idx, bool hot) -> sim::Task<void> {
-      sim::Rng rng(900 + static_cast<std::uint64_t>(idx));
+    sim.spawn([seed](core::Client& cl, int idx, bool hot) -> sim::Task<void> {
+      sim::Rng rng(seed * 900 + static_cast<std::uint64_t>(idx));
       while (true) {
         // Conflict-heavy: everyone fights over 2 keys; otherwise spread.
         Req req{hot ? 0 : rng.bounded(kKeys)};
@@ -90,7 +93,16 @@ double run_config(int threads, bool conflict_heavy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = 31;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed <n>]\n", argv[0]);
+      return 2;
+    }
+  }
   std::printf(
       "Ablation: multi-threaded execution (SIII-D1 extension), CPU-bound "
       "single-partition requests, 1 partition x 3 replicas, 24 clients\n\n");
@@ -98,8 +110,8 @@ int main() {
               "conflict-heavy(tps)");
   double base = 0;
   for (int threads : {1, 2, 4, 8}) {
-    const double spread = run_config(threads, false);
-    const double hot = run_config(threads, true);
+    const double spread = run_config(threads, false, seed);
+    const double hot = run_config(threads, true, seed);
     if (threads == 1) base = spread;
     std::printf("%8d %18.0f %20.0f   (%.2fx)\n", threads, spread, hot,
                 spread / base);

@@ -1,0 +1,305 @@
+// Chaos explorer: fans out over seeds x cluster shapes x fault plans,
+// runs the bank and TPC-C workloads under fault injection, checks the
+// recorded histories against the atomic multicast + SMR oracles
+// (src/faultlab/history.hpp) and emits a machine-readable report naming
+// the exact (seed, plan) needed to reproduce any violation:
+//
+//   chaos_explorer [--quick] [--seed <s>] [--plan <name>]
+//                  [--json <path>]          (default BENCH_chaos.json)
+//
+// Exit code is non-zero when any oracle reported a violation.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faultlab/bank.hpp"
+#include "faultlab/history.hpp"
+#include "faultlab/injector.hpp"
+#include "faultlab/plan.hpp"
+#include "rdma/fabric.hpp"
+#include "telemetry/json.hpp"
+#include "tpcc/app.hpp"
+#include "tpcc/gen.hpp"
+
+using namespace heron;
+
+namespace {
+
+struct NamedPlan {
+  const char* name;
+  const char* text;
+};
+
+// Every plan targets g0 so it is valid for all shapes. The partition blip
+// stays below the heartbeat suspicion window (4 x 50us) on purpose: cuts
+// long enough to trigger a takeover are exercised by crash plans instead.
+constexpr NamedPlan kPlans[] = {
+    {"none", ""},
+    {"crash-follower", "crash g0.r2 @ 2ms; restart g0.r2 @ 8ms"},
+    {"crash-leader", "crash g0.r0 @ 2ms; restart g0.r0 @ 12ms"},
+    {"latency-spike", "latency x8 @ 2ms for 3ms"},
+    {"bandwidth-drop", "bandwidth x0.2 @ 2ms for 3ms"},
+    {"partition-blip", "partition g0.r2 @ 2ms for 150us"},
+    {"jitter-burst", "jitter p0.4 40us @ 2ms for 4ms"},
+    {"double-fault",
+     "crash g0.r1 @ 2ms; latency x4 @ 3ms for 2ms; restart g0.r1 @ 12ms"},
+};
+
+struct Shape {
+  int partitions;
+  int replicas;
+};
+
+struct Options {
+  bool quick = false;
+  std::uint64_t seed = 0;  // 0 = sweep the default seed list
+  std::string plan;        // empty = all plans
+  std::string json_path = "BENCH_chaos.json";
+};
+
+struct CellOutcome {
+  std::uint64_t completed = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t deliveries = 0;
+  std::vector<faultlab::Violation> violations;
+};
+
+/// One bank cell: finite closed-loop transfer clients under the plan,
+/// then the full oracle suite (the workload records invoke/response).
+CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
+                          std::uint64_t seed) {
+  constexpr std::uint64_t kAccounts = 8;
+  constexpr int kClients = 3;
+  constexpr int kOps = 40;
+
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  core::HeronConfig cfg;
+  cfg.object_region_bytes = 1u << 20;
+  core::System sys(
+      fabric, shape.partitions, shape.replicas,
+      [shape, accounts = kAccounts] {
+        return std::make_unique<faultlab::BankApp>(shape.partitions, accounts);
+      },
+      cfg);
+  faultlab::HistoryRecorder history;
+  history.attach(sys);
+  sys.start();
+
+  for (int c = 0; c < kClients; ++c) {
+    sim.spawn(faultlab::bank_client_loop(
+        sys, sys.add_client(), history,
+        seed * 1000 + static_cast<std::uint64_t>(c), kOps, kAccounts));
+  }
+  faultlab::Injector injector(sys);
+  injector.run(plan);
+
+  // Generous cap: the workload quiesces long before this, leaving the
+  // grace the followers need to finish their delivery tails.
+  sim.run_for(sim::ms(500));
+
+  CellOutcome out;
+  out.expected = static_cast<std::uint64_t>(kClients) * kOps;
+  out.completed = sys.total_completed();
+  out.deliveries = history.deliveries().size();
+  out.violations =
+      check_amcast_properties(history, sys, injector.ever_crashed());
+  faultlab::check_store_convergence(sys, out.violations);
+
+  // Application-level oracle: transfers conserve the total balance.
+  const std::int64_t want = static_cast<std::int64_t>(shape.partitions) *
+                            static_cast<std::int64_t>(kAccounts) * 1000;
+  for (int r = 0; r < shape.replicas; ++r) {
+    if (!sys.replica(0, r).node().alive()) continue;
+    const std::int64_t got = faultlab::bank_total(sys, r, kAccounts);
+    if (got != want) {
+      out.violations.push_back(faultlab::Violation{
+          "conservation", "rank " + std::to_string(r) + " total " +
+                              std::to_string(got) + " != " +
+                              std::to_string(want)});
+    }
+  }
+  return out;
+}
+
+sim::Task<void> tpcc_client_loop(core::Client& client,
+                                 faultlab::HistoryRecorder& history,
+                                 std::unique_ptr<tpcc::WorkloadGen> gen,
+                                 int ops) {
+  std::uint32_t submits = 0;
+  for (int k = 0; k < ops; ++k) {
+    tpcc::GeneratedRequest req = gen->next();
+    const amcast::MsgUid uid = amcast::make_uid(client.id(), ++submits);
+    history.record_invoke(uid, req.dst);
+    co_await client.submit(req.dst, req.kind, req.payload);
+    history.record_response(uid);
+  }
+}
+
+/// One TPC-C cell: a small scale factor, one finite client per partition.
+CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
+                          std::uint64_t seed) {
+  constexpr int kOps = 25;
+  const tpcc::TpccScale scale{.factor = 0.01, .initial_orders_per_district = 6};
+
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  core::HeronConfig cfg;
+  cfg.object_region_bytes = scale.region_bytes(1.4) + (8u << 20);
+  core::System sys(
+      fabric, shape.partitions, shape.replicas,
+      [shape, scale, seed] {
+        return std::make_unique<tpcc::TpccApp>(shape.partitions, scale, seed);
+      },
+      cfg);
+  faultlab::HistoryRecorder history;
+  history.attach(sys);
+  sys.start();
+
+  for (int p = 0; p < shape.partitions; ++p) {
+    tpcc::WorkloadConfig wl;
+    wl.partitions = shape.partitions;
+    wl.scale = scale;
+    auto gen = std::make_unique<tpcc::WorkloadGen>(
+        wl, static_cast<std::uint32_t>(p),
+        seed * 7919 + static_cast<std::uint64_t>(p) + 1);
+    sim.spawn(tpcc_client_loop(sys.add_client(), history, std::move(gen),
+                               kOps));
+  }
+  faultlab::Injector injector(sys);
+  injector.run(plan);
+
+  sim.run_for(sim::ms(500));
+
+  CellOutcome out;
+  out.expected =
+      static_cast<std::uint64_t>(shape.partitions) * kOps;
+  out.completed = sys.total_completed();
+  out.deliveries = history.deliveries().size();
+  out.violations =
+      check_amcast_properties(history, sys, injector.ever_crashed());
+  faultlab::check_store_convergence(sys, out.violations);
+  return out;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      opt.quick = true;
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--plan" && i + 1 < argc) {
+      opt.plan = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--seed <s>] [--plan <name>] "
+                   "[--json <path>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  std::vector<std::uint64_t> seeds =
+      opt.quick ? std::vector<std::uint64_t>{1, 2}
+                : std::vector<std::uint64_t>{1, 2, 3};
+  if (opt.seed != 0) seeds = {opt.seed};
+  const std::vector<Shape> shapes =
+      opt.quick ? std::vector<Shape>{{2, 3}}
+                : std::vector<Shape>{{1, 3}, {2, 3}, {3, 3}};
+
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "chaos_explorer");
+  w.kv("quick", opt.quick);
+  w.key("cells").begin_array();
+
+  std::uint64_t total_violations = 0;
+  int cells = 0;
+  for (const auto& named : kPlans) {
+    if (!opt.plan.empty() && opt.plan != named.name) continue;
+    const auto plan = faultlab::FaultPlan::parse(named.name, named.text);
+    for (const Shape shape : shapes) {
+      for (const std::uint64_t seed : seeds) {
+        for (const char* workload : {"bank", "tpcc"}) {
+          // TPC-C is the heavier half; in quick mode only run it against
+          // the plans that exercise the restart machinery.
+          const bool tpcc_cell = std::string(workload) == "tpcc";
+          if (tpcc_cell && opt.quick && opt.plan.empty() &&
+              std::string(named.name) != "none" &&
+              std::string(named.name) != "crash-follower") {
+            continue;
+          }
+          const CellOutcome out =
+              tpcc_cell ? run_tpcc_cell(shape, plan, seed)
+                        : run_bank_cell(shape, plan, seed);
+          ++cells;
+          total_violations += out.violations.size();
+
+          w.begin_object();
+          w.kv("workload", workload);
+          w.kv("partitions", shape.partitions);
+          w.kv("replicas", shape.replicas);
+          w.kv("plan", named.name);
+          w.kv("plan_text", named.text);
+          w.kv("seed", seed);
+          w.kv("completed", out.completed);
+          w.kv("expected", out.expected);
+          w.kv("deliveries", out.deliveries);
+          w.key("violations").begin_array();
+          for (const auto& v : out.violations) {
+            w.begin_object();
+            w.kv("oracle", v.oracle);
+            w.kv("detail", v.detail);
+            w.end_object();
+          }
+          w.end_array();
+          w.kv("repro", std::string(argv[0]) + " --seed " +
+                            std::to_string(seed) + " --plan " + named.name);
+          w.end_object();
+
+          std::printf("%-5s p=%d r=%d seed=%llu plan=%-15s %llu/%llu%s\n",
+                      workload, shape.partitions, shape.replicas,
+                      static_cast<unsigned long long>(seed), named.name,
+                      static_cast<unsigned long long>(out.completed),
+                      static_cast<unsigned long long>(out.expected),
+                      out.violations.empty() ? "" : "  VIOLATIONS");
+          for (const auto& v : out.violations) {
+            std::printf("    [%s] %s\n", v.oracle.c_str(), v.detail.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  w.end_array();
+  w.kv("cells", cells);
+  w.kv("total_violations", total_violations);
+  w.end_object();
+
+  if (!opt.json_path.empty()) {
+    FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 2;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fclose(f);
+    std::printf("report -> %s\n", opt.json_path.c_str());
+  }
+
+  std::printf("%d cells, %llu violations\n", cells,
+              static_cast<unsigned long long>(total_violations));
+  return total_violations == 0 ? 0 : 1;
+}

@@ -14,7 +14,10 @@
 //                   and export a Chrome trace_event file (load it in
 //                   chrome://tracing or https://ui.perfetto.dev)
 //   --quick         short windows and fewer cells (CI smoke mode)
+//   --seed <n>      fabric/workload seed (default 99), echoed into the
+//                   report so any run can be reproduced exactly
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -30,10 +33,12 @@ struct Options {
   std::string json_path;
   std::string trace_path;
   bool quick = false;
+  std::uint64_t seed = 99;
 };
 
 harness::RunResult run_config(core::Mode mode, bool local_only, int partitions,
-                              int clients_per_partition, bool quick) {
+                              int clients_per_partition, bool quick,
+                              std::uint64_t seed) {
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
   core::HeronConfig cfg;
   cfg.mode = mode;
@@ -41,7 +46,7 @@ harness::RunResult run_config(core::Mode mode, bool local_only, int partitions,
   // switch (the 8WH->16WH step softens, §V-C1).
   rdma::LatencyModel fabric;
   fabric.oversub_nodes = 40;
-  harness::TpccCluster cluster(partitions, 3, scale, cfg, {}, 99, fabric);
+  harness::TpccCluster cluster(partitions, 3, scale, cfg, {}, seed, fabric);
 
   tpcc::WorkloadConfig workload;
   workload.local_only = local_only;
@@ -83,9 +88,12 @@ Options parse_args(int argc, char** argv) {
       opt.trace_path = argv[++i];
     } else if (a == "--quick") {
       opt.quick = true;
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>] [--trace <path>] [--quick]\n",
+                   "usage: %s [--json <path>] [--trace <path>] [--quick] "
+                   "[--seed <n>]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -127,14 +135,15 @@ int main(int argc, char** argv) {
   for (const auto& set : sets) {
     std::vector<double> tput;
     for (int wh : warehouses) {
-      harness::RunResult result =
-          run_config(set.mode, set.local_only, wh, set.clients, opt.quick);
+      harness::RunResult result = run_config(set.mode, set.local_only, wh,
+                                             set.clients, opt.quick, opt.seed);
       tput.push_back(result.throughput_tps);
       if (!opt.json_path.empty()) {
         report.row(std::string(set.label) + "/" + std::to_string(wh) + "wh",
                    result, [&](telemetry::JsonWriter& w) {
                      w.kv("set", set.label);
                      w.kv("warehouses", wh);
+                     w.kv("seed", opt.seed);
                    });
       }
     }

@@ -3,11 +3,20 @@
 //
 // Paper shape: Heron outperforms DynaStar by 17x (1WH) up to 27x (16WH)
 // in throughput, and DynaStar's latency is 44x-72x higher.
+//
+// Flags:
+//   --json <path>   machine-readable report (one row per system x WH)
+//   --quick         fewer warehouses, shorter windows (CI smoke mode)
+//   --seed <n>      fabric/workload seed (default 99), echoed into the
+//                   report so any run can be reproduced exactly
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dynastar/system.hpp"
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 
 using namespace heron;
@@ -16,27 +25,28 @@ namespace {
 
 const tpcc::TpccScale kScale{.factor = 0.02, .initial_orders_per_district = 10};
 
-struct Point {
-  double tput;
-  double latency_us;
+struct Options {
+  std::string json_path;
+  bool quick = false;
+  std::uint64_t seed = 99;
 };
 
-Point run_heron(int partitions) {
-  harness::TpccCluster cluster(partitions, 3, kScale);
+harness::RunResult run_heron(int partitions, const Options& opt) {
+  harness::TpccCluster cluster(partitions, 3, kScale, {}, {}, opt.seed);
   tpcc::WorkloadConfig workload;
   cluster.add_clients(/*per_partition=*/8, workload);
-  auto result = cluster.run(sim::ms(15), sim::ms(60));
-  return {result.throughput_tps, result.latency.mean() / 1000.0};
+  return opt.quick ? cluster.run(sim::ms(3), sim::ms(12))
+                   : cluster.run(sim::ms(15), sim::ms(60));
 }
 
-Point run_dynastar(int partitions) {
+harness::RunResult run_dynastar(int partitions, const Options& opt) {
   sim::Simulator sim;
   dynastar::Config cfg;
   cfg.store_bytes = kScale.region_bytes(1.4) + (32u << 20);
   dynastar::DynastarSystem sys(
       sim, partitions, 3,
-      [partitions] {
-        return std::make_unique<tpcc::TpccApp>(partitions, kScale, 99);
+      [partitions, seed = opt.seed] {
+        return std::make_unique<tpcc::TpccApp>(partitions, kScale, seed);
       },
       cfg);
   sys.start();
@@ -51,7 +61,7 @@ Point run_dynastar(int partitions) {
       auto& client = sys.add_client();
       auto gen = std::make_unique<tpcc::WorkloadGen>(
           workload, static_cast<std::uint32_t>(p),
-          1234u + static_cast<std::uint64_t>(p * 100 + c));
+          opt.seed * 100 + static_cast<std::uint64_t>(p * 100 + c) + 1);
       sim.spawn([](dynastar::Client& cl, tpcc::WorkloadGen* g)
                     -> sim::Task<void> {
         while (true) {
@@ -63,41 +73,92 @@ Point run_dynastar(int partitions) {
     }
   }
 
-  sim.run_for(sim::ms(100));  // warmup
+  sim.run_for(opt.quick ? sim::ms(20) : sim::ms(100));  // warmup
   sys.reset_stats();
-  const sim::Nanos window = sim::ms(400);
+  const sim::Nanos window = opt.quick ? sim::ms(80) : sim::ms(400);
   sim.run_for(window);
 
-  double latency_sum = 0;
-  std::uint64_t samples = 0;
+  harness::RunResult result;
+  result.window = window;
+  result.completed = sys.total_completed();
+  result.throughput_tps =
+      static_cast<double>(sys.total_completed()) / sim::to_sec(window);
   for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(partitions * 8);
        ++i) {
-    auto& lat = sys.client(i).latencies();
-    latency_sum += lat.mean() * static_cast<double>(lat.count());
-    samples += lat.count();
+    for (auto v : sys.client(i).latencies().samples()) {
+      result.latency.record(v);
+    }
   }
-  return {static_cast<double>(sys.total_completed()) / sim::to_sec(window),
-          samples ? latency_sum / static_cast<double>(samples) / 1000.0 : 0.0};
+  return result;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (a == "--quick") {
+      opt.quick = true;
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--quick] [--seed <n>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  harness::ReportWriter report("fig5_vs_dynastar");
+
   std::printf(
       "Figure 5: Heron vs DynaStar, TPC-C (3 replicas/partition, 8 "
       "clients/partition)\n\n");
   std::printf("%4s %14s %14s %8s %16s %16s %9s\n", "WH", "heron(tps)",
               "dynastar(tps)", "speedup", "heron lat(us)", "dynastar lat(us)",
               "lat ratio");
-  for (int wh : {1, 2, 4, 8, 16}) {
-    const Point h = run_heron(wh);
-    const Point d = run_dynastar(wh);
-    std::printf("%4d %14.0f %14.0f %7.1fx %16.1f %16.1f %8.1fx\n", wh, h.tput,
-                d.tput, h.tput / d.tput, h.latency_us, d.latency_us,
-                d.latency_us / h.latency_us);
+  std::vector<int> warehouses = {1, 2, 4, 8, 16};
+  if (opt.quick) warehouses = {1, 2};
+  for (int wh : warehouses) {
+    const auto h = run_heron(wh, opt);
+    const auto d = run_dynastar(wh, opt);
+    const double h_lat = h.latency.mean() / 1000.0;
+    const double d_lat = d.latency.empty() ? 0.0 : d.latency.mean() / 1000.0;
+    std::printf("%4d %14.0f %14.0f %7.1fx %16.1f %16.1f %8.1fx\n", wh,
+                h.throughput_tps, d.throughput_tps,
+                h.throughput_tps / d.throughput_tps, h_lat, d_lat,
+                h_lat > 0 ? d_lat / h_lat : 0.0);
+    if (!opt.json_path.empty()) {
+      for (const auto* cell : {&h, &d}) {
+        const char* system = cell == &h ? "heron" : "dynastar";
+        report.row(std::string(system) + "/" + std::to_string(wh) + "wh",
+                   *cell, [&](telemetry::JsonWriter& w) {
+                     w.kv("system", system);
+                     w.kv("warehouses", wh);
+                     w.kv("seed", opt.seed);
+                   });
+      }
+    }
   }
-  std::printf(
-      "\npaper: Heron outperforms DynaStar 17x (1WH) to 27x (16WH); "
-      "DynaStar latency 43.9x-72.0x higher\n");
+  if (!opt.quick) {
+    std::printf(
+        "\npaper: Heron outperforms DynaStar 17x (1WH) to 27x (16WH); "
+        "DynaStar latency 43.9x-72.0x higher\n");
+  }
+
+  if (!opt.json_path.empty()) {
+    if (report.finish_to_file(opt.json_path)) {
+      std::printf("report -> %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "report: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

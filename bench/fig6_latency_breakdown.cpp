@@ -12,7 +12,10 @@
 //                   plus the stage-mean breakdown
 //   --trace <path>  run the plain-TPCC case with tracing enabled and
 //                   export the measurement window as a Chrome trace
+//   --seed <n>      fabric/workload seed (default 99), echoed into the
+//                   report so any run can be reproduced exactly
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "harness/report.hpp"
@@ -25,6 +28,7 @@ namespace {
 struct Options {
   std::string json_path;
   std::string trace_path;
+  std::uint64_t seed = 99;
 };
 
 struct Row {
@@ -36,9 +40,11 @@ struct Row {
 };
 
 Row run_case(const char* label, bool plain_tpcc, int span,
-             harness::ReportWriter* report, const std::string& trace_path) {
+             harness::ReportWriter* report, const Options& opt) {
+  const std::string& trace_path = opt.trace_path;
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
-  harness::TpccCluster cluster(/*partitions=*/4, /*replicas=*/3, scale);
+  harness::TpccCluster cluster(/*partitions=*/4, /*replicas=*/3, scale, {}, {},
+                               opt.seed);
 
   tpcc::WorkloadConfig workload;
   workload.new_order_only = true;  // the paper's Fig. 6 uses NewOrder streams
@@ -79,6 +85,7 @@ Row run_case(const char* label, bool plain_tpcc, int span,
       w.kv("ordering_us", row.ordering_us);
       w.kv("coordination_us", row.coord_us);
       w.kv("execution_us", row.exec_us);
+      w.kv("seed", opt.seed);
     });
   }
 
@@ -101,8 +108,11 @@ int main(int argc, char** argv) {
       opt.json_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       opt.trace_path = argv[++i];
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--trace <path>] [--seed <n>]\n",
                    argv[0]);
       return 2;
     }
@@ -117,11 +127,9 @@ int main(int argc, char** argv) {
       "coordination ~2; coordination <= ~3us at 4WH\n\n");
 
   Row rows[] = {
-      run_case("tpcc", true, 0, rep, opt.trace_path),
-      run_case("1WH", false, 1, rep, opt.trace_path),
-      run_case("2WH", false, 2, rep, opt.trace_path),
-      run_case("3WH", false, 3, rep, opt.trace_path),
-      run_case("4WH", false, 4, rep, opt.trace_path),
+      run_case("tpcc", true, 0, rep, opt), run_case("1WH", false, 1, rep, opt),
+      run_case("2WH", false, 2, rep, opt), run_case("3WH", false, 3, rep, opt),
+      run_case("4WH", false, 4, rep, opt),
   };
 
   std::printf("\n%-8s %12s %14s %12s %12s\n", "workload", "ordering(us)",

@@ -11,15 +11,28 @@
 //     serialized + 72.5 ms non-serialized).
 //
 // Data moves in 32 KB RDMA writes (§V-E2).
+//
+// Flags:
+//   --json <path>   machine-readable report (one row per case)
+//   --seed <n>      fabric seed (default 7), echoed into the report so
+//                   any run can be reproduced exactly
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "core/system.hpp"
+#include "harness/report.hpp"
 #include "rdma/fabric.hpp"
 
 using namespace heron;
 
 namespace {
+
+struct Options {
+  std::string json_path;
+  std::uint64_t seed = 7;
+};
 
 /// Synthetic application: `count` objects of `size` bytes; kTouch writes
 /// every object (populating the update log); kNoop writes nothing.
@@ -61,15 +74,17 @@ class StateApp : public core::Application {
 struct Measured {
   double avg_us;
   double stddev_us;
+  sim::LatencyRecorder lat;
 };
 
 /// Measures `runs` state transfers of `total_bytes` (0 = protocol only).
-Measured run_case(std::uint64_t total_bytes, bool serialized, int runs = 5) {
+Measured run_case(const Options& opt, std::uint64_t total_bytes,
+                  bool serialized, int runs = 5) {
   constexpr std::uint32_t kObjSize = 16u << 10;
   const std::uint64_t count = total_bytes / kObjSize;
 
   sim::Simulator sim;
-  rdma::Fabric fabric(sim, rdma::LatencyModel{}, 7);
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, opt.seed);
   core::HeronConfig cfg;
   // Large transfers outlast the default handler-suspicion timeout; keep
   // backup candidates from starting duplicate transfers.
@@ -107,12 +122,45 @@ Measured run_case(std::uint64_t total_bytes, bool serialized, int runs = 5) {
   // Heartbeat loops run forever; advance time until the script finishes.
   while (!done) sim.run_for(sim::ms(20));
 
-  return {lat.mean() / 1000.0, lat.stddev() / 1000.0};
+  return {lat.mean() / 1000.0, lat.stddev() / 1000.0, lat};
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--seed <n>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  harness::ReportWriter report("fig8_state_transfer");
+  auto add_row = [&](const char* name, std::uint64_t bytes, bool serialized,
+                     const Measured& m) {
+    if (opt.json_path.empty()) return;
+    harness::RunResult result;
+    result.completed = m.lat.count();
+    result.latency = m.lat;
+    report.row(name, result, [&](telemetry::JsonWriter& w) {
+      w.kv("bytes", bytes);
+      w.kv("serialized", serialized);
+      w.kv("avg_us", m.avg_us);
+      w.kv("stddev_us", m.stddev_us);
+      w.kv("seed", opt.seed);
+    });
+  };
+
   std::printf(
       "Figure 8: state transfer latency (32KB RDMA write chunks)\n"
       "paper: protocol-only = 2 RDMA writes; 64KB serialized ~26us; "
@@ -120,31 +168,49 @@ int main() {
       "non-serialized path\n\n");
   std::printf("%-22s %14s %12s\n", "case", "avg latency", "stddev");
 
-  const auto protocol = run_case(0, true);
+  const auto protocol = run_case(opt, 0, true);
   std::printf("%-22s %11.1f us %9.1f us\n", "protocol (no data)",
               protocol.avg_us, protocol.stddev_us);
+  add_row("protocol", 0, true, protocol);
 
   const std::uint64_t sizes[] = {64u << 10, 640u << 10, 6400u << 10};
   const char* labels[] = {"64KB", "640KB", "6.4MB"};
   for (int i = 0; i < 3; ++i) {
-    const auto ser = run_case(sizes[i], true);
+    const auto ser = run_case(opt, sizes[i], true);
     std::printf("%-17s ser. %11.1f us %9.1f us\n", labels[i], ser.avg_us,
                 ser.stddev_us);
-    const auto raw = run_case(sizes[i], false);
+    add_row((std::string(labels[i]) + "/serialized").c_str(), sizes[i], true,
+            ser);
+    const auto raw = run_case(opt, sizes[i], false);
     std::printf("%-17s non. %11.1f us %9.1f us\n", labels[i], raw.avg_us,
                 raw.stddev_us);
+    add_row((std::string(labels[i]) + "/non-serialized").c_str(), sizes[i],
+            false, raw);
   }
 
   // Full TPC-C warehouse: 105.3 MB serialized + 32.39 MB non-serialized.
   const auto wh_ser =
-      run_case(static_cast<std::uint64_t>(105.3 * (1u << 20)), true, 2);
+      run_case(opt, static_cast<std::uint64_t>(105.3 * (1u << 20)), true, 2);
   const auto wh_raw =
-      run_case(static_cast<std::uint64_t>(32.39 * (1u << 20)), false, 2);
+      run_case(opt, static_cast<std::uint64_t>(32.39 * (1u << 20)), false, 2);
+  add_row("warehouse/serialized",
+          static_cast<std::uint64_t>(105.3 * (1u << 20)), true, wh_ser);
+  add_row("warehouse/non-serialized",
+          static_cast<std::uint64_t>(32.39 * (1u << 20)), false, wh_raw);
   std::printf("%-22s %11.1f ms\n", "warehouse serialized",
               wh_ser.avg_us / 1000.0);
   std::printf("%-22s %11.1f ms\n", "warehouse non-serial.",
               wh_raw.avg_us / 1000.0);
   std::printf("%-22s %11.1f ms   (paper: 109.4 ms = 36.9 + 72.5)\n",
               "warehouse total", (wh_ser.avg_us + wh_raw.avg_us) / 1000.0);
+
+  if (!opt.json_path.empty()) {
+    if (report.finish_to_file(opt.json_path)) {
+      std::printf("report -> %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "report: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,7 +3,12 @@
 // operations. These document the calibrated cost model underlying every
 // figure (values are *simulated* time per operation, reported as
 // microseconds via the Lat counter; wall time measures simulator speed).
+// Flags: --seed <n> sets the fabric seed used by the randomized cases
+// (default 5); remaining flags go to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 
 #include "amcast/system.hpp"
 #include "core/object_store.hpp"
@@ -13,6 +18,8 @@
 using namespace heron;
 
 namespace {
+
+std::uint64_t g_seed = 5;
 
 void BM_RdmaReadLatency(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
@@ -76,7 +83,7 @@ void BM_AmcastDelivery(benchmark::State& state) {
   std::uint64_t ops = 0;
   for (auto _ : state) {
     sim::Simulator sim;
-    rdma::Fabric fabric(sim, {}, 5);
+    rdma::Fabric fabric(sim, {}, g_seed);
     amcast::System sys(fabric, groups, 3);
     sys.start();
     auto& client = sys.add_client();
@@ -133,4 +140,20 @@ BENCHMARK(BM_SimulatorEventThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --seed before google-benchmark sees the arguments.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      g_seed = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,7 +5,9 @@
 # Usage: bench/run_all.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding bench/ binaries (default: build)
 #   out_dir    where to put the artifacts (default: .)
-# Env: QUICK=1 runs fig4 in smoke mode (short windows, fewer cells).
+# Env:
+#   QUICK=1    smoke mode (short windows, fewer cells) where supported
+#   SEED=<n>   pass --seed <n> to every benchmark (reproducible reports)
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -18,17 +20,39 @@ if [[ ! -x "$build_dir/bench/fig4_throughput" ]]; then
   exit 1
 fi
 
-fig4_flags=()
-[[ "${QUICK:-0}" == "1" ]] && fig4_flags+=(--quick)
+quick_flags=()
+[[ "${QUICK:-0}" == "1" ]] && quick_flags+=(--quick)
+seed_flags=()
+[[ -n "${SEED:-}" ]] && seed_flags+=(--seed "$SEED")
 
 echo "== fig4_throughput =="
-"$build_dir/bench/fig4_throughput" "${fig4_flags[@]}" \
+"$build_dir/bench/fig4_throughput" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_fig4_throughput.json" \
   --trace "$out_dir/BENCH_fig4.trace.json"
 
+echo "== fig5_vs_dynastar =="
+"$build_dir/bench/fig5_vs_dynastar" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_fig5_vs_dynastar.json"
+
 echo "== fig6_latency_breakdown =="
-"$build_dir/bench/fig6_latency_breakdown" \
+"$build_dir/bench/fig6_latency_breakdown" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_fig6_latency_breakdown.json"
+
+echo "== fig7_txn_latency =="
+"$build_dir/bench/fig7_txn_latency" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_fig7_txn_latency.json"
+
+echo "== fig8_state_transfer =="
+"$build_dir/bench/fig8_state_transfer" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_fig8_state_transfer.json"
+
+echo "== table1_wait_for_all =="
+"$build_dir/bench/table1_wait_for_all" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_table1_wait_for_all.json"
+
+echo "== chaos_explorer =="
+"$build_dir/bench/chaos_explorer" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_chaos.json"
 
 echo
 echo "artifacts:"

@@ -6,19 +6,34 @@
 // increases with the partition id while the average delay decreases
 // (consequence of the coordination-write order: smallest partition id
 // first, then replica id).
+//
+// Flags:
+//   --json <path>   machine-readable report (one row per configuration,
+//                   with the per-partition delay stats inlined)
+//   --seed <n>      fabric/workload seed (default 99), echoed into the
+//                   report so any run can be reproduced exactly
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 
 using namespace heron;
 
 namespace {
 
-void run_config(int partitions, int replicas) {
+struct Options {
+  std::string json_path;
+  std::uint64_t seed = 99;
+};
+
+void run_config(int partitions, int replicas, harness::ReportWriter* report,
+                const Options& opt) {
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
   core::HeronConfig cfg;
   cfg.coord_extra_delay = sim::us(30);  // generous cutoff: measure the wait
-  harness::TpccCluster cluster(partitions, replicas, scale, cfg);
+  harness::TpccCluster cluster(partitions, replicas, scale, cfg, {}, opt.seed);
 
   tpcc::WorkloadConfig workload;
   // All-NewOrder spanning every partition, the worst case for
@@ -34,6 +49,11 @@ void run_config(int partitions, int replicas) {
               result.throughput_tps, result.latency.mean() / 1000.0);
   std::printf("  %-12s %20s %15s\n", "partition id", "delayed transactions",
               "average delay");
+  struct PartStat {
+    double delayed_pct;
+    double avg_delay_us;
+  };
+  std::vector<PartStat> stats;
   for (int p = 0; p < partitions; ++p) {
     // Aggregate the wait-for-all statistics over the partition's replicas.
     std::uint64_t total = 0, delayed = 0;
@@ -50,21 +70,69 @@ void run_config(int partitions, int replicas) {
     const double avg_us =
         delayed ? sim::to_us(delay_sum) / static_cast<double>(delayed) : 0.0;
     std::printf("  #%-11d %19.1f%% %12.1f us\n", p + 1, frac, avg_us);
+    stats.push_back({frac, avg_us});
   }
+
+  if (report != nullptr) {
+    report->row("p" + std::to_string(partitions) + "r" +
+                    std::to_string(replicas),
+                result, [&](telemetry::JsonWriter& w) {
+                  w.kv("partitions", partitions);
+                  w.kv("replicas", replicas);
+                  w.kv("seed", opt.seed);
+                  w.key("per_partition").begin_array();
+                  for (const auto& s : stats) {
+                    w.begin_object();
+                    w.kv("delayed_pct", s.delayed_pct);
+                    w.kv("avg_delay_us", s.avg_delay_us);
+                    w.end_object();
+                  }
+                  w.end_array();
+                });
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--seed <n>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  harness::ReportWriter report("table1_wait_for_all");
+  harness::ReportWriter* rep = opt.json_path.empty() ? nullptr : &report;
+
   std::printf(
       "Table I: transaction delay when waiting for all (vs majority) "
       "replicas in Phase 4\n"
       "paper shape: delayed%% rises with partition id, average delay "
       "falls; worst case 8%% delayed; delays are a fraction of request "
       "latency\n");
-  run_config(2, 3);
-  run_config(2, 5);
-  run_config(4, 3);
-  run_config(4, 5);
+  run_config(2, 3, rep, opt);
+  run_config(2, 5, rep, opt);
+  run_config(4, 3, rep, opt);
+  run_config(4, 5, rep, opt);
+
+  if (rep != nullptr) {
+    if (report.finish_to_file(opt.json_path)) {
+      std::printf("report -> %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "report: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -108,18 +108,22 @@ void Endpoint::update_status_page() {
 // ---------------------------------------------------------------------
 
 sim::Task<void> Endpoint::inbox_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node_->region(inbox_mr_);
   const Config& cfg = system_->config();
 
   // A slot holds the next message for client c when its stored
-  // (client, ring_seq) header matches the cursor.
+  // (client, ring_seq) header matches the cursor. `ring_seq > seq` is
+  // also accepted: writes addressed to a crashed node are dropped, so a
+  // restarted replica may find the ring continuing past a gap — the gap's
+  // messages were handled by the surviving majority.
   auto slot_ready = [this, &region](std::uint32_t c) {
     const std::uint64_t seq = inbox_next_[c] + 1;
     const std::uint64_t off = inbox_slot_offset(c, seq);
     const auto uid = rdma::load_pod<MsgUid>(region.bytes(), off);
     const auto ring_seq =
         rdma::load_pod<std::uint64_t>(region.bytes(), off + sizeof(MsgUid));
-    return uid_client(uid) == c && ring_seq == seq && uid != 0;
+    return uid_client(uid) == c && ring_seq >= seq && uid != 0;
   };
   auto have_new = [this, slot_ready] {
     const std::uint32_t clients =
@@ -132,16 +136,17 @@ sim::Task<void> Endpoint::inbox_loop() {
 
   while (true) {
     co_await sim::wait_until(region.on_write(), have_new);
-    if (!node_->alive()) co_return;
+    if (stale(inc)) co_return;
     const std::uint32_t clients =
         std::min(system_->client_count(), cfg.max_clients);
     for (std::uint32_t c = 0; c < clients; ++c) {
       while (slot_ready(c)) {
-        const std::uint64_t seq = inbox_next_[c] + 1;
-        const auto msg = rdma::load_pod<WireMessage>(
-            region.bytes(), inbox_slot_offset(c, seq));
-        inbox_next_[c] = seq;
+        const std::uint64_t off = inbox_slot_offset(c, inbox_next_[c] + 1);
+        const auto msg = rdma::load_pod<WireMessage>(region.bytes(), off);
+        inbox_next_[c] =
+            rdma::load_pod<std::uint64_t>(region.bytes(), off + sizeof(MsgUid));
         co_await node_->cpu().use(cfg.inbox_proc);
+        if (stale(inc)) co_return;
         note_seen(msg);
       }
     }
@@ -168,6 +173,7 @@ void Endpoint::note_seen(const WireMessage& msg) {
 // ---------------------------------------------------------------------
 
 sim::Task<void> Endpoint::drive_message(MsgUid uid) {
+  const std::uint64_t inc = incarnation_;
   if (!is_leader()) co_return;
   {
     auto seen_it = seen_.find(uid);
@@ -181,8 +187,9 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
     ts_span.arg("uid", uid);
 
     co_await node_->cpu().use(system_->config().leader_proc);
-    // Re-validate after the await: delivery or takeover may have raced.
-    if (!is_leader() || !pending_.contains(uid)) co_return;
+    // Re-validate after the await: delivery, takeover or restart may have
+    // raced.
+    if (stale(inc) || !is_leader() || !pending_.contains(uid)) co_return;
 
     p.msg = seen_it->second;
     p.has_msg = true;
@@ -212,7 +219,7 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
   co_await sim::wait_until(node_->region(acks_mr_).on_write(), [this, seq] {
     return propose_majority_acked(seq);
   });
-  if (!node_->alive()) co_return;
+  if (stale(inc)) co_return;
 
   auto it = pending_.find(uid);
   if (it == pending_.end()) co_return;
@@ -352,6 +359,7 @@ void Endpoint::apply_record(const LogRecord& rec) {
 }
 
 sim::Task<void> Endpoint::log_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node_->region(log_mr_);
   const Config& cfg = system_->config();
 
@@ -363,13 +371,14 @@ sim::Task<void> Endpoint::log_loop() {
 
   while (true) {
     co_await sim::wait_until(region.on_write(), next_ready);
-    if (!node_->alive()) co_return;
+    if (stale(inc)) co_return;
     bool applied_any = false;
     while (next_ready()) {
       const auto tagged = rdma::load_pod<TaggedLogRecord>(
           region.bytes(), log_slot_offset(applied_seq_ + 1));
       applied_seq_ = tagged.rec.seq;
       co_await node_->cpu().use(cfg.follower_proc);
+      if (stale(inc)) co_return;
       apply_record(tagged.rec);
       applied_any = true;
     }
@@ -391,29 +400,33 @@ sim::Task<void> Endpoint::log_loop() {
 }
 
 sim::Task<void> Endpoint::props_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node_->region(props_mr_);
   const Config& cfg = system_->config();
   const std::uint32_t stripes = system_->total_replicas();
 
+  // As in the inbox, `rec.seq > cursor + 1` is accepted so a restarted
+  // replica skips past proposals dropped while it was down.
   auto have_new = [this, &region, stripes] {
     for (std::uint32_t s = 0; s < stripes; ++s) {
       const auto rec = rdma::load_pod<ProposalRecord>(
           region.bytes(), props_slot_offset(s, props_next_[s] + 1));
-      if (rec.seq == props_next_[s] + 1) return true;
+      if (rec.seq >= props_next_[s] + 1) return true;
     }
     return false;
   };
 
   while (true) {
     co_await sim::wait_until(region.on_write(), have_new);
-    if (!node_->alive()) co_return;
+    if (stale(inc)) co_return;
     for (std::uint32_t s = 0; s < stripes; ++s) {
       while (true) {
         const auto rec = rdma::load_pod<ProposalRecord>(
             region.bytes(), props_slot_offset(s, props_next_[s] + 1));
-        if (rec.seq != props_next_[s] + 1) break;
+        if (rec.seq < props_next_[s] + 1) break;
         props_next_[s] = rec.seq;
         co_await node_->cpu().use(cfg.proposal_proc);
+        if (stale(inc)) co_return;
         if (already_delivered(rec.uid)) continue;
         Pending& p = pending_[rec.uid];
         p.proposals[rec.from_group] =
@@ -467,14 +480,21 @@ void Endpoint::try_deliver() {
     ctr_deliveries_->inc();
     hub_->tracer.instant("amcast", "deliver", node_->id(),
                          {{"uid", d.uid}, {"tmp", d.tmp}});
+    if (delivery_observer_) delivery_observer_(d);
     ready_.push_back(d);
     ready_notifier_->notify_all();
   }
 }
 
 sim::Task<Delivery> Endpoint::next_delivery() {
+  const std::uint64_t inc = incarnation_;
   co_await sim::wait_until(*ready_notifier_, [this] { return !ready_.empty(); });
+  // A waiter parked across a crash+restart must not steal a delivery from
+  // the new incarnation's consumer: return an empty (uid 0) delivery,
+  // which callers discard along with their own stale frame.
+  if (stale(inc)) co_return Delivery{};
   co_await node_->cpu().use(system_->config().deliver_proc);
+  if (stale(inc)) co_return Delivery{};
   Delivery d = ready_.front();
   ready_.pop_front();
   co_return d;
@@ -513,13 +533,14 @@ std::optional<Delivery> Endpoint::try_next_delivery() {
 // ---------------------------------------------------------------------
 
 sim::Task<void> Endpoint::control_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node_->region(control_mr_);
   while (true) {
     co_await sim::wait_until(region.on_write(), [this, &region] {
       return rdma::load_pod<ControlMsg>(region.bytes(), 0).serial !=
              control_serial_;
     });
-    if (!node_->alive()) co_return;
+    if (stale(inc)) co_return;
     const auto ctl = rdma::load_pod<ControlMsg>(region.bytes(), 0);
     control_serial_ = ctl.serial;
     if (ctl.epoch > epoch_) {
@@ -541,6 +562,7 @@ sim::Task<void> Endpoint::control_loop() {
 }
 
 sim::Task<void> Endpoint::heartbeat_loop() {
+  const std::uint64_t inc = incarnation_;
   const Config& cfg = system_->config();
   auto& fabric = system_->fabric();
   std::uint64_t last_seen = 0;
@@ -548,7 +570,7 @@ sim::Task<void> Endpoint::heartbeat_loop() {
 
   while (true) {
     co_await fabric.simulator().sleep(cfg.heartbeat_interval);
-    if (!node_->alive()) co_return;
+    if (stale(inc)) co_return;
     ++hb_value_;
     rdma::store_pod(node_->region(hb_mr_).bytes(), 0, hb_value_);
     // A replica taking over keeps heartbeating (the loop above) but does
@@ -560,6 +582,7 @@ sim::Task<void> Endpoint::heartbeat_loop() {
     std::span<std::byte> buf(reinterpret_cast<std::byte*>(&hb), sizeof(hb));
     const auto completion = co_await fabric.read(
         node_->id(), rdma::RAddr{leader.node().id(), leader.hb_mr(), 0}, buf);
+    if (stale(inc)) co_return;
 
     bool suspect = false;
     if (!completion.ok()) {
@@ -590,6 +613,7 @@ sim::Task<void> Endpoint::heartbeat_loop() {
                                 sizeof(cand_hb));
       const auto cc = co_await fabric.read(
           node_->id(), rdma::RAddr{c.node().id(), c.hb_mr(), 0}, cbuf);
+      if (stale(inc)) co_return;
       if (cc.ok()) {
         first_alive = cand;
         break;
@@ -608,6 +632,7 @@ sim::Task<void> Endpoint::heartbeat_loop() {
 }
 
 sim::Task<void> Endpoint::takeover() {
+  const std::uint64_t inc = incarnation_;
   if (taking_over_) co_return;
   taking_over_ = true;
   leader_ = rank_;
@@ -651,6 +676,7 @@ sim::Task<void> Endpoint::takeover() {
   }
   co_await sim::wait_until(*gather_done,
                            [&gather, n] { return gather->resolved == n - 1; });
+  if (stale(inc)) co_return;
 
   std::vector<StatusPage> statuses;
   statuses.push_back(StatusPage{epoch_, applied_seq_, clock_});
@@ -676,6 +702,7 @@ sim::Task<void> Endpoint::takeover() {
           node_->id(),
           rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(s)},
           buf);
+      if (stale(inc)) co_return;
       if (!cc.ok() || rec.rec.seq != s) break;  // peer died or ring moved on
       rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(s),
                       rec);
@@ -732,10 +759,12 @@ sim::Task<void> Endpoint::takeover() {
     if (p.proposed_locally && !p.committed) {
       system_->fabric().simulator().spawn(
           [](Endpoint& self, MsgUid u) -> sim::Task<void> {
+            const std::uint64_t inc2 = self.incarnation_;
             const std::uint64_t seq = self.pending_.at(u).propose_seq;
             co_await sim::wait_until(
                 self.node_->region(self.acks_mr_).on_write(),
                 [&self, seq] { return self.propose_majority_acked(seq); });
+            if (self.stale(inc2)) co_return;
             auto it = self.pending_.find(u);
             if (it == self.pending_.end()) co_return;
             it->second.propose_acked = true;
@@ -757,6 +786,223 @@ sim::Task<void> Endpoint::takeover() {
   for (MsgUid uid : to_propose) {
     system_->fabric().simulator().spawn(drive_message(uid));
   }
+}
+
+// ---------------------------------------------------------------------
+// Restart: crash-recovery rejoin. Registered memory (inbox/log/acks/
+// props/hb/status/control regions) survives the crash; everything in the
+// Endpoint object is treated as volatile except the per-client delivered
+// watermarks, which stand in for the application's stable storage (the
+// SMR layer's surviving object store implies them).
+// ---------------------------------------------------------------------
+
+void Endpoint::restart() {
+  node_->restart();
+  ++incarnation_;
+  taking_over_ = false;
+  pending_.clear();
+  seen_.clear();
+  ready_.clear();
+  clock_ = 0;
+  applied_seq_ = 0;
+  append_seq_ = 0;
+
+  const Config& cfg = system_->config();
+
+  // Rebuild producer cursors from the surviving rings: the highest
+  // ring_seq present per producer. Gaps (writes dropped while we were
+  // down) are skipped by the `>=` cursor tolerance in the loops; the
+  // skipped messages were handled by the surviving majority.
+  {
+    const auto bytes = node_->region(inbox_mr_).bytes();
+    for (std::uint32_t c = 0; c < cfg.max_clients; ++c) {
+      std::uint64_t max_seq = 0;
+      for (std::uint32_t s = 0; s < cfg.inbox_slots_per_client; ++s) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(c) * cfg.inbox_slots_per_client + s) *
+            kInboxSlotSize;
+        const auto uid = rdma::load_pod<MsgUid>(bytes, off);
+        if (uid == 0 || uid_client(uid) != c) continue;
+        max_seq = std::max(max_seq, rdma::load_pod<std::uint64_t>(
+                                        bytes, off + sizeof(MsgUid)));
+      }
+      inbox_next_[c] = max_seq;
+    }
+  }
+  {
+    const auto bytes = node_->region(props_mr_).bytes();
+    const std::uint32_t stripes =
+        static_cast<std::uint32_t>(system_->total_replicas());
+    for (std::uint32_t s = 0; s < stripes; ++s) {
+      std::uint64_t max_seq = 0;
+      for (std::uint32_t i = 0; i < cfg.proposal_slots; ++i) {
+        const auto rec = rdma::load_pod<ProposalRecord>(
+            bytes, (static_cast<std::uint64_t>(s) * cfg.proposal_slots + i) *
+                       kPropSlotSize);
+        max_seq = std::max(max_seq, rec.seq);
+      }
+      props_next_[s] = max_seq;
+    }
+  }
+
+  // Don't re-process a control message that predates the crash.
+  control_serial_ =
+      rdma::load_pod<ControlMsg>(node_->region(control_mr_).bytes(), 0).serial;
+
+  system_->fabric().simulator().spawn(rejoin());
+}
+
+sim::Task<void> Endpoint::rejoin() {
+  const std::uint64_t inc = incarnation_;
+  auto& fabric = system_->fabric();
+  const int n = system_->replicas_per_group();
+
+  hub_->tracer.instant("amcast", "rejoin", node_->id(),
+                       {{"group", static_cast<std::uint64_t>(group_)}});
+  HSIM_LOG(fabric.simulator(), kInfo,
+           "group " << group_ << " replica " << rank_ << " rejoining");
+
+  // 1. Replay the surviving local log from the start of the ring.
+  //    already_delivered() suppresses re-delivery; committed-but-
+  //    undelivered messages re-enter the ready queue. (If the ring has
+  //    wrapped the replay stops at the wrap point; the SMR layer's state
+  //    transfer then covers the missing history.)
+  {
+    const auto bytes = node_->region(log_mr_).bytes();
+    for (std::uint64_t s = 1;; ++s) {
+      const auto tagged =
+          rdma::load_pod<TaggedLogRecord>(bytes, log_slot_offset(s));
+      if (tagged.rec.seq != s) break;
+      applied_seq_ = s;
+      apply_record(tagged.rec);
+    }
+  }
+
+  // 2. Adopt the group's current epoch, leader and clock from peers, and
+  //    find the most advanced log to catch up from.
+  std::uint64_t best_seq = applied_seq_;
+  int best_peer = -1;
+  std::uint64_t ctl_epoch = 0;
+  int ctl_leader = leader_;
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    Endpoint& peer = system_->endpoint(group_, r);
+    StatusPage sp{};
+    std::span<std::byte> sbuf(reinterpret_cast<std::byte*>(&sp), sizeof(sp));
+    const auto sc = co_await fabric.read(
+        node_->id(), rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, sbuf);
+    if (stale(inc)) co_return;
+    if (sc.ok()) {
+      epoch_ = std::max(epoch_, sp.epoch);
+      clock_ = std::max(clock_, sp.clock);
+      if (sp.applied_seq > best_seq) {
+        best_seq = sp.applied_seq;
+        best_peer = r;
+      }
+    }
+    ControlMsg cm{};
+    std::span<std::byte> cbuf(reinterpret_cast<std::byte*>(&cm), sizeof(cm));
+    const auto cc = co_await fabric.read(
+        node_->id(), rdma::RAddr{peer.node().id(), peer.control_mr(), 0},
+        cbuf);
+    if (stale(inc)) co_return;
+    if (cc.ok() && cm.epoch > ctl_epoch) {
+      ctl_epoch = cm.epoch;
+      ctl_leader = cm.leader_rank;
+    }
+  }
+  if (ctl_epoch > 0) {
+    leader_ = ctl_leader;
+    epoch_ = std::max(epoch_, ctl_epoch);
+  }
+
+  // 3. Catch up the log tail from the most advanced peer.
+  if (best_peer >= 0) {
+    Endpoint& peer = system_->endpoint(group_, best_peer);
+    for (std::uint64_t s = applied_seq_ + 1; s <= best_seq; ++s) {
+      TaggedLogRecord rec{};
+      std::span<std::byte> buf(reinterpret_cast<std::byte*>(&rec),
+                               sizeof(rec));
+      const auto cc = co_await fabric.read(
+          node_->id(),
+          rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(s)},
+          buf);
+      if (stale(inc)) co_return;
+      if (!cc.ok() || rec.rec.seq != s) break;  // peer died or ring moved on
+      rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(s), rec);
+      applied_seq_ = s;
+      apply_record(rec.rec);
+    }
+  }
+
+  append_seq_ = applied_seq_;
+  update_status_page();
+
+  // 4. Publish our applied position so the leader's majority counting
+  //    sees us again.
+  {
+    const std::uint64_t ack = applied_seq_;
+    for (int r = 0; r < n; ++r) {
+      if (r == rank_) continue;
+      Endpoint& peer = system_->endpoint(group_, r);
+      fabric.write_async(node_->id(),
+                         rdma::RAddr{peer.node().id(), peer.acks_mr(),
+                                     static_cast<std::uint64_t>(rank_) * 8},
+                         rdma::pod_bytes(ack));
+    }
+  }
+
+  // 5. If we come back as the leader (no takeover happened — quick
+  //    restart or failover disabled), recover per-receiver proposal
+  //    counters from the receivers' surviving stripe rings and re-drive
+  //    in-flight messages, mirroring takeover() step 5.
+  if (is_leader()) {
+    const std::uint32_t my_stripe = system_->stripe_of(group_, rank_);
+    const Config& cfg = system_->config();
+    for (GroupId h = 0; h < system_->group_count(); ++h) {
+      if (h == group_) continue;
+      for (int r = 0; r < system_->replicas_per_group(); ++r) {
+        Endpoint& peer = system_->endpoint(h, r);
+        std::vector<std::byte> stripe(
+            static_cast<std::size_t>(cfg.proposal_slots) * kPropSlotSize);
+        const auto cc = co_await fabric.read(
+            node_->id(),
+            rdma::RAddr{peer.node().id(), peer.props_mr(),
+                        peer.props_slot_offset(my_stripe, 0)},
+            stripe);
+        if (stale(inc)) co_return;
+        if (!cc.ok()) continue;
+        std::uint64_t max_seq = 0;
+        for (std::uint32_t i = 0; i < cfg.proposal_slots; ++i) {
+          const auto rec = rdma::load_pod<ProposalRecord>(
+              stripe, static_cast<std::uint64_t>(i) * kPropSlotSize);
+          max_seq = std::max(max_seq, rec.seq);
+        }
+        props_sent_[peer.node().id()] = max_seq;
+      }
+    }
+    for (auto& [uid, p] : pending_) {
+      if (p.proposed_locally && !p.committed) {
+        fabric.simulator().spawn(
+            [](Endpoint& self, MsgUid u) -> sim::Task<void> {
+              const std::uint64_t inc2 = self.incarnation_;
+              const std::uint64_t seq = self.pending_.at(u).propose_seq;
+              co_await sim::wait_until(
+                  self.node_->region(self.acks_mr_).on_write(),
+                  [&self, seq] { return self.propose_majority_acked(seq); });
+              if (self.stale(inc2)) co_return;
+              auto it = self.pending_.find(u);
+              if (it == self.pending_.end()) co_return;
+              it->second.propose_acked = true;
+              self.send_proposals(u);
+              self.maybe_commit(u);
+            }(*this, uid));
+      }
+    }
+  }
+
+  // 6. Resume the protocol loops under the new incarnation.
+  start();
 }
 
 }  // namespace heron::amcast

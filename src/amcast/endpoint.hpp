@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -63,6 +64,14 @@ class Endpoint {
   /// Spawns the protocol coroutines. Called once by System::start().
   void start();
 
+  /// Restarts a crashed endpoint: brings the node back up, discards
+  /// volatile protocol state, rebuilds producer cursors from the surviving
+  /// registered memory, and spawns a rejoin coroutine that replays the
+  /// local log, adopts the current epoch/leader from peers, and catches up
+  /// the log tail before the protocol loops resume. Safe against stale
+  /// pre-crash coroutines via an incarnation counter.
+  void restart();
+
   [[nodiscard]] GroupId group() const { return group_; }
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] rdma::Node& node() { return *node_; }
@@ -80,6 +89,14 @@ class Endpoint {
 
   /// Non-blocking variant used by pollers.
   std::optional<Delivery> try_next_delivery();
+
+  /// Observer invoked at the instant a message is delivered (before the
+  /// application dequeues it). Used by heron::faultlab's history recorder;
+  /// must not re-enter the endpoint.
+  using DeliveryObserver = std::function<void(const Delivery&)>;
+  void set_delivery_observer(DeliveryObserver obs) {
+    delivery_observer_ = std::move(obs);
+  }
 
   /// Prints protocol state to stderr (debugging aid for tests).
   void debug_dump() const;
@@ -124,6 +141,13 @@ class Endpoint {
   sim::Task<void> heartbeat_loop();
   sim::Task<void> drive_message(MsgUid uid);  // leader: propose..commit
   sim::Task<void> takeover();
+  sim::Task<void> rejoin();  // restart path: replay + adopt + catch up
+
+  /// True when a coroutine spawned under incarnation `inc` must exit: the
+  /// node crashed, or it restarted and fresh loops took over.
+  [[nodiscard]] bool stale(std::uint64_t inc) const {
+    return !node_->alive() || inc != incarnation_;
+  }
 
   // --- helpers --------------------------------------------------------
   void append_record(LogRecord rec);           // local ring + replicate
@@ -155,6 +179,11 @@ class Endpoint {
   std::uint64_t hb_value_ = 0;
   bool taking_over_ = false;
 
+  // Bumped on every restart(). Coroutines capture the value at spawn and
+  // exit when it no longer matches: a loop parked across a crash+restart
+  // must not resume against the rebuilt state.
+  std::uint64_t incarnation_ = 0;
+
   // Message state. Delivered messages are deduplicated with a per-client
   // watermark: clients are closed-loop, so their message sequence numbers
   // complete in order and "seq <= watermark" means already delivered.
@@ -174,6 +203,7 @@ class Endpoint {
   // Delivery queue to the application.
   std::deque<Delivery> ready_;
   std::unique_ptr<sim::Notifier> ready_notifier_;
+  DeliveryObserver delivery_observer_;
 
   // Telemetry handles (see telemetry/hub.hpp), keyed by "g<g>.r<r>".
   telemetry::Hub* hub_;

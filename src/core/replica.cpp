@@ -155,9 +155,12 @@ std::uint64_t Replica::staging_offset(int sender_rank,
 // ---------------------------------------------------------------------
 
 sim::Task<void> Replica::main_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& ep = system_->amcast().endpoint(group_, rank_);
-  while (node().alive()) {
+  while (!stale(inc)) {
     amcast::Delivery d = co_await ep.next_delivery();
+    if (stale(inc)) co_return;
+    if (d.uid == 0) continue;  // stale-waiter sentinel from the endpoint
 
     Request r;
     r.uid = d.uid;
@@ -180,6 +183,7 @@ sim::Task<void> Replica::main_loop() {
     // request boundary.
     while (in_state_transfer_) {
       co_await system_->simulator().sleep(sim::us(2));
+      if (stale(inc)) co_return;
     }
 
     const HeronConfig& cfg = system_->config();
@@ -192,6 +196,7 @@ sim::Task<void> Replica::main_loop() {
         return inflight_ < static_cast<int>(exec_cpus_.size()) &&
                keys_free(keys);
       });
+      if (stale(inc)) co_return;
       int slot = 0;
       while (slot_busy_[static_cast<std::size_t>(slot)]) ++slot;
       slot_busy_[static_cast<std::size_t>(slot)] = true;
@@ -206,6 +211,7 @@ sim::Task<void> Replica::main_loop() {
       // run alone, after all in-flight executions drained.
       co_await sim::wait_until(*exec_done_,
                                [this] { return inflight_ == 0; });
+      if (stale(inc)) co_return;
     }
 
     co_await handle_request(std::move(r));
@@ -221,8 +227,12 @@ bool Replica::keys_free(const std::vector<Oid>& keys) const {
 
 sim::Task<void> Replica::exec_concurrent(Request r, int slot,
                                          std::vector<Oid> keys) {
+  const std::uint64_t inc = incarnation_;
   const sim::Nanos t0 = system_->simulator().now();
   ExecOutcome out = co_await execute_on(r, *exec_cpus_[static_cast<std::size_t>(slot)]);
+  // restart() resets the slot bookkeeping wholesale, so a stale execution
+  // must not release anything — it just disappears.
+  if (stale(inc)) co_return;
   const sim::Nanos exec_ns = system_->simulator().now() - t0;
   exec_lat_.record(exec_ns);
   hist_exec_->observe(exec_ns);
@@ -230,6 +240,7 @@ sim::Task<void> Replica::exec_concurrent(Request r, int slot,
   ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
   co_await send_reply(r, out.reply);
+  if (stale(inc)) co_return;
 
   slot_busy_[static_cast<std::size_t>(slot)] = false;
   for (Oid k : keys) locked_keys_.erase(k);
@@ -238,6 +249,7 @@ sim::Task<void> Replica::exec_concurrent(Request r, int slot,
 }
 
 sim::Task<void> Replica::handle_request(Request r) {
+  const std::uint64_t inc = incarnation_;
   const HeronConfig& cfg = system_->config();
   ordering_lat_.record(system_->simulator().now() - r.header.sent_at);
 
@@ -255,6 +267,7 @@ sim::Task<void> Replica::handle_request(Request r) {
     if (cfg.mode == Mode::kApp) {
       const sim::Nanos t0 = system_->simulator().now();
       ExecOutcome out = co_await execute(r);
+      if (stale(inc)) co_return;
       const sim::Nanos exec_ns = system_->simulator().now() - t0;
       exec_lat_.record(exec_ns);
       hist_exec_->observe(exec_ns);
@@ -272,6 +285,7 @@ sim::Task<void> Replica::handle_request(Request r) {
   // Phase 2 (lines 8-10).
   const sim::Nanos c0 = system_->simulator().now();
   co_await coordinate(r, 1, cfg.extra_delay_in_phase2);
+  if (stale(inc)) co_return;
   const sim::Nanos phase2 = system_->simulator().now() - c0;
 
   // Phase 3 (lines 11-13).
@@ -279,6 +293,7 @@ sim::Task<void> Replica::handle_request(Request r) {
   if (cfg.mode == Mode::kApp) {
     const sim::Nanos t0 = system_->simulator().now();
     ExecOutcome out = co_await execute(r);
+    if (stale(inc)) co_return;
     const sim::Nanos exec_ns = system_->simulator().now() - t0;
     exec_lat_.record(exec_ns);
     hist_exec_->observe(exec_ns);
@@ -292,6 +307,7 @@ sim::Task<void> Replica::handle_request(Request r) {
   // Phase 4 (lines 14-16); carries the wait-for-all statistics.
   const sim::Nanos c1 = system_->simulator().now();
   co_await coordinate(r, 2, /*collect_stats=*/true);
+  if (stale(inc)) co_return;
   const sim::Nanos coord_ns = phase2 + (system_->simulator().now() - c1);
   coord_lat_.record(coord_ns);
   hist_coord_->observe(coord_ns);
@@ -347,17 +363,20 @@ bool Replica::coord_satisfied(const Request& r, std::uint32_t phase,
 
 sim::Task<void> Replica::coordinate(const Request& r, std::uint32_t phase,
                                     bool collect_stats) {
+  const std::uint64_t inc = incarnation_;
   const HeronConfig& cfg = system_->config();
   auto span = hub_->tracer.span("core", "coordinate", node().id());
   span.arg("uid", r.uid);
   span.arg("phase", phase);
   co_await node().cpu().use(cfg.coord_check_proc);
+  if (stale(inc)) co_return;
   write_coord(r, phase);
 
   auto& notifier = node().region(coord_mr_).on_write();
   co_await sim::wait_until(notifier, [this, &r, phase] {
     return coord_satisfied(r, phase, /*require_all=*/false);
   });
+  if (stale(inc)) co_return;
 
   if (!collect_stats) co_return;
 
@@ -502,6 +521,7 @@ void Replica::apply_writes(const Request& r, ExecContext& ctx) {
 
 sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
                                                     GroupId h) {
+  const std::uint64_t inc = incarnation_;
   ctr_remote_reads_->inc();
   auto span = hub_->tracer.span("core", "remote_read", node().id());
   span.arg("oid", oid);
@@ -532,6 +552,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
       // Coordination messages may still be in flight; re-check on the
       // next write into coordination memory.
       co_await node().region(coord_mr_).on_write().wait();
+      if (stale(inc)) co_return RemoteRead{};
       continue;
     }
     const int q = candidates[rng_.bounded(candidates.size())];
@@ -542,6 +563,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
     const auto cc = co_await system_->fabric().read(
         node().id(), rdma::RAddr{peer.node().id(), peer.store().mr(), loc.offset},
         buf);
+    if (stale(inc)) co_return RemoteRead{};
     if (!cc.ok()) {
       // Line 20-21: RDMA exception — the peer failed; pick another.
       ctr_remote_retries_->inc();
@@ -569,6 +591,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
 }
 
 sim::Task<bool> Replica::resolve_addr(Oid oid, GroupId h) {
+  const std::uint64_t inc = incarnation_;
   const int reps = system_->replicas_per_partition();
   const int majority = reps / 2 + 1;
 
@@ -590,9 +613,11 @@ sim::Task<bool> Replica::resolve_addr(Oid oid, GroupId h) {
     const int reps2 = system_->replicas_per_partition();
     for (std::uint32_t s = 0; s < stripes; ++s) {
       while (true) {
+        // `>` tolerated: answers dropped across a crash+restart leave a
+        // gap; the ring continues at the producer's counter.
         const auto ans = rdma::load_pod<AddrAnswer>(
             region, addra_offset(s, addra_next_[s] + 1));
-        if (ans.seq != addra_next_[s] + 1) break;
+        if (ans.seq < addra_next_[s] + 1) break;
         addra_next_[s] = ans.seq;
         if (ans.found == 0) continue;
         auto [it, inserted] = object_map_.try_emplace(
@@ -628,33 +653,38 @@ sim::Task<bool> Replica::resolve_addr(Oid oid, GroupId h) {
                              drain();
                              return known_count() >= majority;
                            });
+  if (stale(inc)) co_return false;
   co_return true;
 }
 
 sim::Task<void> Replica::addr_query_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node().region(addrq_mr_);
   const auto stripes = system_->amcast().total_replicas();
   const HeronConfig& cfg = system_->config();
 
+  // `>` tolerated (see resolve_addr's drain): gaps appear when queries
+  // were dropped while this replica was down.
   auto have_new = [this, &region, stripes] {
     for (std::uint32_t s = 0; s < stripes; ++s) {
       const auto q = rdma::load_pod<AddrQuery>(
           region.bytes(), addrq_offset(s, addrq_next_[s] + 1));
-      if (q.seq == addrq_next_[s] + 1) return true;
+      if (q.seq >= addrq_next_[s] + 1) return true;
     }
     return false;
   };
 
   while (true) {
     co_await sim::wait_until(region.on_write(), have_new);
-    if (!node().alive()) co_return;
+    if (stale(inc)) co_return;
     for (std::uint32_t s = 0; s < stripes; ++s) {
       while (true) {
         const auto q = rdma::load_pod<AddrQuery>(
             region.bytes(), addrq_offset(s, addrq_next_[s] + 1));
-        if (q.seq != addrq_next_[s] + 1) break;
+        if (q.seq < addrq_next_[s] + 1) break;
         addrq_next_[s] = q.seq;
         co_await node().cpu().use(cfg.coord_check_proc);
+        if (stale(inc)) co_return;
 
         AddrAnswer ans;
         ans.seq = q.seq;
@@ -711,6 +741,7 @@ std::vector<Oid> Replica::log_objects_since(Tmp from_tmp,
 }
 
 sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp) {
+  const std::uint64_t inc = incarnation_;
   ++state_transfers_;
   ctr_state_transfers_->inc();
   auto span = hub_->tracer.span("core", "state_transfer", node().id());
@@ -740,8 +771,10 @@ sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp) {
                                                   statesync_offset(rank_));
     return e.status == 0 && e.rid != 0;
   });
+  if (stale(inc)) co_return;
   co_await sim::wait_until(node().region(staging_mr_).on_write(),
                            [this] { return staging_pending() == 0; });
+  if (stale(inc)) co_return;
 
   // Line 6.
   const auto done = rdma::load_pod<StateSyncEntry>(region.bytes(),
@@ -757,19 +790,20 @@ std::uint64_t Replica::staging_pending() const {
   for (int s = 0; s < system_->replicas_per_partition(); ++s) {
     const auto hdr = rdma::load_pod<ChunkHeader>(
         region, staging_offset(s, staging_next_[static_cast<std::size_t>(s)] + 1));
-    if (hdr.seq == staging_next_[static_cast<std::size_t>(s)] + 1) ++pending;
+    if (hdr.seq >= staging_next_[static_cast<std::size_t>(s)] + 1) ++pending;
   }
   return pending;
 }
 
 sim::Task<void> Replica::statesync_watch_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node().region(statesync_mr_);
   const int reps = system_->replicas_per_partition();
   std::vector<std::uint64_t> handled(static_cast<std::size_t>(reps), 0);
 
   while (true) {
     co_await region.on_write().wait();
-    if (!node().alive()) co_return;
+    if (stale(inc)) co_return;
     for (int q = 0; q < reps; ++q) {
       if (q == rank_) continue;
       const auto e = rdma::load_pod<StateSyncEntry>(region.bytes(),
@@ -779,8 +813,8 @@ sim::Task<void> Replica::statesync_watch_loop() {
       }
       handled[static_cast<std::size_t>(q)] = e.serial;
       system_->simulator().spawn(
-          [](Replica& self, int lagger, Tmp from,
-             std::uint64_t serial) -> sim::Task<void> {
+          [](Replica& self, int lagger, Tmp from, std::uint64_t serial,
+             std::uint64_t inc2) -> sim::Task<void> {
             // Line 9-11: deterministic handler selection — candidates in
             // cyclic rank order after the lagger; candidate k starts after
             // k suspicion timeouts unless someone finished first.
@@ -794,6 +828,7 @@ sim::Task<void> Replica::statesync_watch_loop() {
             if (k > 0) {
               co_await self.system_->simulator().sleep(
                   k * self.system_->config().statesync_timeout);
+              if (self.stale(inc2)) co_return;
               const auto now_e = rdma::load_pod<StateSyncEntry>(
                   self.node().region(self.statesync_mr_).bytes(),
                   self.statesync_offset(lagger));
@@ -802,12 +837,13 @@ sim::Task<void> Replica::statesync_watch_loop() {
               if (now_e.status != 1 || now_e.serial != serial) co_return;
             }
             co_await self.perform_transfer(lagger, from);
-          }(*this, q, e.req_tmp, e.serial));
+          }(*this, q, e.req_tmp, e.serial, inc));
     }
   }
 }
 
 sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
+  const std::uint64_t inc = incarnation_;
   const HeronConfig& cfg = system_->config();
 
   // Only transfer a state that already covers the failed request — and
@@ -815,8 +851,8 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
   // before execution, and a transfer snapshot must reflect applied writes.
   while (last_executed_ < from_tmp) {
     co_await system_->simulator().sleep(sim::us(5));
+    if (stale(inc)) co_return;
   }
-  if (!node().alive()) co_return;
 
   // Pause execution at a request boundary: the replica is single-threaded,
   // so serving the transfer and executing requests are mutually exclusive.
@@ -826,7 +862,10 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
   auto span = hub_->tracer.span("core", "serve_transfer", node().id());
   span.arg("lagger", static_cast<std::uint64_t>(lagger_rank));
   span.arg("from_tmp", from_tmp);
-  const Tmp rid = last_executed_;
+  // A restarted replica can serve a transfer before executing anything;
+  // the requester's waiter treats rid==0 as "not done yet", so clamp to 1
+  // (real tmps are pack_ts(clock >= 1, group), i.e. >= 64).
+  const Tmp rid = std::max<Tmp>(last_executed_, 1);
 
   bool full = false;
   std::vector<Oid> oids = log_objects_since(from_tmp, full);
@@ -872,7 +911,12 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
     if (record_len > chunk_capacity) {
       throw std::runtime_error("state transfer: object larger than chunk");
     }
-    if (fill + record_len > chunk_capacity) co_await flush();
+    if (fill + record_len > chunk_capacity) {
+      co_await flush();
+      // Crashed (or restarted) mid-transfer: abandon. restart() resets
+      // in_state_transfer_; the lagger's timeout picks the next handler.
+      if (stale(inc)) co_return;
+    }
 
     ChunkRecord rec;
     rec.oid = oid;
@@ -891,6 +935,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
                                     : cfg.serialize_ns_per_byte));
   }
   co_await flush();
+  if (stale(inc)) co_return;
 
   // Lines 16-17: completion notice to every member (including ourselves
   // and the lagger).
@@ -913,16 +958,20 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
 }
 
 sim::Task<void> Replica::staging_apply_loop() {
+  const std::uint64_t inc = incarnation_;
   auto& region = node().region(staging_mr_);
   const HeronConfig& cfg = system_->config();
   const int reps = system_->replicas_per_partition();
 
+  // `>=` tolerated: a chunk written while this replica was down leaves a
+  // gap; the abandoned transfer is superseded by the fresh one the rejoin
+  // path requests, so skipping straight to the producer's counter is safe.
   auto have_new = [this, &region, reps] {
     for (int s = 0; s < reps; ++s) {
       const auto hdr = rdma::load_pod<ChunkHeader>(
           region.bytes(),
           staging_offset(s, staging_next_[static_cast<std::size_t>(s)] + 1));
-      if (hdr.seq == staging_next_[static_cast<std::size_t>(s)] + 1) {
+      if (hdr.seq >= staging_next_[static_cast<std::size_t>(s)] + 1) {
         return true;
       }
     }
@@ -931,14 +980,14 @@ sim::Task<void> Replica::staging_apply_loop() {
 
   while (true) {
     co_await sim::wait_until(region.on_write(), have_new);
-    if (!node().alive()) co_return;
+    if (stale(inc)) co_return;
     for (int s = 0; s < reps; ++s) {
       while (true) {
         const std::uint64_t next =
             staging_next_[static_cast<std::size_t>(s)] + 1;
         const std::uint64_t base = staging_offset(s, next);
         const auto hdr = rdma::load_pod<ChunkHeader>(region.bytes(), base);
-        if (hdr.seq != next) break;
+        if (hdr.seq < next) break;
 
         sim::Nanos apply_cpu = 0;
         std::uint64_t off = base + sizeof(ChunkHeader);
@@ -956,13 +1005,146 @@ sim::Task<void> Replica::staging_apply_loop() {
               (rec.serialized != 0 ? cfg.memcpy_ns_per_byte
                                    : cfg.serialize_ns_per_byte));
         }
-        staging_next_[static_cast<std::size_t>(s)] = next;
+        staging_next_[static_cast<std::size_t>(s)] = hdr.seq;
         ctr_xfer_bytes_applied_->inc(hdr.payload_bytes);
-        if (apply_cpu > 0) co_await node().cpu().use(apply_cpu);
+        if (apply_cpu > 0) {
+          co_await node().cpu().use(apply_cpu);
+          if (stale(inc)) co_return;
+        }
         region.on_write().notify_all();  // progress signal for the waiter
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Restart path. Called by System::restart_replica after the amcast
+// endpoint has restarted the node. The object store lives in registered
+// memory and survives; everything request-scoped is rebuilt.
+// ---------------------------------------------------------------------
+
+void Replica::restart() {
+  ++incarnation_;
+
+  // Volatile runtime state. last_req_ / last_executed_ / statesync_serial_
+  // are kept: they describe the surviving object-store contents, standing
+  // in for the small stable-storage record a real deployment would keep
+  // (keeping the serial is load-bearing — peers dedupe transfer requests
+  // by serial, so a reset serial would be silently ignored).
+  in_state_transfer_ = false;
+  object_map_.clear();
+  locked_keys_.clear();
+  inflight_ = 0;
+  slot_busy_.assign(exec_cpus_.size(), false);
+
+  // The in-memory update log is gone; mark it truncated so a later
+  // transfer served *by* this replica correctly falls back to a full
+  // snapshot instead of claiming an empty delta.
+  update_log_.clear();
+  log_truncated_ = true;
+
+  // Rebuild consumer cursors from the surviving rings: resume at the
+  // highest sequence number actually stored. Writes dropped while dead
+  // leave gaps the `>=` drain tolerance heals.
+  const auto stripes = system_->amcast().total_replicas();
+  const auto addrq = node().region(addrq_mr_).bytes();
+  const auto addra = node().region(addra_mr_).bytes();
+  for (std::uint32_t s = 0; s < stripes; ++s) {
+    addrq_next_[s] = 0;
+    addra_next_[s] = 0;
+    for (std::uint32_t i = 0; i < kAddrSlots; ++i) {
+      const auto q = rdma::load_pod<AddrQuery>(
+          addrq, (static_cast<std::uint64_t>(s) * kAddrSlots + i) * kAddrQSlot);
+      addrq_next_[s] = std::max(addrq_next_[s], q.seq);
+      const auto a = rdma::load_pod<AddrAnswer>(
+          addra, (static_cast<std::uint64_t>(s) * kAddrSlots + i) * kAddrASlot);
+      addra_next_[s] = std::max(addra_next_[s], a.seq);
+    }
+  }
+  const HeronConfig& cfg = system_->config();
+  const auto staging = node().region(staging_mr_).bytes();
+  for (int s = 0; s < system_->replicas_per_partition(); ++s) {
+    staging_next_[static_cast<std::size_t>(s)] = 0;
+    for (std::uint32_t i = 0; i < cfg.statesync_ring_slots; ++i) {
+      const auto hdr = rdma::load_pod<ChunkHeader>(staging, staging_offset(s, i));
+      staging_next_[static_cast<std::size_t>(s)] =
+          std::max(staging_next_[static_cast<std::size_t>(s)], hdr.seq);
+    }
+  }
+
+  system_->simulator().spawn(rejoin());
+}
+
+sim::Task<void> Replica::rejoin() {
+  const std::uint64_t inc = incarnation_;
+  hub_->tracer.instant("core", "rejoin", node().id(),
+                       {telemetry::Arg{"group", static_cast<std::uint64_t>(group_)},
+                        telemetry::Arg{"rank", static_cast<std::uint64_t>(rank_)}});
+  HSIM_LOG(system_->simulator(), kInfo,
+           "core g" << group_ << ".r" << rank_ << " rejoin: catching up from tmp "
+                    << last_executed_);
+
+  // Receive-side loops first: the staging applier must be draining before
+  // the state transfer below ships chunks, or its waiter never completes.
+  auto& sim = system_->simulator();
+  sim.spawn(addr_query_loop());
+  sim.spawn(statesync_watch_loop());
+  sim.spawn(staging_apply_loop());
+
+  // Recover send-side counters by reading back the rings our past writes
+  // landed in, so fresh sends continue the surviving sequence instead of
+  // overwriting live slots with duplicate numbers.
+  const auto my_stripe = system_->amcast().stripe_of(group_, rank_);
+  for (GroupId h = 0; h < system_->partitions(); ++h) {
+    if (h == group_) continue;  // address queries only target remote homes
+    for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+      Replica& peer = system_->replica(h, q);
+      const auto stripe = system_->amcast().stripe_of(h, q);
+      std::vector<std::byte> buf(kAddrSlots * kAddrQSlot);
+      const auto cc = co_await system_->fabric().read(
+          node().id(),
+          rdma::RAddr{peer.node().id(), peer.addrq_mr(),
+                      peer.addrq_offset(my_stripe, 0)},
+          buf);
+      if (stale(inc)) co_return;
+      if (!cc.ok()) continue;  // peer down; counter stays 0, ring restarts
+      for (std::uint32_t i = 0; i < kAddrSlots; ++i) {
+        const auto qr = rdma::load_pod<AddrQuery>(std::span(buf), i * kAddrQSlot);
+        addrq_sent_[stripe] = std::max(addrq_sent_[stripe], qr.seq);
+      }
+    }
+  }
+  const HeronConfig& cfg = system_->config();
+  for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+    if (q == rank_) continue;
+    Replica& peer = system_->replica(group_, q);
+    std::uint64_t max_seq = 0;
+    for (std::uint32_t i = 0; i < cfg.statesync_ring_slots; ++i) {
+      std::vector<std::byte> buf(sizeof(ChunkHeader));
+      const auto cc = co_await system_->fabric().read(
+          node().id(),
+          rdma::RAddr{peer.node().id(), peer.staging_mr(),
+                      peer.staging_offset(rank_, i)},
+          buf);
+      if (stale(inc)) co_return;
+      if (!cc.ok()) break;
+      max_seq = std::max(max_seq,
+                         rdma::load_pod<ChunkHeader>(std::span(buf), 0).seq);
+    }
+    staging_sent_[static_cast<std::size_t>(q)] = max_seq;
+  }
+
+  // Algorithm 3 as the rejoin vehicle: everything delivered while we were
+  // down is folded into a state transfer from the surviving members.
+  co_await request_state_transfer(last_executed_);
+  if (stale(inc)) co_return;
+
+  HSIM_LOG(system_->simulator(), kInfo,
+           "core g" << group_ << ".r" << rank_
+                    << " rejoin complete: last_executed=" << last_executed_);
+  // Only now resume execution: the store reflects the survivors' state and
+  // deliveries with tmp <= last_req_ are skipped by the main loop.
+  sim.spawn(main_loop());
 }
 
 }  // namespace heron::core

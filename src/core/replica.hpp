@@ -40,6 +40,13 @@ class Replica {
   /// Bootstraps application state and spawns the runtime coroutines.
   void start();
 
+  /// Restart path (the node itself is restarted via the amcast endpoint):
+  /// discards volatile runtime state, rebuilds ring cursors from the
+  /// surviving registered memory, then spawns a rejoin coroutine that
+  /// recovers send-side counters from peers, catches up via Algorithm 3
+  /// state transfer, and only then resumes the main loop.
+  void restart();
+
   [[nodiscard]] GroupId group() const { return group_; }
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] rdma::Node& node();
@@ -125,6 +132,13 @@ class Replica {
   sim::Task<void> statesync_watch_loop();   // reacts to peers' requests
   sim::Task<void> perform_transfer(int lagger_rank, Tmp from_tmp);
   sim::Task<void> staging_apply_loop();     // applies incoming chunks
+  sim::Task<void> rejoin();                 // restart: recover + catch up
+
+  /// True when a coroutine spawned under incarnation `inc` must exit (the
+  /// node crashed, or restarted and fresh loops took over).
+  [[nodiscard]] bool stale(std::uint64_t inc) {
+    return !node().alive() || inc != incarnation_;
+  }
   [[nodiscard]] std::vector<Oid> log_objects_since(Tmp from_tmp,
                                                    bool& full_transfer) const;
   void log_update(Tmp tmp, Oid oid);
@@ -147,6 +161,9 @@ class Replica {
   std::uint64_t transfers_served_ = 0;
   std::uint64_t statesync_serial_ = 0;
   bool in_state_transfer_ = false;
+
+  // Bumped on every restart(); see stale().
+  std::uint64_t incarnation_ = 0;
 
   // Remote object map: oid -> per-rank location in the home partition
   // (the paper's object_map of <oid, q> -> addr).

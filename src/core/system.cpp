@@ -25,6 +25,14 @@ void System::start() {
   for (auto& r : replicas_) r->start();
 }
 
+void System::restart_replica(GroupId g, int rank) {
+  // Order matters: the endpoint brings the node back up and re-enters the
+  // multicast protocol; the replica's rejoin then relies on deliveries and
+  // peer reads working again.
+  amcast_->endpoint(g, rank).restart();
+  replica(g, rank).restart();
+}
+
 Client& System::add_client() {
   auto& ep = amcast_->add_client();
   clients_.push_back(std::make_unique<Client>(*this, ep));

@@ -63,6 +63,15 @@ class System {
   /// Starts multicast endpoints and replica runtimes.
   void start();
 
+  /// Restarts a crashed replica: brings the amcast endpoint (and its
+  /// node) back up, then runs the replica's rejoin path, which catches up
+  /// via Algorithm 3 state transfer before resuming execution.
+  void restart_replica(GroupId g, int rank);
+
+  /// Fault-injection hook: lets heron::faultlab toggle runtime knobs
+  /// (e.g. hiccup bursts) mid-run.
+  [[nodiscard]] HeronConfig& mutable_config() { return config_; }
+
   [[nodiscard]] rdma::Fabric& fabric() { return amcast_->fabric(); }
   [[nodiscard]] sim::Simulator& simulator() {
     return fabric().simulator();

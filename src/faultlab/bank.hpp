@@ -1,0 +1,158 @@
+// Replicated bank used by faultlab tests and the chaos explorer: one
+// account object per key, partitioned by key modulo partition count.
+// Deposits are single-partition; transfers touch up to two partitions.
+// Conservation of the total balance is the application-level oracle on
+// top of the generic multicast/convergence checks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/app.hpp"
+#include "core/system.hpp"
+#include "faultlab/history.hpp"
+#include "sim/random.hpp"
+
+namespace heron::faultlab {
+
+enum BankKind : std::uint32_t { kDeposit = 1, kTransfer = 2 };
+
+struct DepositReq {
+  std::uint64_t account;
+  std::int64_t amount;
+};
+struct TransferReq {
+  std::uint64_t from;
+  std::uint64_t to;
+  std::int64_t amount;
+};
+struct Account {
+  std::int64_t balance;
+};
+
+class BankApp : public core::Application {
+ public:
+  BankApp(int partitions, std::uint64_t accounts_per_partition,
+          std::int64_t initial_balance = 1000)
+      : partitions_(partitions),
+        per_partition_(accounts_per_partition),
+        initial_(initial_balance) {}
+
+  [[nodiscard]] core::GroupId partition_of(core::Oid oid) const override {
+    return static_cast<core::GroupId>(oid %
+                                      static_cast<std::uint64_t>(partitions_));
+  }
+
+  [[nodiscard]] std::vector<core::Oid> read_set(
+      const core::Request& r, core::GroupId) const override {
+    switch (r.header.kind) {
+      case kDeposit:
+        return {decode<DepositReq>(r).account};
+      case kTransfer: {
+        const auto t = decode<TransferReq>(r);
+        return {t.from, t.to};
+      }
+      default:
+        return {};
+    }
+  }
+
+  core::Reply execute(const core::Request& r,
+                      core::ExecContext& ctx) override {
+    ctx.charge(sim::us(1));
+    switch (r.header.kind) {
+      case kDeposit: {
+        const auto req = decode<DepositReq>(r);
+        auto acct = ctx.value_as<Account>(req.account);
+        acct.balance += req.amount;
+        ctx.write_as(req.account, acct);
+        return core::Reply{};
+      }
+      case kTransfer: {
+        const auto req = decode<TransferReq>(r);
+        const auto from = ctx.value_as<Account>(req.from);
+        const auto to = ctx.value_as<Account>(req.to);
+        if (partition_of(req.from) == ctx.my_partition()) {
+          Account nf{from.balance - req.amount};
+          ctx.write_as(req.from, nf);
+        }
+        if (partition_of(req.to) == ctx.my_partition()) {
+          Account nt{to.balance + req.amount};
+          ctx.write_as(req.to, nt);
+        }
+        return core::Reply{};
+      }
+      default:
+        return core::Reply{.status = 1};
+    }
+  }
+
+  void bootstrap(core::GroupId partition, core::ObjectStore& store) override {
+    const Account init{initial_};
+    for (std::uint64_t k = 0; k < per_partition_; ++k) {
+      const core::Oid oid = static_cast<std::uint64_t>(partition) +
+                            k * static_cast<std::uint64_t>(partitions_);
+      store.create(oid, std::as_bytes(std::span(&init, 1)));
+    }
+  }
+
+  template <typename T>
+  static T decode(const core::Request& r) {
+    T out;
+    std::memcpy(&out, r.payload.data(), sizeof(T));
+    return out;
+  }
+
+ private:
+  int partitions_;
+  std::uint64_t per_partition_;
+  std::int64_t initial_;
+};
+
+/// Total balance across all partitions as stored at replica `rank` of
+/// each group. Conservation: transfers keep it constant; deposits add.
+inline std::int64_t bank_total(core::System& sys, int rank,
+                               std::uint64_t accounts_per_partition) {
+  std::int64_t total = 0;
+  for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+    for (std::uint64_t k = 0; k < accounts_per_partition; ++k) {
+      const core::Oid oid = static_cast<core::Oid>(g) +
+                            k * static_cast<core::Oid>(sys.partitions());
+      auto [tmp, bytes] = sys.replica(g, rank).store().get(oid);
+      Account a;
+      std::memcpy(&a, bytes.data(), sizeof(a));
+      total += a.balance;
+    }
+  }
+  return total;
+}
+
+/// Closed-loop transfer workload recording invoke/response history.
+/// Message uids are predictable (client id, 1-based submit counter), so
+/// the invoke is recorded *before* submit — a request wedged by a fault
+/// is still visible to the validity oracle.
+inline sim::Task<void> bank_client_loop(core::System& sys,
+                                        core::Client& client,
+                                        HistoryRecorder& history,
+                                        std::uint64_t seed, int ops,
+                                        std::uint64_t accounts_per_partition) {
+  sim::Rng rng(seed);
+  const auto partitions = static_cast<std::uint64_t>(sys.partitions());
+  const auto total = partitions * accounts_per_partition;
+  std::uint32_t submits = 0;
+  for (int k = 0; k < ops; ++k) {
+    const std::uint64_t a = rng.bounded(total);
+    std::uint64_t b = rng.bounded(total);
+    if (b == a) b = (a + 1) % total;
+    TransferReq req{a, b, 2};
+    const auto dst =
+        amcast::dst_of(static_cast<amcast::GroupId>(a % partitions)) |
+        amcast::dst_of(static_cast<amcast::GroupId>(b % partitions));
+    const amcast::MsgUid uid = amcast::make_uid(client.id(), ++submits);
+    history.record_invoke(uid, dst);
+    co_await client.submit(dst, kTransfer, std::as_bytes(std::span(&req, 1)));
+    history.record_response(uid);
+  }
+}
+
+}  // namespace heron::faultlab

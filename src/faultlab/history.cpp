@@ -1,0 +1,198 @@
+#include "faultlab/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace heron::faultlab {
+
+namespace {
+
+std::string uid_str(amcast::MsgUid uid) {
+  std::ostringstream os;
+  os << "c" << amcast::uid_client(uid) << "#" << amcast::uid_seq(uid);
+  return os.str();
+}
+
+}  // namespace
+
+void HistoryRecorder::attach(core::System& sys) {
+  sys_ = &sys;
+  for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+    for (int r = 0; r < sys.replicas_per_partition(); ++r) {
+      sys.amcast().endpoint(g, r).set_delivery_observer(
+          [this, g, r](const amcast::Delivery& d) {
+            deliveries_.push_back(DeliveryEvent{
+                g, r, d.uid, d.tmp, d.dst, sys_->simulator().now()});
+          });
+    }
+  }
+}
+
+void HistoryRecorder::record_invoke(amcast::MsgUid uid, amcast::DstMask dst) {
+  invokes_.push_back(
+      InvokeEvent{uid, dst, sys_ ? sys_->simulator().now() : 0});
+}
+
+void HistoryRecorder::record_response(amcast::MsgUid uid) {
+  responses_.insert(uid);
+}
+
+std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
+                                               core::System& sys,
+                                               const CrashSet& ever_crashed) {
+  std::vector<Violation> out;
+  auto violation = [&out](const char* oracle, const std::string& detail) {
+    out.push_back(Violation{oracle, detail});
+  };
+
+  std::set<amcast::MsgUid> invoked;
+  for (const auto& inv : history.invokes()) invoked.insert(inv.uid);
+
+  // Per-replica delivery sequences + global uid <-> timestamp maps.
+  std::map<std::pair<std::int32_t, int>, std::vector<const DeliveryEvent*>>
+      per_replica;
+  std::map<amcast::MsgUid, std::uint64_t> uid_tmp;
+  std::map<std::uint64_t, amcast::MsgUid> tmp_uid;
+  // uid -> groups that delivered it, and per (group, replica) dedupe.
+  std::map<amcast::MsgUid, std::set<std::int32_t>> delivered_groups;
+  std::map<amcast::MsgUid, std::map<std::int32_t, std::set<int>>>
+      delivered_by;
+
+  for (const auto& d : history.deliveries()) {
+    per_replica[{d.group, d.rank}].push_back(&d);
+
+    // Integrity: only invoked messages (when invocations were recorded),
+    // only at destination groups, at most once per replica.
+    if (!invoked.empty() && !invoked.contains(d.uid)) {
+      violation("integrity", "replica g" + std::to_string(d.group) + ".r" +
+                                 std::to_string(d.rank) +
+                                 " delivered uninvoked " + uid_str(d.uid));
+    }
+    if (!amcast::dst_contains(d.dst, d.group)) {
+      violation("integrity", "g" + std::to_string(d.group) +
+                                 " is not a destination of " + uid_str(d.uid));
+    }
+    if (!delivered_by[d.uid][d.group].insert(d.rank).second) {
+      violation("integrity", "g" + std::to_string(d.group) + ".r" +
+                                 std::to_string(d.rank) +
+                                 " delivered " + uid_str(d.uid) + " twice");
+    }
+    delivered_groups[d.uid].insert(d.group);
+
+    // Uniform timestamps: all deliveries of a uid agree on tmp; tmps are
+    // globally unique across uids.
+    if (auto [it, inserted] = uid_tmp.try_emplace(d.uid, d.tmp);
+        !inserted && it->second != d.tmp) {
+      violation("uniform-timestamps",
+                uid_str(d.uid) + " delivered with tmp " +
+                    std::to_string(d.tmp) + " and " +
+                    std::to_string(it->second));
+    }
+    if (auto [it, inserted] = tmp_uid.try_emplace(d.tmp, d.uid);
+        !inserted && it->second != d.uid) {
+      violation("uniform-timestamps",
+                "tmp " + std::to_string(d.tmp) + " assigned to both " +
+                    uid_str(d.uid) + " and " + uid_str(it->second));
+    }
+  }
+
+  // Total/prefix order: per-replica delivery timestamps strictly increase.
+  // Combined with globally unique timestamps this gives pairwise prefix
+  // consistency and acyclicity.
+  for (const auto& [key, seq] : per_replica) {
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i]->tmp <= seq[i - 1]->tmp) {
+        violation("total-order",
+                  "g" + std::to_string(key.first) + ".r" +
+                      std::to_string(key.second) + " delivered " +
+                      uid_str(seq[i]->uid) + " (tmp " +
+                      std::to_string(seq[i]->tmp) + ") after tmp " +
+                      std::to_string(seq[i - 1]->tmp));
+      }
+    }
+  }
+
+  // Agreement: a delivered message reaches every never-crashed replica of
+  // each group that delivered it.
+  for (const auto& [uid, by_group] : delivered_by) {
+    for (const auto& [g, ranks] : by_group) {
+      for (int r = 0; r < sys.replicas_per_partition(); ++r) {
+        if (ranks.contains(r)) continue;
+        if (ever_crashed.contains({g, r})) continue;
+        violation("agreement", "g" + std::to_string(g) + ".r" +
+                                   std::to_string(r) + " never delivered " +
+                                   uid_str(uid));
+      }
+    }
+  }
+
+  // Validity: every invoked message is delivered in every destination
+  // group and its client saw a response.
+  for (const auto& inv : history.invokes()) {
+    for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+      if (!amcast::dst_contains(inv.dst, g)) continue;
+      if (!delivered_groups[inv.uid].contains(g)) {
+        violation("validity", uid_str(inv.uid) + " never delivered in g" +
+                                  std::to_string(g));
+      }
+    }
+    if (!history.responses().contains(inv.uid)) {
+      violation("validity", uid_str(inv.uid) + " got no response");
+    }
+  }
+
+  return out;
+}
+
+std::uint64_t store_digest(core::Replica& replica) {
+  auto& store = replica.store();
+  std::vector<core::Oid> oids;
+  oids.reserve(store.object_count());
+  store.for_each_oid([&oids](core::Oid oid) { oids.push_back(oid); });
+  std::sort(oids.begin(), oids.end());
+
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](const std::byte* data, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= static_cast<std::uint64_t>(data[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const core::Oid oid : oids) {
+    mix(reinterpret_cast<const std::byte*>(&oid), sizeof(oid));
+    // Digest the *current* version only: a restarted replica received it
+    // via install_version (which fills both slots), while survivors still
+    // hold a stale older version in the second slot.
+    const auto [tmp, value] = store.get(oid);
+    mix(reinterpret_cast<const std::byte*>(&tmp), sizeof(tmp));
+    mix(value.data(), value.size());
+  }
+  return h;
+}
+
+void check_store_convergence(core::System& sys,
+                             std::vector<Violation>& violations) {
+  for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+    std::uint64_t want = 0;
+    int want_rank = -1;
+    for (int r = 0; r < sys.replicas_per_partition(); ++r) {
+      core::Replica& rep = sys.replica(g, r);
+      if (!rep.node().alive()) continue;
+      const std::uint64_t d = store_digest(rep);
+      if (want_rank < 0) {
+        want = d;
+        want_rank = r;
+        continue;
+      }
+      if (d != want) {
+        violations.push_back(Violation{
+            "convergence",
+            "g" + std::to_string(g) + ".r" + std::to_string(r) +
+                " store digest differs from r" + std::to_string(want_rank)});
+      }
+    }
+  }
+}
+
+}  // namespace heron::faultlab

@@ -1,0 +1,107 @@
+// History recording + checking oracles for chaos runs.
+//
+// The recorder captures three event streams during a run:
+//   * client invocations (uid, destination set) — recorded by the
+//     workload driver *before* submitting, so stalled requests are seen;
+//   * client responses (uid);
+//   * atomic multicast deliveries at every replica, via the endpoint's
+//     delivery observer.
+//
+// The oracles check the captured history against the multicast properties
+// Heron consumes (§II-B) plus SMR convergence of the object stores:
+//   * integrity      — each replica delivers a message at most once, only
+//                      if invoked, and only if its group is a destination;
+//   * uniform timestamps — every delivery of m carries the same final
+//                      timestamp, and no two messages share one;
+//   * total/prefix order — per-replica delivery timestamps strictly
+//                      increase (with unique global timestamps this
+//                      implies pairwise prefix consistency);
+//   * agreement      — a message delivered in group g is delivered by
+//                      every replica of g that never crashed;
+//   * validity       — every invoked message is delivered in every
+//                      destination group, and its client got a response.
+//   * convergence    — all live replicas of a group hold byte-identical
+//                      current object state (checked via store digests).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "amcast/types.hpp"
+#include "core/system.hpp"
+
+namespace heron::faultlab {
+
+struct DeliveryEvent {
+  std::int32_t group = 0;
+  int rank = 0;
+  amcast::MsgUid uid = 0;
+  std::uint64_t tmp = 0;
+  amcast::DstMask dst = 0;
+  sim::Nanos at = 0;
+};
+
+struct InvokeEvent {
+  amcast::MsgUid uid = 0;
+  amcast::DstMask dst = 0;
+  sim::Nanos at = 0;
+};
+
+class HistoryRecorder {
+ public:
+  /// Installs delivery observers on every endpoint of `sys`. The recorder
+  /// must outlive the system's protocol activity.
+  void attach(core::System& sys);
+
+  /// Workload drivers call these around each submit. Invokes must be
+  /// recorded *before* the submit so a request wedged by a fault is
+  /// visible to the validity oracle.
+  void record_invoke(amcast::MsgUid uid, amcast::DstMask dst);
+  void record_response(amcast::MsgUid uid);
+
+  [[nodiscard]] const std::vector<DeliveryEvent>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] const std::vector<InvokeEvent>& invokes() const {
+    return invokes_;
+  }
+  [[nodiscard]] const std::set<amcast::MsgUid>& responses() const {
+    return responses_;
+  }
+
+ private:
+  core::System* sys_ = nullptr;
+  std::vector<DeliveryEvent> deliveries_;
+  std::vector<InvokeEvent> invokes_;
+  std::set<amcast::MsgUid> responses_;
+};
+
+struct Violation {
+  std::string oracle;  // which property failed
+  std::string detail;  // human-readable description
+};
+
+/// Replicas excluded from the agreement check (crashed at least once —
+/// recovery catches up via state transfer, not re-delivery).
+using CrashSet = std::set<std::pair<std::int32_t, int>>;
+
+/// Runs the multicast-property oracles over the recorded history.
+/// Validity is only checked when invocations were recorded.
+std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
+                                               core::System& sys,
+                                               const CrashSet& ever_crashed);
+
+/// FNV-1a digest over the store's current object versions in oid order:
+/// (oid, version timestamp, value bytes). Two replicas executing the same
+/// request sequence produce identical digests.
+std::uint64_t store_digest(core::Replica& replica);
+
+/// Appends a violation for every group whose live replicas disagree on
+/// their store digest. Crashed (not restarted) replicas are skipped.
+void check_store_convergence(core::System& sys,
+                             std::vector<Violation>& violations);
+
+}  // namespace heron::faultlab

@@ -1,0 +1,123 @@
+#include "faultlab/injector.hpp"
+
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace heron::faultlab {
+
+void Injector::run(FaultPlan plan) {
+  sys_->simulator().spawn(execute(std::move(plan)));
+}
+
+sim::Task<void> Injector::execute(FaultPlan plan) {
+  auto& sim = sys_->simulator();
+  for (const auto& ev : plan.events()) {
+    if (ev.at > sim.now()) co_await sim.sleep(ev.at - sim.now());
+    apply(ev);
+  }
+}
+
+void Injector::apply(const FaultEvent& ev) {
+  auto& sim = sys_->simulator();
+  auto& tracer = sys_->fabric().telemetry().tracer;
+
+  switch (ev.kind) {
+    case FaultKind::kCrash: {
+      auto& node = sys_->amcast().endpoint(ev.target.group, ev.target.rank).node();
+      tracer.instant("faultlab", "crash", node.id(),
+                     {{"group", static_cast<std::uint64_t>(ev.target.group)},
+                      {"rank", static_cast<std::uint64_t>(ev.target.rank)}});
+      HSIM_LOG(sim, kInfo, "faultlab: crash g" << ev.target.group << ".r"
+                                               << ev.target.rank);
+      node.crash();
+      crashed_.insert({ev.target.group, ev.target.rank});
+      break;
+    }
+    case FaultKind::kRestart: {
+      auto& node = sys_->amcast().endpoint(ev.target.group, ev.target.rank).node();
+      tracer.instant("faultlab", "restart", node.id(),
+                     {{"group", static_cast<std::uint64_t>(ev.target.group)},
+                      {"rank", static_cast<std::uint64_t>(ev.target.rank)}});
+      HSIM_LOG(sim, kInfo, "faultlab: restart g" << ev.target.group << ".r"
+                                                 << ev.target.rank);
+      sys_->restart_replica(ev.target.group, ev.target.rank);
+      break;
+    }
+    case FaultKind::kLatency: {
+      tracer.instant("faultlab", "latency", 0,
+                     {{"factor_x1000",
+                       static_cast<std::uint64_t>(ev.factor * 1000)},
+                      {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      sys_->fabric().set_latency_factor(ev.factor);
+      sim.spawn(restore_latency(ev.duration));
+      break;
+    }
+    case FaultKind::kBandwidth: {
+      tracer.instant("faultlab", "bandwidth", 0,
+                     {{"factor_x1000",
+                       static_cast<std::uint64_t>(ev.factor * 1000)},
+                      {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      sys_->fabric().set_bandwidth_factor(ev.factor);
+      sim.spawn(restore_bandwidth(ev.duration));
+      break;
+    }
+    case FaultKind::kPartition: {
+      std::vector<std::int32_t> nodes;
+      for (const auto& ref : ev.targets) {
+        if (ref.rank >= 0) {
+          nodes.push_back(
+              sys_->amcast().endpoint(ref.group, ref.rank).node().id());
+          continue;
+        }
+        for (int q = 0; q < sys_->replicas_per_partition(); ++q) {
+          nodes.push_back(sys_->amcast().endpoint(ref.group, q).node().id());
+        }
+      }
+      tracer.instant("faultlab", "partition", 0,
+                     {{"nodes", nodes.size()},
+                      {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      // heal_at makes the cut self-expiring; traffic crossing it is
+      // stalled (never dropped) until then.
+      sys_->fabric().partition(std::move(nodes), sim.now() + ev.duration);
+      break;
+    }
+    case FaultKind::kJitter: {
+      tracer.instant("faultlab", "jitter", 0,
+                     {{"prob_x1000",
+                       static_cast<std::uint64_t>(ev.hiccup_prob * 1000)},
+                      {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      auto& cfg = sys_->mutable_config();
+      const double old_prob = cfg.hiccup_prob;
+      const sim::Nanos old_dur = cfg.hiccup_duration;
+      cfg.hiccup_prob = ev.hiccup_prob;
+      cfg.hiccup_duration = ev.hiccup_duration;
+      sim.spawn(restore_jitter(ev.duration, old_prob, old_dur));
+      break;
+    }
+  }
+}
+
+sim::Task<void> Injector::restore_latency(sim::Nanos after) {
+  co_await sys_->simulator().sleep(after);
+  sys_->fabric().set_latency_factor(1.0);
+  sys_->fabric().telemetry().tracer.instant("faultlab", "latency_restored", 0);
+}
+
+sim::Task<void> Injector::restore_bandwidth(sim::Nanos after) {
+  co_await sys_->simulator().sleep(after);
+  sys_->fabric().set_bandwidth_factor(1.0);
+  sys_->fabric().telemetry().tracer.instant("faultlab", "bandwidth_restored",
+                                            0);
+}
+
+sim::Task<void> Injector::restore_jitter(sim::Nanos after, double prob,
+                                         sim::Nanos duration) {
+  co_await sys_->simulator().sleep(after);
+  auto& cfg = sys_->mutable_config();
+  cfg.hiccup_prob = prob;
+  cfg.hiccup_duration = duration;
+  sys_->fabric().telemetry().tracer.instant("faultlab", "jitter_restored", 0);
+}
+
+}  // namespace heron::faultlab

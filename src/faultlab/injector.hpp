@@ -1,0 +1,43 @@
+// Executes a FaultPlan against a running Heron cluster as a simulation
+// task, mirroring every applied event into the telemetry trace as a
+// "faultlab" instant so fault timing lines up with protocol spans.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "core/system.hpp"
+#include "faultlab/plan.hpp"
+#include "sim/task.hpp"
+
+namespace heron::faultlab {
+
+class Injector {
+ public:
+  explicit Injector(core::System& sys) : sys_(&sys) {}
+
+  /// Spawns the plan executor; events fire at their virtual times.
+  /// The plan is copied — the caller's plan may go out of scope.
+  void run(FaultPlan plan);
+
+  /// Replicas that were crashed at least once (restarted or not). The
+  /// oracles exempt them from the delivery-agreement check: a recovered
+  /// replica catches up via state transfer, not by re-delivering.
+  [[nodiscard]] const std::set<std::pair<std::int32_t, int>>& ever_crashed()
+      const {
+    return crashed_;
+  }
+
+ private:
+  sim::Task<void> execute(FaultPlan plan);
+  sim::Task<void> restore_latency(sim::Nanos after);
+  sim::Task<void> restore_bandwidth(sim::Nanos after);
+  sim::Task<void> restore_jitter(sim::Nanos after, double prob,
+                                 sim::Nanos duration);
+  void apply(const FaultEvent& ev);
+
+  core::System* sys_;
+  std::set<std::pair<std::int32_t, int>> crashed_;
+};
+
+}  // namespace heron::faultlab

@@ -1,0 +1,259 @@
+#include "faultlab/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace heron::faultlab {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view stmt, const std::string& why) {
+  throw std::runtime_error("faultlab plan: " + why + " in \"" +
+                           std::string(stmt) + "\"");
+}
+
+std::vector<std::string_view> split_statements(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ';' || text[i] == '\n') {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> tokenize(std::string_view stmt) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < stmt.size()) {
+    while (i < stmt.size() && std::isspace(static_cast<unsigned char>(stmt[i]))) {
+      ++i;
+    }
+    if (i >= stmt.size() || stmt[i] == '#') break;  // comment to end of stmt
+    std::size_t j = i;
+    while (j < stmt.size() &&
+           !std::isspace(static_cast<unsigned char>(stmt[j])) &&
+           stmt[j] != '#') {
+      ++j;
+    }
+    out.push_back(stmt.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+double parse_double(std::string_view stmt, std::string_view tok) {
+  double v = 0;
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+    fail(stmt, "bad number \"" + std::string(tok) + "\"");
+  }
+  return v;
+}
+
+sim::Nanos parse_time(std::string_view stmt, std::string_view tok) {
+  double scale = 0;
+  std::string_view num = tok;
+  auto ends_with = [&tok](std::string_view suffix) {
+    return tok.size() > suffix.size() &&
+           tok.substr(tok.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("ns")) {
+    scale = 1.0;
+    num = tok.substr(0, tok.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1e3;
+    num = tok.substr(0, tok.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1e6;
+    num = tok.substr(0, tok.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1e9;
+    num = tok.substr(0, tok.size() - 1);
+  } else {
+    fail(stmt, "time \"" + std::string(tok) + "\" needs a ns/us/ms/s suffix");
+  }
+  return static_cast<sim::Nanos>(parse_double(stmt, num) * scale);
+}
+
+ReplicaRef parse_ref(std::string_view stmt, std::string_view tok) {
+  // g<group> or g<group>.r<rank>
+  if (tok.empty() || tok[0] != 'g') fail(stmt, "expected g<id>[.r<id>]");
+  ReplicaRef ref;
+  const auto dot = tok.find('.');
+  const std::string_view gpart = tok.substr(1, dot == std::string_view::npos
+                                                   ? std::string_view::npos
+                                                   : dot - 1);
+  ref.group = static_cast<std::int32_t>(parse_double(stmt, gpart));
+  if (dot != std::string_view::npos) {
+    const std::string_view rpart = tok.substr(dot + 1);
+    if (rpart.size() < 2 || rpart[0] != 'r') {
+      fail(stmt, "expected .r<rank> after group");
+    }
+    ref.rank = static_cast<int>(parse_double(stmt, rpart.substr(1)));
+  }
+  return ref;
+}
+
+std::vector<ReplicaRef> parse_ref_list(std::string_view stmt,
+                                       std::string_view tok) {
+  std::vector<ReplicaRef> out;
+  std::size_t start = 0;
+  while (start <= tok.size()) {
+    const auto comma = tok.find(',', start);
+    const auto piece = tok.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    if (!piece.empty()) out.push_back(parse_ref(stmt, piece));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) fail(stmt, "empty replica list");
+  return out;
+}
+
+/// Finds "@ <time>" and optional "for <duration>"; returns the number of
+/// leading tokens before the '@'.
+std::size_t parse_schedule(std::string_view stmt,
+                           const std::vector<std::string_view>& toks,
+                           FaultEvent& ev) {
+  std::size_t at_pos = toks.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i] == "@") {
+      at_pos = i;
+      break;
+    }
+  }
+  if (at_pos == toks.size()) fail(stmt, "missing \"@ <time>\"");
+  if (at_pos + 1 >= toks.size()) fail(stmt, "missing time after @");
+  ev.at = parse_time(stmt, toks[at_pos + 1]);
+  if (at_pos + 2 < toks.size()) {
+    if (toks[at_pos + 2] != "for" || at_pos + 3 >= toks.size()) {
+      fail(stmt, "expected \"for <duration>\"");
+    }
+    ev.duration = parse_time(stmt, toks[at_pos + 3]);
+  }
+  return at_pos;
+}
+
+std::string time_str(sim::Nanos t) {
+  std::ostringstream os;
+  if (t % 1'000'000 == 0) {
+    os << t / 1'000'000 << "ms";
+  } else if (t % 1'000 == 0) {
+    os << t / 1'000 << "us";
+  } else {
+    os << t << "ns";
+  }
+  return os.str();
+}
+
+std::string ref_str(const ReplicaRef& ref) {
+  std::ostringstream os;
+  os << 'g' << ref.group;
+  if (ref.rank >= 0) os << ".r" << ref.rank;
+  return os.str();
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kBandwidth: return "bandwidth";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kJitter: return "jitter";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::string name, std::vector<FaultEvent> events)
+    : name_(std::move(name)), events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::parse(std::string name, std::string_view text) {
+  std::vector<FaultEvent> events;
+  for (const auto stmt : split_statements(text)) {
+    const auto toks = tokenize(stmt);
+    if (toks.empty()) continue;
+    FaultEvent ev;
+    const std::size_t head = parse_schedule(stmt, toks, ev);
+    const std::string_view kw = toks[0];
+
+    if (kw == "crash" || kw == "restart") {
+      ev.kind = kw == "crash" ? FaultKind::kCrash : FaultKind::kRestart;
+      if (head != 2) fail(stmt, "expected one g<g>.r<r> target");
+      ev.target = parse_ref(stmt, toks[1]);
+      if (ev.target.rank < 0) fail(stmt, "crash/restart needs an .r<rank>");
+    } else if (kw == "latency" || kw == "bandwidth") {
+      ev.kind = kw == "latency" ? FaultKind::kLatency : FaultKind::kBandwidth;
+      if (head != 2 || toks[1].empty() || toks[1][0] != 'x') {
+        fail(stmt, "expected x<factor>");
+      }
+      ev.factor = parse_double(stmt, toks[1].substr(1));
+      if (ev.factor <= 0) fail(stmt, "factor must be positive");
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else if (kw == "partition") {
+      ev.kind = FaultKind::kPartition;
+      if (head != 2) fail(stmt, "expected a replica list");
+      ev.targets = parse_ref_list(stmt, toks[1]);
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else if (kw == "jitter") {
+      ev.kind = FaultKind::kJitter;
+      if (head != 3 || toks[1].empty() || toks[1][0] != 'p') {
+        fail(stmt, "expected p<prob> <hiccup-duration>");
+      }
+      ev.hiccup_prob = parse_double(stmt, toks[1].substr(1));
+      ev.hiccup_duration = parse_time(stmt, toks[2]);
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else {
+      fail(stmt, "unknown fault \"" + std::string(kw) + "\"");
+    }
+    events.push_back(std::move(ev));
+  }
+  return FaultPlan(std::move(name), std::move(events));
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const auto& ev : events_) {
+    os << fault_kind_name(ev.kind) << ' ';
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        os << ref_str(ev.target) << ' ';
+        break;
+      case FaultKind::kLatency:
+      case FaultKind::kBandwidth:
+        os << 'x' << ev.factor << ' ';
+        break;
+      case FaultKind::kPartition:
+        for (std::size_t i = 0; i < ev.targets.size(); ++i) {
+          os << (i ? "," : "") << ref_str(ev.targets[i]);
+        }
+        os << ' ';
+        break;
+      case FaultKind::kJitter:
+        os << 'p' << ev.hiccup_prob << ' ' << time_str(ev.hiccup_duration)
+           << ' ';
+        break;
+    }
+    os << "@ " << time_str(ev.at);
+    if (ev.duration > 0) os << " for " << time_str(ev.duration);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace heron::faultlab

@@ -1,0 +1,79 @@
+// heron::faultlab — declarative, seedable fault schedules.
+//
+// A FaultPlan is a list of timed fault events executed against a running
+// cluster by the injector (injector.hpp). Plans are written in a tiny
+// text DSL so a failing (seed, plan) pair reported by the chaos explorer
+// can be replayed verbatim:
+//
+//   crash g0.r1 @ 5ms          # crash-stop replica rank 1 of group 0
+//   restart g0.r1 @ 20ms       # bring it back (rejoin via Algorithm 3)
+//   latency x8 @ 10ms for 5ms  # multiply all link latency by 8
+//   bandwidth x0.25 @ 1ms for 2ms   # divide transfer bandwidth by 4
+//   partition g0.r2 @ 2ms for 150us # cut the named replicas off
+//   jitter p0.3 25us @ 4ms for 3ms  # service-time hiccup burst
+//
+// Statements are separated by ';' or newlines; '#' starts a comment.
+// Times accept ns / us / ms / s suffixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace heron::faultlab {
+
+enum class FaultKind : std::uint32_t {
+  kCrash,      // crash-stop a replica's node
+  kRestart,    // restart + rejoin a crashed replica
+  kLatency,    // scale all link latency by `factor` for `duration`
+  kBandwidth,  // scale transfer bandwidth by `factor` for `duration`
+  kPartition,  // stall traffic crossing {targets | rest} for `duration`
+  kJitter,     // service-time hiccup burst for `duration`
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// A replica reference; rank == -1 means "every replica of the group".
+struct ReplicaRef {
+  std::int32_t group = 0;
+  int rank = -1;
+};
+
+struct FaultEvent {
+  sim::Nanos at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  ReplicaRef target;                  // crash / restart
+  std::vector<ReplicaRef> targets;    // partition side
+  double factor = 1.0;                // latency / bandwidth
+  sim::Nanos duration = 0;            // window of the perturbation
+  double hiccup_prob = 0.0;           // jitter burst
+  sim::Nanos hiccup_duration = 0;     // jitter burst stall per hiccup
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(std::string name, std::vector<FaultEvent> events);
+
+  /// Parses the DSL described above. Throws std::runtime_error with the
+  /// offending statement on malformed input. Events are sorted by time.
+  static FaultPlan parse(std::string name, std::string_view text);
+
+  /// Round-trips the plan back into DSL form (one statement per line).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace heron::faultlab

@@ -38,10 +38,33 @@ sim::Nanos Fabric::jitter(sim::Nanos base) {
   if (model_.oversub_nodes != 0 && nodes_.size() > model_.oversub_nodes) {
     scaled *= model_.oversub_factor;
   }
+  if (latency_factor_ != 1.0) scaled *= latency_factor_;
   if (model_.jitter_sigma > 0.0) {
     scaled *= rng_.lognormal_mean(1.0, model_.jitter_sigma);
   }
   return static_cast<sim::Nanos>(scaled);
+}
+
+sim::Nanos Fabric::xfer_time(std::uint64_t bytes) const {
+  sim::Nanos t = model_.transfer_time(bytes);
+  if (bandwidth_factor_ > 0.0 && bandwidth_factor_ != 1.0) {
+    t = static_cast<sim::Nanos>(static_cast<double>(t) / bandwidth_factor_);
+  }
+  return t;
+}
+
+void Fabric::partition(std::vector<std::int32_t> nodes, sim::Nanos heal_at) {
+  std::sort(nodes.begin(), nodes.end());
+  partitioned_ = std::move(nodes);
+  partition_heal_at_ = heal_at;
+}
+
+bool Fabric::crosses_partition(std::int32_t a, std::int32_t b) const {
+  const bool a_in = std::binary_search(partitioned_.begin(),
+                                       partitioned_.end(), a);
+  const bool b_in = std::binary_search(partitioned_.begin(),
+                                       partitioned_.end(), b);
+  return a_in != b_in;
 }
 
 sim::Nanos Fabric::depart(std::int32_t initiator) {
@@ -58,6 +81,11 @@ sim::Nanos Fabric::depart(std::int32_t initiator) {
 sim::Nanos Fabric::arrival_on_channel(std::int32_t initiator,
                                       std::int32_t target,
                                       sim::Nanos proposed) {
+  // Traffic crossing an active partition stalls until the cut heals; the
+  // channel's last_arrival then keeps the queued packets in order.
+  if (partition_active() && crosses_partition(initiator, target)) {
+    proposed = std::max(proposed, partition_heal_at_);
+  }
   Channel& ch = channels_[{initiator, target}];
   const sim::Nanos at = std::max(proposed, ch.last_arrival);
   ch.last_arrival = at;
@@ -105,7 +133,7 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
 
   // Response carries the payload back to the initiator.
   const sim::Nanos done_at =
-      arrive + jitter(model_.read_base / 2) + model_.transfer_time(out.size());
+      arrive + jitter(model_.read_base / 2) + xfer_time(out.size());
   if (done_at > sim_->now()) co_await sim_->sleep(done_at - sim_->now());
   co_return Completion{Status::kOk};
 }
@@ -142,12 +170,12 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
 
   const sim::Nanos departed = depart(initiator);
   // Large payloads occupy the send NIC for their transfer duration.
-  nic_free_at_[initiator] = departed + model_.transfer_time(data.size());
+  nic_free_at_[initiator] = departed + xfer_time(data.size());
   if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
 
   const sim::Nanos arrive = arrival_on_channel(
       initiator, addr.node, departed + jitter(model_.write_base) +
-                                model_.transfer_time(data.size()));
+                                xfer_time(data.size()));
   if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
 
   if (!target.alive()) {
@@ -180,10 +208,10 @@ void Fabric::write_async(std::int32_t initiator, RAddr addr,
   }
 
   const sim::Nanos departed = depart(initiator);
-  nic_free_at_[initiator] = departed + model_.transfer_time(data.size());
+  nic_free_at_[initiator] = departed + xfer_time(data.size());
   const sim::Nanos arrive = arrival_on_channel(
       initiator, addr.node, departed + jitter(model_.write_base) +
-                                model_.transfer_time(data.size()));
+                                xfer_time(data.size()));
 
   // The arrival instant is known synchronously, so the span covers the
   // wire flight of the fire-and-forget write.

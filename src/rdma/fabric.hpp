@@ -122,15 +122,41 @@ class Fabric {
   void write_async(std::int32_t initiator, RAddr addr,
                    std::span<const std::byte> data);
 
+  // --- perturbation hook (heron::faultlab) --------------------------------
+  // Transient network chaos, separate from the calibrated LatencyModel so a
+  // fault plan can open and close windows without touching the baseline.
+
+  /// Scales the latency component of every verb (1.0 = nominal).
+  void set_latency_factor(double f) { latency_factor_ = f; }
+  [[nodiscard]] double latency_factor() const { return latency_factor_; }
+
+  /// Scales effective bandwidth (0.5 = half bandwidth, transfers take 2x).
+  void set_bandwidth_factor(double f) { bandwidth_factor_ = f; }
+  [[nodiscard]] double bandwidth_factor() const { return bandwidth_factor_; }
+
+  /// Partitions `nodes` from the rest of the fabric until virtual time
+  /// `heal_at`. Traffic crossing the cut is stalled until the heal instant,
+  /// never dropped: RC queue pairs retransmit through transient partitions
+  /// (crash faults are modeled separately via Node::crash()). In-order
+  /// channel delivery is preserved across the stall.
+  void partition(std::vector<std::int32_t> nodes, sim::Nanos heal_at);
+  /// Lifts a partition before its scheduled heal time.
+  void heal_partition() { partitioned_.clear(); }
+  [[nodiscard]] bool partition_active() const {
+    return !partitioned_.empty() && sim_->now() < partition_heal_at_;
+  }
+
  private:
   struct Channel {
     sim::Nanos last_arrival = 0;  // enforces RC in-order delivery
   };
 
   sim::Nanos jitter(sim::Nanos base);
+  sim::Nanos xfer_time(std::uint64_t bytes) const;
   sim::Nanos depart(std::int32_t initiator);
   sim::Nanos arrival_on_channel(std::int32_t initiator, std::int32_t target,
                                 sim::Nanos proposed);
+  [[nodiscard]] bool crosses_partition(std::int32_t a, std::int32_t b) const;
   void deliver_write(std::int32_t target, RAddr addr,
                      std::vector<std::byte> data);
 
@@ -142,6 +168,12 @@ class Fabric {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::pair<std::int32_t, std::int32_t>, Channel> channels_;
   std::map<std::int32_t, sim::Nanos> nic_free_at_;  // send-side serialization
+
+  // Perturbation state (see the faultlab hook above).
+  double latency_factor_ = 1.0;
+  double bandwidth_factor_ = 1.0;
+  std::vector<std::int32_t> partitioned_;  // sorted node set; one side of the cut
+  sim::Nanos partition_heal_at_ = 0;
 
   // Telemetry handles (registered once; recording is branch-guarded).
   telemetry::Counter* ctr_reads_;
