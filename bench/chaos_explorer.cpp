@@ -6,9 +6,17 @@
 //
 //   chaos_explorer [--quick] [--seed <s>] [--plan <name>]
 //                  [--json <path>]          (default BENCH_chaos.json)
+//                  [--timeout-us <t>] [--retries <n>] [--backoff-us <b>]
+//                  [--deadline-us <d>] [--no-retry]
+//
+// Clients run the robust retry lifecycle by default (fresh-uid retries,
+// session dedup at the replicas); --no-retry restores the legacy
+// wait-forever client. The knobs are echoed in every cell's repro
+// command so a violating cell replays under identical client behaviour.
 //
 // Exit code is non-zero when any oracle reported a violation.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,7 +64,31 @@ struct Options {
   std::uint64_t seed = 0;  // 0 = sweep the default seed list
   std::string plan;        // empty = all plans
   std::string json_path = "BENCH_chaos.json";
+  // Client retry lifecycle (see core::HeronConfig). Defaults keep every
+  // plan terminating well inside the per-cell sim budget.
+  bool retry = true;
+  std::uint64_t timeout_us = 2000;    // per-attempt timeout
+  int retries = 10;                   // max retries (attempts - 1)
+  std::uint64_t backoff_us = 50;      // initial backoff
+  std::uint64_t deadline_us = 120000; // overall per-request deadline
 };
+
+void apply_client_knobs(core::HeronConfig& cfg, const Options& opt) {
+  if (!opt.retry) return;
+  cfg.client_attempt_timeout = sim::us(static_cast<double>(opt.timeout_us));
+  cfg.client_max_retries = opt.retries;
+  cfg.client_retry_backoff = sim::us(static_cast<double>(opt.backoff_us));
+  cfg.client_deadline = sim::us(static_cast<double>(opt.deadline_us));
+}
+
+/// Client-lifecycle flags for a cell's repro command line.
+std::string retry_flags(const Options& opt) {
+  if (!opt.retry) return " --no-retry";
+  return " --timeout-us " + std::to_string(opt.timeout_us) + " --retries " +
+         std::to_string(opt.retries) + " --backoff-us " +
+         std::to_string(opt.backoff_us) + " --deadline-us " +
+         std::to_string(opt.deadline_us);
+}
 
 struct CellOutcome {
   std::uint64_t completed = 0;
@@ -66,9 +98,9 @@ struct CellOutcome {
 };
 
 /// One bank cell: finite closed-loop transfer clients under the plan,
-/// then the full oracle suite (the workload records invoke/response).
+/// then the full oracle suite (history captured via system observers).
 CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, const Options& opt) {
   constexpr std::uint64_t kAccounts = 8;
   constexpr int kClients = 3;
   constexpr int kOps = 40;
@@ -77,6 +109,7 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
   rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
   core::HeronConfig cfg;
   cfg.object_region_bytes = 1u << 20;
+  apply_client_knobs(cfg, opt);
   core::System sys(
       fabric, shape.partitions, shape.replicas,
       [shape, accounts = kAccounts] {
@@ -89,7 +122,7 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
 
   for (int c = 0; c < kClients; ++c) {
     sim.spawn(faultlab::bank_client_loop(
-        sys, sys.add_client(), history,
+        sys, sys.add_client(),
         seed * 1000 + static_cast<std::uint64_t>(c), kOps, kAccounts));
   }
   faultlab::Injector injector(sys);
@@ -105,6 +138,7 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
   out.deliveries = history.deliveries().size();
   out.violations =
       check_amcast_properties(history, sys, injector.ever_crashed());
+  faultlab::check_exactly_once(history, out.violations);
   faultlab::check_store_convergence(sys, out.violations);
 
   // Application-level oracle: transfers conserve the total balance.
@@ -124,22 +158,17 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
 }
 
 sim::Task<void> tpcc_client_loop(core::Client& client,
-                                 faultlab::HistoryRecorder& history,
                                  std::unique_ptr<tpcc::WorkloadGen> gen,
                                  int ops) {
-  std::uint32_t submits = 0;
   for (int k = 0; k < ops; ++k) {
     tpcc::GeneratedRequest req = gen->next();
-    const amcast::MsgUid uid = amcast::make_uid(client.id(), ++submits);
-    history.record_invoke(uid, req.dst);
     co_await client.submit(req.dst, req.kind, req.payload);
-    history.record_response(uid);
   }
 }
 
 /// One TPC-C cell: a small scale factor, one finite client per partition.
 CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, const Options& opt) {
   constexpr int kOps = 25;
   const tpcc::TpccScale scale{.factor = 0.01, .initial_orders_per_district = 6};
 
@@ -147,6 +176,7 @@ CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
   rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
   core::HeronConfig cfg;
   cfg.object_region_bytes = scale.region_bytes(1.4) + (8u << 20);
+  apply_client_knobs(cfg, opt);
   core::System sys(
       fabric, shape.partitions, shape.replicas,
       [shape, scale, seed] {
@@ -164,8 +194,7 @@ CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
     auto gen = std::make_unique<tpcc::WorkloadGen>(
         wl, static_cast<std::uint32_t>(p),
         seed * 7919 + static_cast<std::uint64_t>(p) + 1);
-    sim.spawn(tpcc_client_loop(sys.add_client(), history, std::move(gen),
-                               kOps));
+    sim.spawn(tpcc_client_loop(sys.add_client(), std::move(gen), kOps));
   }
   faultlab::Injector injector(sys);
   injector.run(plan);
@@ -179,6 +208,7 @@ CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
   out.deliveries = history.deliveries().size();
   out.violations =
       check_amcast_properties(history, sys, injector.ever_crashed());
+  faultlab::check_exactly_once(history, out.violations);
   faultlab::check_store_convergence(sys, out.violations);
   return out;
 }
@@ -195,10 +225,21 @@ Options parse_args(int argc, char** argv) {
       opt.plan = argv[++i];
     } else if (a == "--json" && i + 1 < argc) {
       opt.json_path = argv[++i];
+    } else if (a == "--timeout-us" && i + 1 < argc) {
+      opt.timeout_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--retries" && i + 1 < argc) {
+      opt.retries = std::atoi(argv[++i]);
+    } else if (a == "--backoff-us" && i + 1 < argc) {
+      opt.backoff_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--deadline-us" && i + 1 < argc) {
+      opt.deadline_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--no-retry") {
+      opt.retry = false;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--seed <s>] [--plan <name>] "
-                   "[--json <path>]\n",
+                   "[--json <path>] [--timeout-us <t>] [--retries <n>] "
+                   "[--backoff-us <b>] [--deadline-us <d>] [--no-retry]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -242,8 +283,8 @@ int main(int argc, char** argv) {
             continue;
           }
           const CellOutcome out =
-              tpcc_cell ? run_tpcc_cell(shape, plan, seed)
-                        : run_bank_cell(shape, plan, seed);
+              tpcc_cell ? run_tpcc_cell(shape, plan, seed, opt)
+                        : run_bank_cell(shape, plan, seed, opt);
           ++cells;
           total_violations += out.violations.size();
 
@@ -265,8 +306,10 @@ int main(int argc, char** argv) {
             w.end_object();
           }
           w.end_array();
+          w.kv("client_retry", opt.retry);
           w.kv("repro", std::string(argv[0]) + " --seed " +
-                            std::to_string(seed) + " --plan " + named.name);
+                            std::to_string(seed) + " --plan " + named.name +
+                            retry_flags(opt));
           w.end_object();
 
           std::printf("%-5s p=%d r=%d seed=%llu plan=%-15s %llu/%llu%s\n",
@@ -284,7 +327,7 @@ int main(int argc, char** argv) {
   }
 
   w.end_array();
-  w.kv("cells", cells);
+  w.kv("cell_count", cells);
   w.kv("total_violations", total_violations);
   w.end_object();
 

@@ -54,6 +54,10 @@ echo "== chaos_explorer =="
 "$build_dir/bench/chaos_explorer" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_chaos.json"
 
+echo "== overload_bench =="
+"$build_dir/bench/overload_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_overload.json"
+
 echo
 echo "artifacts:"
 ls -l "$out_dir"/BENCH_*.json

@@ -34,7 +34,7 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
 
   inbox_next_.assign(cfg.max_clients, 0);
   props_next_.assign(system.total_replicas(), 0);
-  delivered_wm_.assign(cfg.max_clients, 0);
+  delivered_.assign(cfg.max_clients, DeliveredSet{});
   ready_notifier_ = std::make_unique<sim::Notifier>(
       system.fabric().simulator());
 
@@ -47,6 +47,7 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
   ctr_deliveries_ = &hub_->metrics.counter("amcast", "deliveries", label);
   ctr_takeovers_ = &hub_->metrics.counter("amcast", "takeovers", label);
   ctr_reproposals_ = &hub_->metrics.counter("amcast", "reproposals", label);
+  ctr_shed_ = &hub_->metrics.counter("amcast", "shed", label);
 
   update_status_page();
 }
@@ -67,12 +68,11 @@ int Endpoint::majority() const {
 }
 
 bool Endpoint::already_delivered(MsgUid uid) const {
-  return uid_seq(uid) <= delivered_wm_[uid_client(uid)];
+  return delivered_[uid_client(uid)].contains(uid_seq(uid));
 }
 
 void Endpoint::mark_delivered(MsgUid uid) {
-  auto& wm = delivered_wm_[uid_client(uid)];
-  wm = std::max<std::uint64_t>(wm, uid_seq(uid));
+  delivered_[uid_client(uid)].insert(uid_seq(uid));
 }
 
 std::uint64_t Endpoint::inbox_slot_offset(std::uint32_t client,
@@ -200,12 +200,24 @@ sim::Task<void> Endpoint::drive_message(MsgUid uid) {
     ctr_proposes_->inc();
     ts_span.arg("clock", p.local_clock);
 
+    // Admission control: with a bounded window, shed the message when the
+    // backlog (undelivered orderings + deliveries the app hasn't drained)
+    // is at capacity. The message still runs through ordering so every
+    // destination group reaches the same shed verdict via the commit
+    // record; the application answers BUSY instead of executing.
+    const std::uint32_t window = system_->config().admission_window;
+    if (window > 0 && ready_.size() + pending_.size() > window) {
+      p.shed_groups |= dst_of(group_);
+      ctr_shed_->inc();
+    }
+
     LogRecord rec;
     rec.seq = ++append_seq_;
     rec.kind = LogRecord::Kind::kPropose;
     rec.uid = uid;
     rec.value = p.local_clock;
     rec.msg = p.msg;
+    rec.flags = dst_contains(p.shed_groups, group_) ? 1u : 0u;
     p.propose_seq = rec.seq;
     append_record(rec);
     update_status_page();
@@ -256,6 +268,7 @@ void Endpoint::send_proposals(MsgUid uid) {
       rec.seq = ++props_sent_[peer.node().id()];
       rec.uid = uid;
       rec.from_group = group_;
+      rec.flags = dst_contains(p.shed_groups, group_) ? 1u : 0u;
       rec.clock = p.local_clock;
       rec.dst = p.msg.dst;
       system_->fabric().write_async(
@@ -298,6 +311,9 @@ void Endpoint::commit(MsgUid uid) {
   rec.kind = LogRecord::Kind::kCommit;
   rec.uid = uid;
   rec.value = final_ts;
+  // The commit record carries the final shed verdict (any destination
+  // group's leader shed it), so followers need no proposal-flag state.
+  rec.flags = p.shed_groups != 0 ? 1u : 0u;
   append_record(rec);
   update_status_page();
 }
@@ -337,6 +353,7 @@ void Endpoint::apply_record(const LogRecord& rec) {
       p.local_clock = rec.value;
       p.propose_seq = rec.seq;
       p.proposals[group_] = rec.value;
+      if (rec.flags & 1) p.shed_groups |= dst_of(group_);
       clock_ = std::max(clock_, rec.value);
       seen_.erase(rec.uid);
       break;
@@ -348,6 +365,7 @@ void Endpoint::apply_record(const LogRecord& rec) {
       Pending& p = it->second;
       p.committed = true;
       p.final_ts = rec.value;
+      p.shed = (rec.flags & 1) != 0;
       clock_ = std::max(clock_, ts_clock(rec.value));
       try_deliver();
       break;
@@ -431,6 +449,7 @@ sim::Task<void> Endpoint::props_loop() {
         Pending& p = pending_[rec.uid];
         p.proposals[rec.from_group] =
             std::max(p.proposals[rec.from_group], rec.clock);
+        if (rec.flags & 1) p.shed_groups |= dst_of(rec.from_group);
         if (!p.has_msg) {
           // Remember the destination set so maybe_commit can count groups
           // even before our own PROPOSE lands.
@@ -473,6 +492,7 @@ void Endpoint::try_deliver() {
     d.dst = best->msg.dst;
     d.payload = best->msg.payload;
     d.payload_len = best->msg.payload_len;
+    d.shed = best->shed;
     mark_delivered(best_uid);
     pending_.erase(best_uid);
     seen_.erase(best_uid);
@@ -792,8 +812,8 @@ sim::Task<void> Endpoint::takeover() {
 // Restart: crash-recovery rejoin. Registered memory (inbox/log/acks/
 // props/hb/status/control regions) survives the crash; everything in the
 // Endpoint object is treated as volatile except the per-client delivered
-// watermarks, which stand in for the application's stable storage (the
-// SMR layer's surviving object store implies them).
+// sets, which stand in for the application's stable storage (the SMR
+// layer's surviving object store implies them).
 // ---------------------------------------------------------------------
 
 void Endpoint::restart() {

@@ -131,6 +131,8 @@ class Endpoint {
     bool committed = false;
     std::uint64_t final_ts = 0;
     std::map<GroupId, std::uint64_t> proposals;  // group -> proposal clock
+    DstMask shed_groups = 0;  // groups whose leader shed this message
+    bool shed = false;        // committed verdict (any group shed it)
   };
 
   // --- protocol coroutines -------------------------------------------
@@ -184,11 +186,31 @@ class Endpoint {
   // must not resume against the rebuilt state.
   std::uint64_t incarnation_ = 0;
 
-  // Message state. Delivered messages are deduplicated with a per-client
-  // watermark: clients are closed-loop, so their message sequence numbers
-  // complete in order and "seq <= watermark" means already delivered.
+  // Message state. Delivered messages are deduplicated exactly: a per-
+  // client watermark plus the set of delivered sequences above it. With
+  // client retries a later uid (a retry, or the next command after a
+  // give-up) can commit before an abandoned earlier uid, so sequences no
+  // longer complete in order and a max()-watermark would drop messages
+  // inconsistently across groups.
+  struct DeliveredSet {
+    std::uint64_t watermark = 0;        // all seqs <= watermark delivered
+    std::set<std::uint64_t> above;      // delivered seqs > watermark
+
+    [[nodiscard]] bool contains(std::uint64_t seq) const {
+      return seq <= watermark || above.contains(seq);
+    }
+    void insert(std::uint64_t seq) {
+      if (seq <= watermark) return;
+      above.insert(seq);
+      while (above.contains(watermark + 1)) {
+        above.erase(watermark + 1);
+        ++watermark;
+      }
+    }
+  };
+
   std::map<MsgUid, Pending> pending_;
-  std::vector<std::uint64_t> delivered_wm_;  // per client id
+  std::vector<DeliveredSet> delivered_;  // per client id
   std::map<MsgUid, WireMessage> seen_;  // inbox'd but not yet proposed
   std::uint64_t delivered_count_ = 0;
 
@@ -212,6 +234,7 @@ class Endpoint {
   telemetry::Counter* ctr_deliveries_;
   telemetry::Counter* ctr_takeovers_;
   telemetry::Counter* ctr_reproposals_;
+  telemetry::Counter* ctr_shed_;
 };
 
 }  // namespace heron::amcast

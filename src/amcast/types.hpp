@@ -106,7 +106,7 @@ struct LogRecord {
 
   std::uint64_t seq = 0;  // position in the group log, starts at 1
   Kind kind = Kind::kInvalid;
-  std::uint32_t pad = 0;
+  std::uint32_t flags = 0;  // bit 0: message shed by admission control
   MsgUid uid = 0;
   std::uint64_t value = 0;  // kPropose: proposal clock; kCommit: packed final ts
   WireMessage msg{};        // payload only meaningful for kPropose
@@ -118,7 +118,7 @@ struct ProposalRecord {
   std::uint64_t seq = 0;  // per (sender group) stripe sequence, starts at 1
   MsgUid uid = 0;
   GroupId from_group = -1;
-  std::uint32_t pad = 0;
+  std::uint32_t flags = 0;  // bit 0: sender group shed this message
   std::uint64_t clock = 0;  // the sender group's proposal clock
   DstMask dst = 0;
 };
@@ -131,6 +131,10 @@ struct Delivery {
   DstMask dst = 0;
   std::array<std::byte, kMaxPayload> payload{};
   std::uint32_t payload_len = 0;
+  /// Shed by admission control at some destination leader: the message is
+  /// still totally ordered (every destination delivers it with the same
+  /// flag) but the application must reply BUSY instead of executing.
+  bool shed = false;
 
   [[nodiscard]] std::span<const std::byte> payload_view() const {
     return {payload.data(), payload_len};
@@ -156,6 +160,12 @@ struct Config {
   sim::Nanos heartbeat_interval = sim::us(50);
   int heartbeat_misses = 4;  // suspicion threshold
   bool enable_failover = true;
+
+  /// Admission window: if > 0, a leader whose pending + ready backlog has
+  /// reached this many messages marks new arrivals as shed. Shed messages
+  /// still run through ordering (so every destination agrees) but are
+  /// answered with BUSY instead of being executed. 0 disables shedding.
+  std::uint32_t admission_window = 0;
 };
 
 }  // namespace heron::amcast

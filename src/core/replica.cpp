@@ -29,15 +29,38 @@ struct ChunkHeader {
 };
 static_assert(std::is_trivially_copyable_v<ChunkHeader>);
 
-/// Per-object record inside a chunk, followed by the current version's
-/// bytes (the receiver installs it as the object's whole state).
+/// Per-record kinds inside a chunk: application objects and per-client
+/// session entries (the dedup state must travel with the store, or a
+/// rejoined replica would re-execute retried commands).
+constexpr std::uint32_t kRecObject = 0;
+constexpr std::uint32_t kRecSession = 1;
+
+/// Per-record header inside a chunk, followed by the record's bytes. For
+/// kRecObject: the current version (receiver installs it as the object's
+/// whole state), oid = object id. For kRecSession: a SessionWire blob,
+/// oid = client id.
 struct ChunkRecord {
   Oid oid = 0;
   Tmp tmp = 0;
   std::uint32_t size = 0;
   std::uint32_t serialized = 0;
+  std::uint32_t kind = kRecObject;
+  std::uint32_t pad = 0;
 };
 static_assert(std::is_trivially_copyable_v<ChunkRecord>);
+
+/// Wire form of a Replica::Session: fixed header, then `cached_len` reply
+/// payload bytes, then `extra_count` u64 executed-seqs above the
+/// watermark.
+struct SessionWire {
+  std::uint64_t watermark = 0;
+  std::uint64_t cached_seq = 0;
+  std::uint32_t cached_status = 0;
+  std::uint32_t cached_len = 0;
+  std::uint32_t extra_count = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<SessionWire>);
 
 }  // namespace
 
@@ -91,6 +114,8 @@ Replica::Replica(System& system, GroupId group, int rank)
   ctr_transfers_served_ = &m.counter("core", "transfers_served", label);
   ctr_xfer_bytes_sent_ = &m.counter("core", "transfer_bytes_sent", label);
   ctr_xfer_bytes_applied_ = &m.counter("core", "transfer_bytes_applied", label);
+  ctr_dedup_hits_ = &m.counter("core", "session_dedup_hits", label);
+  ctr_shed_replies_ = &m.counter("core", "shed_replies", label);
   hist_exec_ = &m.histogram("core", "exec_ns", label);
   hist_coord_ = &m.histogram("core", "coord_ns", label);
 }
@@ -166,6 +191,7 @@ sim::Task<void> Replica::main_loop() {
     r.uid = d.uid;
     r.tmp = d.tmp;
     r.dst = d.dst;
+    r.shed = d.shed;
     auto payload = d.payload_view();
     if (payload.size() < sizeof(RequestHeader)) continue;  // malformed
     std::memcpy(&r.header, payload.data(), sizeof(RequestHeader));
@@ -185,6 +211,36 @@ sim::Task<void> Replica::main_loop() {
       co_await system_->simulator().sleep(sim::us(2));
       if (stale(inc)) co_return;
     }
+
+    // Shed by admission control: still totally ordered (so every replica
+    // of every destination takes this exact branch for this uid), but
+    // answered BUSY and never executed.
+    if (r.shed) {
+      ++shed_replies_;
+      ctr_shed_replies_->inc();
+      last_executed_ = std::max(last_executed_, r.tmp);
+      co_await send_reply(r, Reply{kStatusBusy, {}});
+      if (stale(inc)) co_return;
+      continue;
+    }
+
+    // Session dedup: a retry of a command that already executed (or is
+    // executing right now) here must not run again. Answer from the reply
+    // cache when it holds exactly this command; stay silent for in-flight
+    // or stale duplicates — the live attempt owns the reply slot.
+    if (session_executed(r)) {
+      ++dedup_hits_;
+      ctr_dedup_hits_->inc();
+      last_executed_ = std::max(last_executed_, r.tmp);
+      if (const Reply* cached = session_cached(r)) {
+        co_await send_reply(r, *cached);
+        if (stale(inc)) co_return;
+      }
+      continue;
+    }
+    // Mark at dispatch, before execution completes: with exec_threads > 1
+    // a duplicate can be delivered while the first copy is mid-execution.
+    session_mark(r);
 
     const HeronConfig& cfg = system_->config();
     if (cfg.exec_threads > 1 && cfg.mode == Mode::kApp &&
@@ -225,6 +281,51 @@ bool Replica::keys_free(const std::vector<Oid>& keys) const {
   return true;
 }
 
+// ---------------------------------------------------------------------
+// Sessions: at-most-once execution per (client, session_seq).
+// ---------------------------------------------------------------------
+
+bool Replica::session_executed(const Request& r) const {
+  if (r.header.session_seq == 0) return false;  // sessionless client
+  const auto it = sessions_.find(amcast::uid_client(r.uid));
+  return it != sessions_.end() && it->second.executed(r.header.session_seq);
+}
+
+void Replica::session_mark(const Request& r) {
+  if (r.header.session_seq == 0) return;
+  sessions_[amcast::uid_client(r.uid)].mark(r.header.session_seq);
+}
+
+void Replica::session_cache_reply(const Request& r, const Reply& reply) {
+  if (r.header.session_seq == 0) return;
+  Session& s = sessions_[amcast::uid_client(r.uid)];
+  s.cached_seq = r.header.session_seq;
+  s.cached_reply.status = reply.status;
+  // Mirror what the reply slot carries: the payload truncated to the slot
+  // size, so a cached answer is byte-identical to the original one.
+  const std::size_t len = std::min(reply.payload.size(), kMaxReplyPayload);
+  s.cached_reply.payload.assign(reply.payload.begin(),
+                                reply.payload.begin() +
+                                    static_cast<std::ptrdiff_t>(len));
+}
+
+const Reply* Replica::session_cached(const Request& r) const {
+  if (r.header.session_seq == 0) return nullptr;
+  const auto it = sessions_.find(amcast::uid_client(r.uid));
+  if (it == sessions_.end()) return nullptr;
+  if (it->second.cached_seq != r.header.session_seq) return nullptr;
+  return &it->second.cached_reply;
+}
+
+void Replica::note_executed(const Request& r, const Reply& reply) {
+  if (r.header.session_seq == 0) return;
+  session_cache_reply(r, reply);
+  if (system_->exec_observer()) {
+    system_->exec_observer()(group_, rank_, amcast::uid_client(r.uid),
+                             r.header.session_seq, r.uid, r.tmp);
+  }
+}
+
 sim::Task<void> Replica::exec_concurrent(Request r, int slot,
                                          std::vector<Oid> keys) {
   const std::uint64_t inc = incarnation_;
@@ -239,6 +340,7 @@ sim::Task<void> Replica::exec_concurrent(Request r, int slot,
   ++executed_;
   ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
+  note_executed(r, out.reply);
   co_await send_reply(r, out.reply);
   if (stale(inc)) co_return;
 
@@ -257,6 +359,7 @@ sim::Task<void> Replica::handle_request(Request r) {
     ++executed_;
     ctr_executed_->inc();
     last_executed_ = std::max(last_executed_, r.tmp);
+    note_executed(r, Reply{});
     co_await send_reply(r, Reply{});
     co_return;
   }
@@ -278,6 +381,7 @@ sim::Task<void> Replica::handle_request(Request r) {
     ++executed_;
     ctr_executed_->inc();
     last_executed_ = std::max(last_executed_, r.tmp);
+    note_executed(r, reply);
     co_await send_reply(r, reply);
     co_return;
   }
@@ -316,6 +420,7 @@ sim::Task<void> Replica::handle_request(Request r) {
   ++executed_;
   ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
+  note_executed(r, reply);
   co_await send_reply(r, reply);  // Phase 5 (line 17)
 }
 
@@ -923,6 +1028,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
     rec.tmp = tmp;
     rec.size = static_cast<std::uint32_t>(value.size());
     rec.serialized = store_->is_serialized(oid) ? 1 : 0;
+    rec.kind = kRecObject;
     rdma::store_pod(std::span(chunk), sizeof(ChunkHeader) + fill, rec);
     std::memcpy(chunk.data() + sizeof(ChunkHeader) + fill + sizeof(ChunkRecord),
                 value.data(), value.size());
@@ -933,6 +1039,56 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
         static_cast<double>(value.size()) *
         (store_->is_serialized(oid) ? cfg.memcpy_ns_per_byte
                                     : cfg.serialize_ns_per_byte));
+  }
+
+  // Session table: the dedup state must travel with the store — the
+  // receiver replaces whole entries, which is safe because this snapshot
+  // waited for last_executed_ >= from_tmp, so per covered client its
+  // session is a superset of anything the lagger executed.
+  for (const auto& [client, s] : sessions_) {
+    const std::vector<std::uint64_t> extra(s.above.begin(), s.above.end());
+    const auto payload_len = static_cast<std::uint32_t>(
+        sizeof(SessionWire) + s.cached_reply.payload.size() +
+        extra.size() * sizeof(std::uint64_t));
+    const auto record_len =
+        static_cast<std::uint32_t>(sizeof(ChunkRecord) + payload_len);
+    if (record_len > chunk_capacity) {
+      throw std::runtime_error("state transfer: session larger than chunk");
+    }
+    if (fill + record_len > chunk_capacity) {
+      co_await flush();
+      if (stale(inc)) co_return;
+    }
+
+    ChunkRecord rec;
+    rec.oid = client;
+    rec.size = payload_len;
+    rec.kind = kRecSession;
+    std::uint64_t off = sizeof(ChunkHeader) + fill;
+    rdma::store_pod(std::span(chunk), off, rec);
+    off += sizeof(ChunkRecord);
+    const SessionWire wire{
+        s.watermark,
+        s.cached_seq,
+        s.cached_reply.status,
+        static_cast<std::uint32_t>(s.cached_reply.payload.size()),
+        static_cast<std::uint32_t>(extra.size()),
+        0};
+    rdma::store_pod(std::span(chunk), off, wire);
+    off += sizeof(SessionWire);
+    if (!s.cached_reply.payload.empty()) {
+      std::memcpy(chunk.data() + off, s.cached_reply.payload.data(),
+                  s.cached_reply.payload.size());
+      off += s.cached_reply.payload.size();
+    }
+    if (!extra.empty()) {
+      std::memcpy(chunk.data() + off, extra.data(),
+                  extra.size() * sizeof(std::uint64_t));
+    }
+    fill += record_len;
+    ++count;
+    serialize_cpu += static_cast<sim::Nanos>(
+        static_cast<double>(payload_len) * cfg.memcpy_ns_per_byte);
   }
   co_await flush();
   if (stale(inc)) co_return;
@@ -995,6 +1151,26 @@ sim::Task<void> Replica::staging_apply_loop() {
           const auto rec = rdma::load_pod<ChunkRecord>(region.bytes(), off);
           off += sizeof(ChunkRecord);
           const auto value = region.bytes().subspan(off, rec.size);
+          if (rec.kind == kRecSession) {
+            const auto wire = rdma::load_pod<SessionWire>(value, 0);
+            Session s;
+            s.watermark = wire.watermark;
+            s.cached_seq = wire.cached_seq;
+            s.cached_reply.status = wire.cached_status;
+            auto rest = value.subspan(sizeof(SessionWire));
+            s.cached_reply.payload.assign(rest.begin(),
+                                          rest.begin() + wire.cached_len);
+            rest = rest.subspan(wire.cached_len);
+            for (std::uint32_t e = 0; e < wire.extra_count; ++e) {
+              s.above.insert(rdma::load_pod<std::uint64_t>(
+                  rest, static_cast<std::uint64_t>(e) * sizeof(std::uint64_t)));
+            }
+            sessions_[static_cast<std::uint32_t>(rec.oid)] = std::move(s);
+            off += rec.size;
+            apply_cpu += static_cast<sim::Nanos>(
+                static_cast<double>(rec.size) * cfg.memcpy_ns_per_byte);
+            continue;
+          }
           store_->install_version(rec.oid, value, rec.tmp,
                                   rec.serialized != 0);
           off += rec.size;
@@ -1036,6 +1212,11 @@ void Replica::restart() {
   locked_keys_.clear();
   inflight_ = 0;
   slot_busy_.assign(exec_cpus_.size(), false);
+
+  // The session table is volatile; the rejoin state transfer reinstalls
+  // it from the donor (which, having executed at least as far, holds a
+  // superset for every covered command).
+  sessions_.clear();
 
   // The in-memory update log is gone; mark it truncated so a later
   // transfer served *by* this replica correctly falls back to a full

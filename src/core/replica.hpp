@@ -61,6 +61,33 @@ class Replica {
   [[nodiscard]] std::uint64_t transfers_served() const {
     return transfers_served_;
   }
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+  [[nodiscard]] std::uint64_t shed_replies() const { return shed_replies_; }
+
+  /// Per-client session: at-most-once execution bookkeeping plus the last
+  /// reply, answered from cache on retries. Exposed for tests and for the
+  /// Algorithm 3 transfer of session state.
+  struct Session {
+    std::uint64_t watermark = 0;         // all seqs <= watermark executed
+    std::set<std::uint64_t> above;       // executed seqs > watermark
+    std::uint64_t cached_seq = 0;        // seq the cached reply answers
+    Reply cached_reply;                  // payload truncated to slot size
+
+    [[nodiscard]] bool executed(std::uint64_t seq) const {
+      return seq != 0 && (seq <= watermark || above.contains(seq));
+    }
+    void mark(std::uint64_t seq) {
+      if (seq == 0 || executed(seq)) return;
+      above.insert(seq);
+      while (above.contains(watermark + 1)) {
+        above.erase(watermark + 1);
+        ++watermark;
+      }
+    }
+  };
+  [[nodiscard]] const std::map<std::uint32_t, Session>& sessions() const {
+    return sessions_;
+  }
 
   /// Bench/test hook: runs the state-transfer protocol as if this replica
   /// failed to execute the request with timestamp `from` (Algorithm 3
@@ -153,6 +180,22 @@ class Replica {
   rdma::MrId coord_mr_{}, statesync_mr_{}, addrq_mr_{}, addra_mr_{},
       staging_mr_{};
 
+  // --- sessions (at-most-once execution) -------------------------------
+  std::map<std::uint32_t, Session> sessions_;  // client id -> session
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t shed_replies_ = 0;
+  /// Records that `r` is being executed (called at dispatch, before the
+  /// execution completes, so a duplicate arriving mid-execution is caught).
+  void session_mark(const Request& r);
+  [[nodiscard]] bool session_executed(const Request& r) const;
+  void session_cache_reply(const Request& r, const Reply& reply);
+  /// Cached reply only when `seq` is exactly the cached one; in-flight or
+  /// stale duplicates stay silent (the live attempt owns the reply slot).
+  [[nodiscard]] const Reply* session_cached(const Request& r) const;
+  /// Post-execution bookkeeping: caches the reply and fires the system's
+  /// exec observer (the exactly-once oracle's evidence stream).
+  void note_executed(const Request& r, const Reply& reply);
+
   Tmp last_req_ = 0;       // Algorithm 1: tmp of the last request (delivered)
   Tmp last_executed_ = 0;  // highest tmp whose writes are applied locally
   std::uint64_t executed_ = 0;
@@ -211,6 +254,8 @@ class Replica {
   telemetry::Counter* ctr_transfers_served_;
   telemetry::Counter* ctr_xfer_bytes_sent_;
   telemetry::Counter* ctr_xfer_bytes_applied_;
+  telemetry::Counter* ctr_dedup_hits_;
+  telemetry::Counter* ctr_shed_replies_;
   telemetry::Histogram* hist_exec_;
   telemetry::Histogram* hist_coord_;
 

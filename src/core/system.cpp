@@ -1,8 +1,11 @@
 #include "core/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "rdma/pod.hpp"
+#include "sim/notifier.hpp"
 
 namespace heron::core {
 
@@ -51,48 +54,157 @@ void System::reset_stats() {
 }
 
 Client::Client(System& system, amcast::ClientEndpoint& ep)
-    : system_(&system), ep_(&ep) {
+    : system_(&system),
+      ep_(&ep),
+      rng_(system.fabric().seed() ^
+           (0x9e3779b97f4a7c15ULL * (ep.client_id() + 1))) {
   reply_mr_ = ep.node().register_region(
       static_cast<std::size_t>(system.partitions()) * sizeof(ReplySlot));
+  auto& hub = system.fabric().telemetry();
+  const std::string label = "c" + std::to_string(ep.client_id());
+  ctr_retries_ = &hub.metrics.counter("client", "retries", label);
+  ctr_timeouts_ = &hub.metrics.counter("client", "timeouts", label);
+  ctr_busy_ = &hub.metrics.counter("client", "busy_replies", label);
 }
 
 sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
                                          std::span<const std::byte> payload) {
-  const sim::Nanos start = system_->simulator().now();
+  if (in_flight_) {
+    throw std::logic_error(
+        "core::Client::submit: overlapping submit on client " +
+        std::to_string(id()) +
+        " — concurrent requests alias the per-partition reply slots; "
+        "serialize submits or use one Client per in-flight request");
+  }
+  in_flight_ = true;
 
+  const HeronConfig& cfg = system_->config();
+  auto& sim = system_->simulator();
+  const sim::Nanos start = sim.now();
+  const std::uint64_t seq = ++session_seq_;
+
+  RequestHeader header{start, seq, kind, 0};
   std::vector<std::byte> wire(sizeof(RequestHeader) + payload.size());
-  RequestHeader header{start, kind, 0};
-  std::memcpy(wire.data(), &header, sizeof(header));
   std::memcpy(wire.data() + sizeof(header), payload.data(), payload.size());
 
-  const amcast::MsgUid uid = co_await ep_->multicast(dst, wire);
+  // attempt_timeout == 0 selects the legacy closed-loop behaviour: one
+  // attempt, wait forever. The deadline only binds in retry mode.
+  const bool retry_mode = cfg.client_attempt_timeout > 0;
+  const sim::Nanos deadline =
+      retry_mode && cfg.client_deadline > 0 ? start + cfg.client_deadline : 0;
 
-  // Wait for one reply per involved partition (any replica of each).
   auto& region = ep_->node().region(reply_mr_);
-  auto all_replied = [this, &region, uid, dst] {
-    for (GroupId g = 0; g < system_->partitions(); ++g) {
-      if (!amcast::dst_contains(dst, g)) continue;
-      const auto slot = rdma::load_pod<ReplySlot>(
-          region.bytes(), static_cast<std::uint64_t>(g) * sizeof(ReplySlot));
-      if (slot.uid != uid) return false;
-    }
-    return true;
-  };
-  co_await sim::wait_until(region.on_write(), all_replied);
-
-  Result result;
-  result.latency = system_->simulator().now() - start;
-  for (GroupId g = 0; g < system_->partitions(); ++g) {
-    if (!amcast::dst_contains(dst, g)) continue;
-    const auto slot = rdma::load_pod<ReplySlot>(
+  auto slot_at = [this, &region](GroupId g) {
+    return rdma::load_pod<ReplySlot>(
         region.bytes(), static_cast<std::uint64_t>(g) * sizeof(ReplySlot));
-    result.reply.status = slot.status;
-    result.reply.payload.assign(slot.payload.begin(),
-                                slot.payload.begin() + slot.payload_len);
-    break;  // lowest-id partition's reply
+  };
+
+  std::vector<amcast::MsgUid> attempt_uids;
+  Result result;
+  result.session_seq = seq;
+  bool done = false;
+  bool last_was_busy = false;
+  int attempt = 0;
+
+  for (;; ++attempt) {
+    header.sent_at = sim.now();
+    std::memcpy(wire.data(), &header, sizeof(header));
+    const amcast::MsgUid uid = co_await ep_->multicast(dst, wire);
+    attempt_uids.push_back(uid);
+    if (attempt > 0) {
+      ++retries_;
+      ctr_retries_->inc();
+    }
+    if (system_->attempt_observer()) {
+      system_->attempt_observer()(id(), seq, uid, dst, attempt);
+    }
+
+    // A partition has answered this command when its slot holds the
+    // latest attempt's uid (any status), or an earlier attempt's uid with
+    // a non-BUSY status (executed or answered from the session cache). A
+    // stale BUSY must not complete a retried command: the retry may still
+    // be admitted.
+    auto answered = [this, &slot_at, &attempt_uids, uid, dst] {
+      for (GroupId g = 0; g < system_->partitions(); ++g) {
+        if (!amcast::dst_contains(dst, g)) continue;
+        const auto slot = slot_at(g);
+        if (slot.uid == uid) continue;
+        const bool older_attempt =
+            std::find(attempt_uids.begin(), attempt_uids.end(), slot.uid) !=
+            attempt_uids.end();
+        if (!(older_attempt && slot.status != kStatusBusy)) return false;
+      }
+      return true;
+    };
+
+    bool got_answer;
+    if (!retry_mode) {
+      co_await sim::wait_until(region.on_write(), answered);
+      got_answer = true;
+    } else {
+      sim::Nanos budget = cfg.client_attempt_timeout;
+      if (deadline != 0) budget = std::min(budget, deadline - sim.now());
+      got_answer = budget > 0 && co_await sim::wait_until_timeout(
+                                     region.on_write(), answered, budget);
+    }
+
+    if (got_answer) {
+      // Success iff some involved partition holds a non-BUSY reply for
+      // any attempt of this command; otherwise every slot is a BUSY for
+      // the latest attempt (the shed verdict is uniform per uid).
+      last_was_busy = true;
+      for (GroupId g = 0; g < system_->partitions(); ++g) {
+        if (!amcast::dst_contains(dst, g)) continue;
+        const auto slot = slot_at(g);
+        if (slot.status == kStatusBusy) continue;
+        result.reply.status = slot.status;
+        result.reply.payload.assign(slot.payload.begin(),
+                                    slot.payload.begin() + slot.payload_len);
+        last_was_busy = false;
+        done = true;
+        break;  // lowest-id partition's reply
+      }
+      if (done) break;
+      ++busy_replies_;
+      ctr_busy_->inc();
+    } else {
+      last_was_busy = false;
+    }
+
+    // Retry budget: attempts and deadline.
+    if (attempt >= cfg.client_max_retries) break;
+    if (deadline != 0 && sim.now() >= deadline) break;
+
+    // Seeded exponential backoff with jitter, capped at the deadline.
+    const int shift = std::min(attempt, 20);
+    sim::Nanos delay =
+        std::min(cfg.client_retry_backoff_max, cfg.client_retry_backoff << shift);
+    delay = delay / 2 + static_cast<sim::Nanos>(
+                            rng_.bounded(static_cast<std::uint64_t>(delay / 2 + 1)));
+    if (deadline != 0) delay = std::min(delay, deadline - sim.now());
+    if (delay > 0) co_await sim.sleep(delay);
+    if (deadline != 0 && sim.now() >= deadline) break;
   }
-  ++completed_;
-  latencies_.record(result.latency);
+
+  result.attempts = attempt + 1;
+  result.latency = sim.now() - start;
+  if (done) {
+    result.status = SubmitStatus::kOk;
+    ++completed_;
+    latencies_.record(result.latency);
+  } else if (last_was_busy) {
+    result.status = SubmitStatus::kOverloaded;
+    ++overloaded_;
+    ctr_timeouts_->inc();
+  } else {
+    result.status = SubmitStatus::kTimeout;
+    ++timeouts_;
+    ctr_timeouts_->inc();
+  }
+  if (system_->outcome_observer()) {
+    system_->outcome_observer()(id(), seq, result.status, result.attempts);
+  }
+  in_flight_ = false;
   co_return result;
 }
 

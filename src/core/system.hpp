@@ -9,7 +9,9 @@
 #include "amcast/system.hpp"
 #include "core/replica.hpp"
 #include "core/types.hpp"
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/hub.hpp"
 
 namespace heron::core {
 
@@ -18,6 +20,14 @@ using AppFactory = std::function<std::unique_ptr<Application>()>;
 
 /// Client handle: submits requests and awaits one reply per involved
 /// partition (the paper's closed-loop client).
+///
+/// With `HeronConfig::client_attempt_timeout > 0` the submit path runs the
+/// robust lifecycle: bounded retries under fresh multicast uids (the
+/// logical command is identified by the header's session_seq, which
+/// replicas deduplicate), seeded exponential backoff with jitter, an
+/// optional overall deadline, and BUSY-aware backoff under admission
+/// control. With the default of 0 it behaves like the paper's closed-loop
+/// client: one attempt, wait forever.
 class Client {
  public:
   Client(System& system, amcast::ClientEndpoint& ep);
@@ -25,9 +35,15 @@ class Client {
   struct Result {
     Reply reply;            // reply from the lowest-id involved partition
     sim::Nanos latency = 0; // submit -> all partitions replied
+    SubmitStatus status = SubmitStatus::kOk;
+    int attempts = 1;            // multicasts performed (1 = no retries)
+    std::uint64_t session_seq = 0;  // logical command number
   };
 
-  /// Submits a request to the partitions in `dst` and awaits replies.
+  /// Submits a request to the partitions in `dst` and awaits replies (or
+  /// a terminal timeout/overload verdict under the retry lifecycle).
+  /// Throws std::logic_error on an overlapping submit on the same client:
+  /// concurrent requests would alias the per-partition reply slots.
   sim::Task<Result> submit(DstMask dst, std::uint32_t kind,
                            std::span<const std::byte> payload);
 
@@ -36,8 +52,18 @@ class Client {
   [[nodiscard]] rdma::MrId reply_mr() const { return reply_mr_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] sim::LatencyRecorder& latencies() { return latencies_; }
+
+  // Lifecycle stats (kept outside telemetry so tests can read them
+  // without enabling the metrics registry).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t overloaded() const { return overloaded_; }
+  [[nodiscard]] std::uint64_t busy_replies() const { return busy_replies_; }
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
+
   void reset_stats() {
     completed_ = 0;
+    retries_ = timeouts_ = overloaded_ = busy_replies_ = 0;
     latencies_.clear();
   }
 
@@ -45,8 +71,18 @@ class Client {
   System* system_;
   amcast::ClientEndpoint* ep_;
   rdma::MrId reply_mr_{};
+  bool in_flight_ = false;
+  std::uint64_t session_seq_ = 0;  // last issued logical command number
+  sim::Rng rng_;                   // backoff jitter, forked off the fabric seed
   std::uint64_t completed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;     // kTimeout outcomes
+  std::uint64_t overloaded_ = 0;   // kOverloaded outcomes
+  std::uint64_t busy_replies_ = 0; // BUSY answers observed (pre-backoff)
   sim::LatencyRecorder latencies_;
+  telemetry::Counter* ctr_retries_;
+  telemetry::Counter* ctr_timeouts_;
+  telemetry::Counter* ctr_busy_;
 };
 
 class System {
@@ -98,12 +134,51 @@ class System {
   [[nodiscard]] std::uint64_t total_completed() const;
   void reset_stats();
 
+  // --- lifecycle observers (heron::faultlab's history recorder) -------
+  // System-level so clients added after attach are covered. Must not
+  // re-enter the system.
+
+  /// Fired right after each multicast attempt of a submit.
+  using ClientAttemptObserver =
+      std::function<void(std::uint32_t client, std::uint64_t session_seq,
+                         MsgUid uid, DstMask dst, int attempt)>;
+  /// Fired when a submit reaches its terminal outcome.
+  using ClientOutcomeObserver =
+      std::function<void(std::uint32_t client, std::uint64_t session_seq,
+                         SubmitStatus status, int attempts)>;
+  /// Fired when a replica commits to executing a command (session mark).
+  using ExecObserver =
+      std::function<void(GroupId group, int rank, std::uint32_t client,
+                         std::uint64_t session_seq, MsgUid uid, Tmp tmp)>;
+
+  void set_attempt_observer(ClientAttemptObserver obs) {
+    attempt_observer_ = std::move(obs);
+  }
+  void set_outcome_observer(ClientOutcomeObserver obs) {
+    outcome_observer_ = std::move(obs);
+  }
+  void set_exec_observer(ExecObserver obs) {
+    exec_observer_ = std::move(obs);
+  }
+  [[nodiscard]] const ClientAttemptObserver& attempt_observer() const {
+    return attempt_observer_;
+  }
+  [[nodiscard]] const ClientOutcomeObserver& outcome_observer() const {
+    return outcome_observer_;
+  }
+  [[nodiscard]] const ExecObserver& exec_observer() const {
+    return exec_observer_;
+  }
+
  private:
   std::unique_ptr<amcast::System> amcast_;
   HeronConfig config_;
   AppFactory factory_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
+  ClientAttemptObserver attempt_observer_;
+  ClientOutcomeObserver outcome_observer_;
+  ExecObserver exec_observer_;
 };
 
 }  // namespace heron::core

@@ -34,6 +34,10 @@ enum class Mode : std::uint8_t {
 /// Fixed header every client prepends to its application payload.
 struct RequestHeader {
   sim::Nanos sent_at = 0;   // client virtual time, for latency breakdowns
+  /// Per-client logical command number. Retries of the same command reuse
+  /// the session_seq under fresh multicast uids; replicas use it for
+  /// at-most-once execution (session dedup). 0 = sessionless (no dedup).
+  std::uint64_t session_seq = 0;
   std::uint32_t kind = 0;   // application-defined request type
   std::uint32_t flags = 0;
 };
@@ -44,6 +48,7 @@ struct Request {
   MsgUid uid = 0;
   Tmp tmp = 0;
   DstMask dst = 0;
+  bool shed = false;  // shed by admission control: reply BUSY, don't execute
   RequestHeader header{};
   std::vector<std::byte> payload;  // application payload (header stripped)
 
@@ -53,6 +58,18 @@ struct Request {
 
 /// Reply written into the client's per-group reply slot.
 constexpr std::size_t kMaxReplyPayload = 64;
+
+/// Reserved reply status: the request was shed by admission control and
+/// not executed; the client should back off and retry. High value so it
+/// cannot collide with application statuses.
+constexpr std::uint32_t kStatusBusy = 0xFFFFFF01u;
+
+/// Terminal outcome of Client::submit.
+enum class SubmitStatus : std::uint8_t {
+  kOk = 0,          // executed (possibly answered from the session cache)
+  kTimeout = 1,     // deadline/retry budget exhausted without a reply
+  kOverloaded = 2,  // budget exhausted and the last reply was BUSY
+};
 
 struct ReplySlot {
   MsgUid uid = 0;        // request this reply answers
@@ -152,6 +169,20 @@ struct HeronConfig {
   sim::Nanos reply_proc = sim::us(0.5);         // marshal + post the reply
   double serialize_ns_per_byte = 1.0;    // Java-style (de)serialization
   double memcpy_ns_per_byte = 0.05;      // raw copy for non-serialized data
+
+  // --- client request lifecycle (retry / timeout / backoff) -----------
+  /// Per-attempt reply timeout. 0 preserves the legacy behaviour: a
+  /// single attempt that waits forever (no retries, no deadline).
+  sim::Nanos client_attempt_timeout = 0;
+  /// Maximum retries after the first attempt (attempts = retries + 1).
+  int client_max_retries = 8;
+  /// Exponential backoff between attempts: base doubles per retry, each
+  /// wait jittered in [delay/2, delay] with the client's seeded RNG.
+  sim::Nanos client_retry_backoff = sim::us(50);
+  sim::Nanos client_retry_backoff_max = sim::ms(2);
+  /// Overall per-request deadline across attempts and backoffs. 0 means
+  /// the retry budget alone bounds the request.
+  sim::Nanos client_deadline = 0;
 };
 
 /// Per-replica coordination statistics backing Table I.

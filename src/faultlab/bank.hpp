@@ -127,19 +127,17 @@ inline std::int64_t bank_total(core::System& sys, int rank,
   return total;
 }
 
-/// Closed-loop transfer workload recording invoke/response history.
-/// Message uids are predictable (client id, 1-based submit counter), so
-/// the invoke is recorded *before* submit — a request wedged by a fault
-/// is still visible to the validity oracle.
+/// Closed-loop transfer workload. History is captured by the observers
+/// a HistoryRecorder attaches to the system — the loop itself records
+/// nothing, so attempts (including retries) and outcomes are seen even
+/// for requests wedged by a fault.
 inline sim::Task<void> bank_client_loop(core::System& sys,
                                         core::Client& client,
-                                        HistoryRecorder& history,
                                         std::uint64_t seed, int ops,
                                         std::uint64_t accounts_per_partition) {
   sim::Rng rng(seed);
   const auto partitions = static_cast<std::uint64_t>(sys.partitions());
   const auto total = partitions * accounts_per_partition;
-  std::uint32_t submits = 0;
   for (int k = 0; k < ops; ++k) {
     const std::uint64_t a = rng.bounded(total);
     std::uint64_t b = rng.bounded(total);
@@ -148,10 +146,7 @@ inline sim::Task<void> bank_client_loop(core::System& sys,
     const auto dst =
         amcast::dst_of(static_cast<amcast::GroupId>(a % partitions)) |
         amcast::dst_of(static_cast<amcast::GroupId>(b % partitions));
-    const amcast::MsgUid uid = amcast::make_uid(client.id(), ++submits);
-    history.record_invoke(uid, dst);
     co_await client.submit(dst, kTransfer, std::as_bytes(std::span(&req, 1)));
-    history.record_response(uid);
   }
 }
 

@@ -1,7 +1,6 @@
 #include "faultlab/history.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 namespace heron::faultlab {
@@ -11,6 +10,12 @@ namespace {
 std::string uid_str(amcast::MsgUid uid) {
   std::ostringstream os;
   os << "c" << amcast::uid_client(uid) << "#" << amcast::uid_seq(uid);
+  return os.str();
+}
+
+std::string cmd_str(std::uint32_t client, std::uint64_t seq) {
+  std::ostringstream os;
+  os << "c" << client << "/s" << seq;
   return os.str();
 }
 
@@ -27,15 +32,22 @@ void HistoryRecorder::attach(core::System& sys) {
           });
     }
   }
-}
-
-void HistoryRecorder::record_invoke(amcast::MsgUid uid, amcast::DstMask dst) {
-  invokes_.push_back(
-      InvokeEvent{uid, dst, sys_ ? sys_->simulator().now() : 0});
-}
-
-void HistoryRecorder::record_response(amcast::MsgUid uid) {
-  responses_.insert(uid);
+  sys.set_attempt_observer([this](std::uint32_t client, std::uint64_t seq,
+                                  amcast::MsgUid uid, amcast::DstMask dst,
+                                  int attempt) {
+    invokes_.push_back(
+        InvokeEvent{client, seq, uid, dst, attempt, sys_->simulator().now()});
+  });
+  sys.set_outcome_observer([this](std::uint32_t client, std::uint64_t seq,
+                                  core::SubmitStatus status, int attempts) {
+    outcomes_[{client, seq}] =
+        OutcomeEvent{status, attempts, sys_->simulator().now()};
+  });
+  sys.set_exec_observer([this](core::GroupId g, int r, std::uint32_t client,
+                               std::uint64_t seq, amcast::MsgUid uid,
+                               core::Tmp tmp) {
+    execs_.push_back(ExecEvent{g, r, client, seq, uid, tmp});
+  });
 }
 
 std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
@@ -46,6 +58,8 @@ std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
     out.push_back(Violation{oracle, detail});
   };
 
+  // Every attempt uid is a legitimate message; multiple uids may carry
+  // the same logical command.
   std::set<amcast::MsgUid> invoked;
   for (const auto& inv : history.invokes()) invoked.insert(inv.uid);
 
@@ -127,22 +141,66 @@ std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
     }
   }
 
-  // Validity: every invoked message is delivered in every destination
-  // group and its client saw a response.
+  // Validity, per logical command: every submit reaches a terminal
+  // outcome (a hung client is a violation), and a successful command is
+  // delivered in each destination group under at least one attempt uid.
+  // Timed-out / shed commands carry no delivery obligation.
+  struct CmdState {
+    amcast::DstMask dst = 0;
+    std::vector<amcast::MsgUid> uids;
+  };
+  std::map<CommandKey, CmdState> commands;
   for (const auto& inv : history.invokes()) {
+    auto& cmd = commands[{inv.client, inv.seq}];
+    cmd.dst |= inv.dst;
+    cmd.uids.push_back(inv.uid);
+  }
+  for (const auto& [key, cmd] : commands) {
+    const auto outcome = history.outcomes().find(key);
+    if (outcome == history.outcomes().end()) {
+      violation("validity",
+                cmd_str(key.first, key.second) + " never terminated");
+      continue;
+    }
+    if (outcome->second.status != core::SubmitStatus::kOk) continue;
     for (core::GroupId g = 0; g < sys.partitions(); ++g) {
-      if (!amcast::dst_contains(inv.dst, g)) continue;
-      if (!delivered_groups[inv.uid].contains(g)) {
-        violation("validity", uid_str(inv.uid) + " never delivered in g" +
+      if (!amcast::dst_contains(cmd.dst, g)) continue;
+      const bool delivered = std::any_of(
+          cmd.uids.begin(), cmd.uids.end(), [&](amcast::MsgUid uid) {
+            return delivered_groups[uid].contains(g);
+          });
+      if (!delivered) {
+        violation("validity", cmd_str(key.first, key.second) +
+                                  " succeeded but no attempt was delivered "
+                                  "in g" +
                                   std::to_string(g));
       }
-    }
-    if (!history.responses().contains(inv.uid)) {
-      violation("validity", uid_str(inv.uid) + " got no response");
     }
   }
 
   return out;
+}
+
+std::vector<Violation> check_exactly_once(
+    const std::vector<ExecEvent>& execs) {
+  std::vector<Violation> out;
+  std::map<std::pair<std::int32_t, int>, std::set<CommandKey>> seen;
+  for (const auto& e : execs) {
+    if (e.seq == 0) continue;  // sessionless command: dedup not promised
+    if (!seen[{e.group, e.rank}].insert({e.client, e.seq}).second) {
+      out.push_back(Violation{
+          "exactly-once",
+          "g" + std::to_string(e.group) + ".r" + std::to_string(e.rank) +
+              " executed " + cmd_str(e.client, e.seq) + " more than once"});
+    }
+  }
+  return out;
+}
+
+void check_exactly_once(const HistoryRecorder& history,
+                        std::vector<Violation>& violations) {
+  auto v = check_exactly_once(history.execs());
+  violations.insert(violations.end(), v.begin(), v.end());
 }
 
 std::uint64_t store_digest(core::Replica& replica) {

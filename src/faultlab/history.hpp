@@ -1,9 +1,13 @@
 // History recording + checking oracles for chaos runs.
 //
-// The recorder captures three event streams during a run:
-//   * client invocations (uid, destination set) — recorded by the
-//     workload driver *before* submitting, so stalled requests are seen;
-//   * client responses (uid);
+// The recorder captures four event streams during a run, all via
+// observers so workloads need no bookkeeping of their own:
+//   * client attempts — every multicast performed by a submit (retries
+//     appear as extra attempts of the same logical command);
+//   * client outcomes — the terminal verdict of each submit
+//     (ok / timeout / overloaded);
+//   * executions — a replica completed executing a command (the
+//     exactly-once evidence stream);
 //   * atomic multicast deliveries at every replica, via the endpoint's
 //     delivery observer.
 //
@@ -18,13 +22,19 @@
 //                      implies pairwise prefix consistency);
 //   * agreement      — a message delivered in group g is delivered by
 //                      every replica of g that never crashed;
-//   * validity       — every invoked message is delivered in every
-//                      destination group, and its client got a response.
+//   * validity       — every submitted command reaches a terminal outcome
+//                      (no hung clients), and every successful command is
+//                      delivered in each destination group under at least
+//                      one of its attempt uids;
+//   * exactly-once   — no replica executes the same logical command
+//                      (client, session seq) more than once, no matter
+//                      how many retry attempts were multicast;
 //   * convergence    — all live replicas of a group hold byte-identical
 //                      current object state (checked via store digests).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -44,23 +54,44 @@ struct DeliveryEvent {
   sim::Nanos at = 0;
 };
 
+/// One multicast attempt of a logical command (client, seq). Retries
+/// record additional attempts with fresh uids.
 struct InvokeEvent {
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;  // client session sequence number
   amcast::MsgUid uid = 0;
   amcast::DstMask dst = 0;
+  int attempt = 0;
   sim::Nanos at = 0;
 };
 
+/// Terminal verdict of a submit.
+struct OutcomeEvent {
+  core::SubmitStatus status = core::SubmitStatus::kOk;
+  int attempts = 1;
+  sim::Nanos at = 0;
+};
+
+/// A replica completed executing a command (writes applied).
+struct ExecEvent {
+  std::int32_t group = 0;
+  int rank = 0;
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  amcast::MsgUid uid = 0;
+  std::uint64_t tmp = 0;
+};
+
+/// Logical command identity: (client id, session seq).
+using CommandKey = std::pair<std::uint32_t, std::uint64_t>;
+
 class HistoryRecorder {
  public:
-  /// Installs delivery observers on every endpoint of `sys`. The recorder
-  /// must outlive the system's protocol activity.
+  /// Installs delivery observers on every endpoint of `sys` plus the
+  /// system's client-attempt / client-outcome / execution observers. The
+  /// recorder must outlive the system's protocol activity, and only one
+  /// recorder can be attached to a system at a time.
   void attach(core::System& sys);
-
-  /// Workload drivers call these around each submit. Invokes must be
-  /// recorded *before* the submit so a request wedged by a fault is
-  /// visible to the validity oracle.
-  void record_invoke(amcast::MsgUid uid, amcast::DstMask dst);
-  void record_response(amcast::MsgUid uid);
 
   [[nodiscard]] const std::vector<DeliveryEvent>& deliveries() const {
     return deliveries_;
@@ -68,15 +99,17 @@ class HistoryRecorder {
   [[nodiscard]] const std::vector<InvokeEvent>& invokes() const {
     return invokes_;
   }
-  [[nodiscard]] const std::set<amcast::MsgUid>& responses() const {
-    return responses_;
+  [[nodiscard]] const std::map<CommandKey, OutcomeEvent>& outcomes() const {
+    return outcomes_;
   }
+  [[nodiscard]] const std::vector<ExecEvent>& execs() const { return execs_; }
 
  private:
   core::System* sys_ = nullptr;
   std::vector<DeliveryEvent> deliveries_;
   std::vector<InvokeEvent> invokes_;
-  std::set<amcast::MsgUid> responses_;
+  std::map<CommandKey, OutcomeEvent> outcomes_;
+  std::vector<ExecEvent> execs_;
 };
 
 struct Violation {
@@ -93,6 +126,15 @@ using CrashSet = std::set<std::pair<std::int32_t, int>>;
 std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
                                                core::System& sys,
                                                const CrashSet& ever_crashed);
+
+/// Exactly-once oracle over an execution-event stream: no (group, rank)
+/// executes the same (client, seq) more than once. Exposed on raw events
+/// so tests can feed synthetic histories.
+std::vector<Violation> check_exactly_once(const std::vector<ExecEvent>& execs);
+
+/// Convenience wrapper: appends exactly-once violations from `history`.
+void check_exactly_once(const HistoryRecorder& history,
+                        std::vector<Violation>& violations);
 
 /// FNV-1a digest over the store's current object versions in oid order:
 /// (oid, version timestamp, value bytes). Two replicas executing the same

@@ -20,6 +20,7 @@ bool in_bounds(const MemoryRegion& region, std::uint64_t offset,
 Fabric::Fabric(sim::Simulator& sim, LatencyModel model, std::uint64_t seed)
     : sim_(&sim),
       model_(model),
+      seed_(seed),
       rng_(seed),
       hub_(std::make_unique<telemetry::Hub>(sim)) {
   auto& m = hub_->metrics;

@@ -84,6 +84,9 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  /// The seed this fabric was constructed with; layers deriving their own
+  /// RNG streams (e.g. client retry jitter) mix it with a local salt.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] const LatencyModel& model() const { return model_; }
   [[nodiscard]] LatencyModel& model() { return model_; }
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
@@ -162,6 +165,7 @@ class Fabric {
 
   sim::Simulator* sim_;
   LatencyModel model_;
+  std::uint64_t seed_;
   sim::Rng rng_;
   FabricStats stats_;
   std::unique_ptr<telemetry::Hub> hub_;

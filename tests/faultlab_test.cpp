@@ -98,7 +98,7 @@ BankCellResult run_bank_cell(std::uint64_t seed, const std::string& plan_text,
   sys.start();
 
   for (int c = 0; c < kClients; ++c) {
-    sim.spawn(bank_client_loop(sys, sys.add_client(), history,
+    sim.spawn(bank_client_loop(sys, sys.add_client(),
                                seed * 1000 + static_cast<std::uint64_t>(c),
                                kOps, kAccounts));
   }
@@ -109,6 +109,7 @@ BankCellResult run_bank_cell(std::uint64_t seed, const std::string& plan_text,
   BankCellResult out;
   out.completed = sys.total_completed();
   out.violations = check_amcast_properties(history, sys, injector.ever_crashed());
+  check_exactly_once(history, out.violations);
   check_store_convergence(sys, out.violations);
   for (core::GroupId g = 0; g < kPartitions; ++g) {
     for (int r = 0; r < kReplicas; ++r) {
@@ -163,6 +164,26 @@ TEST(Faultlab, FailoverDisabledIsCaughtByValidityOracle) {
     if (v.oracle == std::string("validity")) validity = true;
   }
   EXPECT_TRUE(validity) << "expected the validity oracle to fire";
+}
+
+TEST(Faultlab, ExactlyOnceOracleOverSyntheticEvents) {
+  // Two replicas executing distinct commands, plus one re-execution of
+  // (client 3, seq 7) on g1.r0 — only the duplicate is reported. The
+  // same command on *different* replicas is normal SMR, not a violation,
+  // and seq 0 marks sessionless commands outside the dedup contract.
+  std::vector<ExecEvent> execs{
+      {0, 0, 3, 7, amcast::make_uid(3, 1), 10},
+      {1, 0, 3, 7, amcast::make_uid(3, 1), 10},
+      {0, 0, 3, 8, amcast::make_uid(3, 2), 11},
+      {1, 0, 3, 7, amcast::make_uid(3, 9), 12},  // duplicate, retried uid
+      {0, 0, 4, 0, amcast::make_uid(4, 1), 13},
+      {0, 0, 4, 0, amcast::make_uid(4, 2), 14},  // seq 0: exempt
+  };
+  const auto violations = check_exactly_once(execs);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].oracle, "exactly-once");
+  EXPECT_NE(violations[0].detail.find("g1.r0"), std::string::npos);
+  EXPECT_NE(violations[0].detail.find("c3/s7"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 // ordering, coroutine tasks, notifiers, RNG determinism, and stats.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -221,6 +222,65 @@ TEST(Notifier, WaitUntilTimeoutSucceedsWhenNotified) {
   sim.run();
   EXPECT_TRUE(result);
   EXPECT_EQ(sim.now(), us(100));  // the losing timer still fires at 100us
+}
+
+TEST(Notifier, WaitUntilTimeoutPredTrueOnDeadlineTick) {
+  // The predicate becomes true by an event on the *same tick* as the
+  // deadline. Same-time events run in insertion order, so the flag-setting
+  // event (queued before the coroutine parks its deadline event) runs
+  // first; the deadline resume then re-checks the predicate and sees the
+  // flag — that counts as success, not timeout.
+  Simulator sim;
+  Notifier n(sim);
+  bool flag = false;
+  bool result = false;
+  sim.schedule(us(100), [&] {
+    flag = true;
+    n.notify_all();
+  });
+  sim.spawn([](Notifier& nn, bool& f, bool& r) -> Task<void> {
+    r = co_await wait_until_timeout(nn, [&f] { return f; }, us(100));
+  }(n, flag, result));
+  sim.run();
+  EXPECT_TRUE(result);
+  EXPECT_EQ(sim.now(), us(100));
+}
+
+TEST(Notifier, WaitUntilTimeoutZeroTimeout) {
+  // Zero budget: a false predicate fails immediately (no suspension, no
+  // time advance); an already-true predicate still succeeds.
+  Simulator sim;
+  Notifier n(sim);
+  bool r_false = true;
+  bool r_true = false;
+  sim.spawn([](Notifier& nn, bool& rf, bool& rt) -> Task<void> {
+    rf = co_await wait_until_timeout(nn, [] { return false; }, 0);
+    rt = co_await wait_until_timeout(nn, [] { return true; }, 0);
+  }(n, r_false, r_true));
+  sim.run();
+  EXPECT_FALSE(r_false);
+  EXPECT_TRUE(r_true);
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(n.waiter_count(), 0u);
+}
+
+TEST(Notifier, WaitUntilTimeoutNotifierDestroyedWhileWaiting) {
+  // The deadline event lives in the simulator, not the notifier, so a
+  // waiter survives its notifier being destroyed mid-wait: it resumes at
+  // the deadline and reports a timeout without touching the dead object.
+  Simulator sim;
+  auto n = std::make_unique<Notifier>(sim);
+  bool result = true;
+  bool finished = false;
+  sim.spawn([](Notifier& nn, bool& r, bool& f) -> Task<void> {
+    r = co_await wait_until_timeout(nn, [] { return false; }, us(100));
+    f = true;
+  }(*n, result, finished));
+  sim.schedule(us(50), [&n] { n.reset(); });
+  sim.run();
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(sim.now(), us(100));
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
