@@ -71,7 +71,19 @@ struct Options {
   int retries = 10;                   // max retries (attempts - 1)
   std::uint64_t backoff_us = 50;      // initial backoff
   std::uint64_t deadline_us = 120000; // overall per-request deadline
+  // Leader-side batching knobs (see amcast::Config). The CI smoke run
+  // re-executes the sweep with --max-batch 8 so the oracles also cover
+  // batched proposals under faults.
+  std::uint32_t max_batch = 1;
+  std::uint64_t batch_timeout_us = 0;
 };
+
+amcast::Config amcast_knobs(const Options& opt) {
+  amcast::Config acfg;
+  acfg.max_batch = opt.max_batch;
+  acfg.batch_timeout = sim::us(static_cast<double>(opt.batch_timeout_us));
+  return acfg;
+}
 
 void apply_client_knobs(core::HeronConfig& cfg, const Options& opt) {
   if (!opt.retry) return;
@@ -81,13 +93,24 @@ void apply_client_knobs(core::HeronConfig& cfg, const Options& opt) {
   cfg.client_deadline = sim::us(static_cast<double>(opt.deadline_us));
 }
 
-/// Client-lifecycle flags for a cell's repro command line.
+/// Client-lifecycle + batching flags for a cell's repro command line.
 std::string retry_flags(const Options& opt) {
-  if (!opt.retry) return " --no-retry";
-  return " --timeout-us " + std::to_string(opt.timeout_us) + " --retries " +
-         std::to_string(opt.retries) + " --backoff-us " +
-         std::to_string(opt.backoff_us) + " --deadline-us " +
-         std::to_string(opt.deadline_us);
+  std::string flags;
+  if (opt.retry) {
+    flags = " --timeout-us " + std::to_string(opt.timeout_us) + " --retries " +
+            std::to_string(opt.retries) + " --backoff-us " +
+            std::to_string(opt.backoff_us) + " --deadline-us " +
+            std::to_string(opt.deadline_us);
+  } else {
+    flags = " --no-retry";
+  }
+  if (opt.max_batch != 1) {
+    flags += " --max-batch " + std::to_string(opt.max_batch);
+    if (opt.batch_timeout_us != 0) {
+      flags += " --batch-timeout-us " + std::to_string(opt.batch_timeout_us);
+    }
+  }
+  return flags;
 }
 
 struct CellOutcome {
@@ -115,7 +138,7 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
       [shape, accounts = kAccounts] {
         return std::make_unique<faultlab::BankApp>(shape.partitions, accounts);
       },
-      cfg);
+      cfg, amcast_knobs(opt));
   faultlab::HistoryRecorder history;
   history.attach(sys);
   sys.start();
@@ -182,7 +205,7 @@ CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
       [shape, scale, seed] {
         return std::make_unique<tpcc::TpccApp>(shape.partitions, scale, seed);
       },
-      cfg);
+      cfg, amcast_knobs(opt));
   faultlab::HistoryRecorder history;
   history.attach(sys);
   sys.start();
@@ -235,11 +258,17 @@ Options parse_args(int argc, char** argv) {
       opt.deadline_us = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--no-retry") {
       opt.retry = false;
+    } else if (a == "--max-batch" && i + 1 < argc) {
+      opt.max_batch = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--batch-timeout-us" && i + 1 < argc) {
+      opt.batch_timeout_us = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--seed <s>] [--plan <name>] "
                    "[--json <path>] [--timeout-us <t>] [--retries <n>] "
-                   "[--backoff-us <b>] [--deadline-us <d>] [--no-retry]\n",
+                   "[--backoff-us <b>] [--deadline-us <d>] [--no-retry] "
+                   "[--max-batch <n>] [--batch-timeout-us <t>]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -34,19 +34,25 @@ struct Options {
   std::string trace_path;
   bool quick = false;
   std::uint64_t seed = 99;
+  std::uint32_t max_batch = 1;
+  std::uint64_t batch_timeout_us = 0;
 };
 
 harness::RunResult run_config(core::Mode mode, bool local_only, int partitions,
-                              int clients_per_partition, bool quick,
-                              std::uint64_t seed) {
+                              int clients_per_partition, const Options& opt) {
+  const bool quick = opt.quick;
+  const std::uint64_t seed = opt.seed;
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
   core::HeronConfig cfg;
   cfg.mode = mode;
+  amcast::Config acfg;
+  acfg.max_batch = opt.max_batch;
+  acfg.batch_timeout = sim::us(static_cast<double>(opt.batch_timeout_us));
   // Model the paper's testbed: above 40 nodes traffic crosses the ToR
   // switch (the 8WH->16WH step softens, §V-C1).
   rdma::LatencyModel fabric;
   fabric.oversub_nodes = 40;
-  harness::TpccCluster cluster(partitions, 3, scale, cfg, {}, seed, fabric);
+  harness::TpccCluster cluster(partitions, 3, scale, cfg, acfg, seed, fabric);
 
   tpcc::WorkloadConfig workload;
   workload.local_only = local_only;
@@ -90,10 +96,15 @@ Options parse_args(int argc, char** argv) {
       opt.quick = true;
     } else if (a == "--seed" && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--max-batch" && i + 1 < argc) {
+      opt.max_batch = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--batch-timeout-us" && i + 1 < argc) {
+      opt.batch_timeout_us = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--trace <path>] [--quick] "
-                   "[--seed <n>]\n",
+                   "[--seed <n>] [--max-batch <n>] [--batch-timeout-us <n>]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -135,8 +146,8 @@ int main(int argc, char** argv) {
   for (const auto& set : sets) {
     std::vector<double> tput;
     for (int wh : warehouses) {
-      harness::RunResult result = run_config(set.mode, set.local_only, wh,
-                                             set.clients, opt.quick, opt.seed);
+      harness::RunResult result =
+          run_config(set.mode, set.local_only, wh, set.clients, opt);
       tput.push_back(result.throughput_tps);
       if (!opt.json_path.empty()) {
         report.row(std::string(set.label) + "/" + std::to_string(wh) + "wh",
@@ -144,6 +155,7 @@ int main(int argc, char** argv) {
                      w.kv("set", set.label);
                      w.kv("warehouses", wh);
                      w.kv("seed", opt.seed);
+                     w.kv("max_batch", static_cast<std::uint64_t>(opt.max_batch));
                    });
       }
     }

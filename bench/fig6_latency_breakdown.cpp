@@ -29,6 +29,8 @@ struct Options {
   std::string json_path;
   std::string trace_path;
   std::uint64_t seed = 99;
+  std::uint32_t max_batch = 1;
+  std::uint64_t batch_timeout_us = 0;
 };
 
 struct Row {
@@ -43,8 +45,11 @@ Row run_case(const char* label, bool plain_tpcc, int span,
              harness::ReportWriter* report, const Options& opt) {
   const std::string& trace_path = opt.trace_path;
   tpcc::TpccScale scale{.factor = 0.02, .initial_orders_per_district = 10};
-  harness::TpccCluster cluster(/*partitions=*/4, /*replicas=*/3, scale, {}, {},
-                               opt.seed);
+  amcast::Config acfg;
+  acfg.max_batch = opt.max_batch;
+  acfg.batch_timeout = sim::us(static_cast<double>(opt.batch_timeout_us));
+  harness::TpccCluster cluster(/*partitions=*/4, /*replicas=*/3, scale, {},
+                               acfg, opt.seed);
 
   tpcc::WorkloadConfig workload;
   workload.new_order_only = true;  // the paper's Fig. 6 uses NewOrder streams
@@ -86,6 +91,7 @@ Row run_case(const char* label, bool plain_tpcc, int span,
       w.kv("coordination_us", row.coord_us);
       w.kv("execution_us", row.exec_us);
       w.kv("seed", opt.seed);
+      w.kv("max_batch", static_cast<std::uint64_t>(opt.max_batch));
     });
   }
 
@@ -110,9 +116,15 @@ int main(int argc, char** argv) {
       opt.trace_path = argv[++i];
     } else if (a == "--seed" && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--max-batch" && i + 1 < argc) {
+      opt.max_batch = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--batch-timeout-us" && i + 1 < argc) {
+      opt.batch_timeout_us = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>] [--trace <path>] [--seed <n>]\n",
+                   "usage: %s [--json <path>] [--trace <path>] [--seed <n>] "
+                   "[--max-batch <n>] [--batch-timeout-us <n>]\n",
                    argv[0]);
       return 2;
     }

@@ -30,6 +30,10 @@ echo "== fig4_throughput =="
   --json "$out_dir/BENCH_fig4_throughput.json" \
   --trace "$out_dir/BENCH_fig4.trace.json"
 
+echo "== batch_sweep =="
+"$build_dir/bench/batch_sweep" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_batch.json"
+
 echo "== fig5_vs_dynastar =="
 "$build_dir/bench/fig5_vs_dynastar" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_fig5_vs_dynastar.json"
@@ -53,6 +57,14 @@ echo "== table1_wait_for_all =="
 echo "== chaos_explorer =="
 "$build_dir/bench/chaos_explorer" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_chaos.json"
+
+# Batching smoke: re-run the crash/failover plans with leader-side
+# batching enabled; the atomic-multicast, convergence, and exactly-once
+# oracles must stay green with max_batch > 1.
+echo "== chaos_explorer (max_batch=8) =="
+"$build_dir/bench/chaos_explorer" --quick "${seed_flags[@]}" \
+  --max-batch 8 --batch-timeout-us 20 \
+  --json "$out_dir/BENCH_chaos_batch.json"
 
 echo "== overload_bench =="
 "$build_dir/bench/overload_bench" "${quick_flags[@]}" "${seed_flags[@]}" \

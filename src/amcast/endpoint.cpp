@@ -37,6 +37,8 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
   delivered_.assign(cfg.max_clients, DeliveredSet{});
   ready_notifier_ = std::make_unique<sim::Notifier>(
       system.fabric().simulator());
+  batch_notifier_ = std::make_unique<sim::Notifier>(
+      system.fabric().simulator());
 
   hub_ = &system.fabric().telemetry();
   const std::string label =
@@ -48,6 +50,8 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
   ctr_takeovers_ = &hub_->metrics.counter("amcast", "takeovers", label);
   ctr_reproposals_ = &hub_->metrics.counter("amcast", "reproposals", label);
   ctr_shed_ = &hub_->metrics.counter("amcast", "shed", label);
+  hist_batch_ = &hub_->metrics.histogram("amcast", "batch_size", label,
+                                         {1, 2, 4, 8, 16, 32, 64});
 
   update_status_page();
 }
@@ -58,6 +62,7 @@ void Endpoint::start() {
   sim.spawn(log_loop());
   sim.spawn(props_loop());
   sim.spawn(control_loop());
+  sim.spawn(batch_loop());
   if (system_->config().enable_failover) {
     sim.spawn(heartbeat_loop());
   }
@@ -162,82 +167,147 @@ void Endpoint::note_seen(const WireMessage& msg) {
   if (!seen_.contains(msg.uid)) {
     seen_.emplace(msg.uid, msg);
     if (is_leader() && !taking_over_) {
-      system_->fabric().simulator().spawn(drive_message(msg.uid));
+      enqueue_propose(msg.uid);
     }
   }
 }
 
+void Endpoint::enqueue_propose(MsgUid uid) {
+  propose_queue_.push_back(uid);
+  batch_notifier_->notify_all();
+}
+
 // ---------------------------------------------------------------------
 // Leader: propose -> replicate -> (majority ack) -> exchange proposals
-// -> commit. One driver coroutine per message.
+// -> commit. One batcher loop drains the propose queue into PROPOSE
+// batches; each batch's ack round runs in its own completion coroutine
+// so batches pipeline.
 // ---------------------------------------------------------------------
 
-sim::Task<void> Endpoint::drive_message(MsgUid uid) {
+sim::Task<void> Endpoint::batch_loop() {
   const std::uint64_t inc = incarnation_;
-  if (!is_leader()) co_return;
-  {
-    auto seen_it = seen_.find(uid);
-    if (seen_it == seen_.end()) co_return;  // raced with delivery
-    auto [it, inserted] = pending_.try_emplace(uid);
-    Pending& p = it->second;
-    if (p.proposed_locally) co_return;
+  const Config& cfg = system_->config();
 
-    // Timestamp assignment: leader CPU + clock bump + local PROPOSE.
-    auto ts_span = hub_->tracer.span("amcast", "assign_ts", node_->id());
-    ts_span.arg("uid", uid);
+  while (true) {
+    co_await sim::wait_until(*batch_notifier_, [this] {
+      return is_leader() && !taking_over_ && !propose_queue_.empty();
+    });
+    if (stale(inc)) co_return;
 
-    co_await node_->cpu().use(system_->config().leader_proc);
-    // Re-validate after the await: delivery, takeover or restart may have
-    // raced.
-    if (stale(inc) || !is_leader() || !pending_.contains(uid)) co_return;
-
-    p.msg = seen_it->second;
-    p.has_msg = true;
-    p.proposed_locally = true;
-    p.local_clock = ++clock_;
-    p.proposals[group_] = p.local_clock;
-    seen_.erase(uid);
-    ctr_proposes_->inc();
-    ts_span.arg("clock", p.local_clock);
-
-    // Admission control: with a bounded window, shed the message when the
-    // backlog (undelivered orderings + deliveries the app hasn't drained)
-    // is at capacity. The message still runs through ordering so every
-    // destination group reaches the same shed verdict via the commit
-    // record; the application answers BUSY instead of executing.
-    const std::uint32_t window = system_->config().admission_window;
-    if (window > 0 && ready_.size() + pending_.size() > window) {
-      p.shed_groups |= dst_of(group_);
-      ctr_shed_->inc();
+    const std::uint32_t max_batch =
+        std::min(std::max(cfg.max_batch, 1u), kMaxBatchLimit);
+    if (cfg.batch_timeout > 0 && propose_queue_.size() < max_batch) {
+      // Low load: hold the partial batch open for more arrivals, but
+      // never past the timeout.
+      co_await sim::wait_until_timeout(
+          *batch_notifier_,
+          [this, max_batch] {
+            return propose_queue_.size() >= max_batch || !is_leader();
+          },
+          cfg.batch_timeout);
+      if (stale(inc)) co_return;
     }
+    if (!is_leader() || taking_over_) continue;
 
-    LogRecord rec;
-    rec.seq = ++append_seq_;
-    rec.kind = LogRecord::Kind::kPropose;
-    rec.uid = uid;
-    rec.value = p.local_clock;
-    rec.msg = p.msg;
-    rec.flags = dst_contains(p.shed_groups, group_) ? 1u : 0u;
-    p.propose_seq = rec.seq;
-    append_record(rec);
+    // Timestamp assignment: one leader CPU charge for the whole batch.
+    // Arrivals during the charge still join this batch (up to max_batch),
+    // which is the backpressure that grows batches under load.
+    co_await node_->cpu().use(cfg.leader_proc);
+    if (stale(inc)) co_return;
+    if (!is_leader() || taking_over_) continue;
+
+    // Collect the batch members still worth proposing: a queued uid may
+    // have been delivered, proposed under an earlier epoch, or duplicated
+    // by a takeover re-drive in the meantime.
+    std::vector<MsgUid> members;
+    while (!propose_queue_.empty() && members.size() < max_batch) {
+      const MsgUid uid = propose_queue_.front();
+      propose_queue_.pop_front();
+      auto seen_it = seen_.find(uid);
+      if (seen_it == seen_.end()) continue;  // raced with delivery
+      auto it = pending_.find(uid);
+      if (it != pending_.end() && it->second.proposed_locally) continue;
+      members.push_back(uid);
+    }
+    if (members.empty()) continue;
+
+    auto batch_span = hub_->tracer.span("amcast", "batch_propose",
+                                        node_->id());
+    batch_span.arg("size", members.size());
+
+    // Admission control: with a bounded window, shed the members that
+    // would land beyond capacity (backlog sampled once per batch; at
+    // max_batch = 1 this is exactly the per-message check). A shed
+    // message still runs through ordering so every destination group
+    // reaches the same verdict via the commit record; the application
+    // answers BUSY instead of executing.
+    const std::uint32_t window = cfg.admission_window;
+    const std::size_t backlog = ready_.size() + pending_.size();
+
+    const std::uint64_t first_seq = append_seq_ + 1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const MsgUid uid = members[i];
+      auto [it, inserted] = pending_.try_emplace(uid);
+      Pending& p = it->second;
+      p.msg = seen_.at(uid);
+      p.has_msg = true;
+      p.proposed_locally = true;
+      p.local_clock = ++clock_;
+      p.proposals[group_] = p.local_clock;
+      seen_.erase(uid);
+      ctr_proposes_->inc();
+      if (window > 0 && backlog + i + 1 > window) {
+        p.shed_groups |= dst_of(group_);
+        ctr_shed_->inc();
+      }
+
+      LogRecord rec;
+      rec.seq = ++append_seq_;
+      rec.kind = LogRecord::Kind::kPropose;
+      rec.uid = uid;
+      rec.value = p.local_clock;
+      rec.msg = p.msg;
+      rec.flags = dst_contains(p.shed_groups, group_) ? 1u : 0u;
+      rec.batch = (i == 0) ? static_cast<std::uint32_t>(members.size()) : 0u;
+      p.propose_seq = rec.seq;
+      append_local(rec);
+    }
+    replicate_span(first_seq, members.size());
     update_status_page();
-  }
+    hist_batch_->observe(static_cast<std::int64_t>(members.size()));
 
-  // Wait for a majority of the group to have the proposal before it can
-  // influence any other group (failover then always recovers it).
-  auto ack_span = hub_->tracer.span("amcast", "propose", node_->id());
-  ack_span.arg("uid", uid);
-  const std::uint64_t seq = pending_.at(uid).propose_seq;
-  co_await sim::wait_until(node_->region(acks_mr_).on_write(), [this, seq] {
-    return propose_majority_acked(seq);
-  });
+    system_->fabric().simulator().spawn(
+        finish_batch(append_seq_, std::move(members)));
+  }
+}
+
+sim::Task<void> Endpoint::finish_batch(std::uint64_t last_seq,
+                                       std::vector<MsgUid> members) {
+  const std::uint64_t inc = incarnation_;
+
+  // Wait for a majority of the group to have the whole PROPOSE span
+  // before any member can influence another group (failover then always
+  // recovers every proposal in the batch). Acks are applied-position
+  // watermarks, so acking the batch's last record acks all of it.
+  auto ack_span = hub_->tracer.span("amcast", "batch_round", node_->id());
+  ack_span.arg("size", members.size());
+  ack_span.arg("last_seq", last_seq);
+  co_await sim::wait_until(node_->region(acks_mr_).on_write(),
+                           [this, last_seq] {
+                             return propose_majority_acked(last_seq);
+                           });
   if (stale(inc)) co_return;
 
-  auto it = pending_.find(uid);
-  if (it == pending_.end()) co_return;
-  it->second.propose_acked = true;
-  send_proposals(uid);
-  maybe_commit(uid);
+  for (const MsgUid uid : members) {
+    auto it = pending_.find(uid);
+    if (it == pending_.end()) continue;
+    it->second.propose_acked = true;
+    send_proposals(uid);
+    maybe_commit(uid);
+  }
+  // Single-group members commit right here, together: one COMMIT span,
+  // one replication write per follower for the whole batch.
+  flush_commits();
 }
 
 bool Endpoint::propose_majority_acked(std::uint64_t seq) const {
@@ -287,13 +357,17 @@ void Endpoint::maybe_commit(MsgUid uid) {
   auto it = pending_.find(uid);
   if (it == pending_.end()) return;
   Pending& p = it->second;
-  if (p.committed || !p.proposed_locally || !p.propose_acked || !p.has_msg) {
+  if (p.committed || p.commit_queued || !p.proposed_locally ||
+      !p.propose_acked || !p.has_msg) {
     return;
   }
   if (static_cast<int>(p.proposals.size()) < dst_count(p.msg.dst)) return;
   commit(uid);
 }
 
+// Buffers the commit decision; flush_commits() turns the buffer into a
+// contiguous COMMIT span. Callers that can batch several decisions in one
+// event (the batch ack round, the proposal drain) flush once at the end.
 void Endpoint::commit(MsgUid uid) {
   Pending& p = pending_.at(uid);
   std::uint64_t final_ts = 0;
@@ -306,34 +380,80 @@ void Endpoint::commit(MsgUid uid) {
   hub_->tracer.instant("amcast", "commit", node_->id(),
                        {{"uid", uid}, {"final_ts", final_ts}});
 
-  LogRecord rec;
-  rec.seq = ++append_seq_;
-  rec.kind = LogRecord::Kind::kCommit;
-  rec.uid = uid;
-  rec.value = final_ts;
   // The commit record carries the final shed verdict (any destination
   // group's leader shed it), so followers need no proposal-flag state.
-  rec.flags = p.shed_groups != 0 ? 1u : 0u;
-  append_record(rec);
+  p.commit_queued = true;
+  commit_buf_.push_back(
+      QueuedCommit{uid, final_ts, p.shed_groups != 0 ? 1u : 0u});
+}
+
+void Endpoint::flush_commits() {
+  if (commit_buf_.empty()) return;
+  // Deposed (or mid-takeover) with buffered decisions: drop them instead
+  // of appending as a non-leader — the current leader re-drives these
+  // messages from its own replicated PROPOSE records.
+  if (!is_leader() || taking_over_) {
+    for (const auto& qc : commit_buf_) {
+      auto it = pending_.find(qc.uid);
+      if (it != pending_.end()) it->second.commit_queued = false;
+    }
+    commit_buf_.clear();
+    return;
+  }
+  const std::uint64_t first_seq = append_seq_ + 1;
+  const std::size_t count = commit_buf_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const QueuedCommit& qc = commit_buf_[i];
+    LogRecord rec;
+    rec.seq = ++append_seq_;
+    rec.kind = LogRecord::Kind::kCommit;
+    rec.uid = qc.uid;
+    rec.value = qc.final_ts;
+    rec.flags = qc.flags;
+    rec.batch = (i == 0) ? static_cast<std::uint32_t>(count) : 0u;
+    append_local(rec);
+  }
+  commit_buf_.clear();
+  replicate_span(first_seq, count);
   update_status_page();
 }
 
-// Appends to the local ring and replicates to all followers. The leader
-// applies its own record synchronously.
-void Endpoint::append_record(LogRecord rec) {
+// Appends to the local ring and applies synchronously (the leader's own
+// copy); replication happens separately via replicate_span so a batch of
+// consecutive records costs one write per follower.
+void Endpoint::append_local(const LogRecord& rec) {
   TaggedLogRecord tagged{epoch_, rec};
   rdma::store_pod(node_->region(log_mr_).bytes(), log_slot_offset(rec.seq),
                   tagged);
   applied_seq_ = std::max(applied_seq_, rec.seq);
   apply_record(rec);
+}
 
-  for (int r = 0; r < system_->replicas_per_group(); ++r) {
-    if (r == rank_) continue;
-    Endpoint& peer = system_->endpoint(group_, r);
-    system_->fabric().write_async(
-        node_->id(),
-        rdma::RAddr{peer.node().id(), peer.log_mr(), log_slot_offset(rec.seq)},
-        rdma::pod_bytes(tagged));
+// Replicates log records [first_seq, first_seq + count) to all followers
+// as contiguous span writes, split only where the ring wraps. A whole
+// span lands atomically in one fabric event, and per-record application
+// is self-contained, so partial visibility across the wrap split is
+// safe.
+void Endpoint::replicate_span(std::uint64_t first_seq, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint32_t slots = system_->config().log_slots;
+  const auto bytes = node_->region(log_mr_).bytes();
+  std::uint64_t s = first_seq;
+  std::uint64_t left = count;
+  while (left > 0) {
+    const std::uint64_t idx = s % slots;
+    const std::uint64_t run = std::min<std::uint64_t>(left, slots - idx);
+    const auto src = bytes.subspan(idx * kLogSlotSize, run * kLogSlotSize);
+    for (int r = 0; r < system_->replicas_per_group(); ++r) {
+      if (r == rank_) continue;
+      Endpoint& peer = system_->endpoint(group_, r);
+      system_->fabric().write_async(
+          node_->id(),
+          rdma::RAddr{peer.node().id(), peer.log_mr(), idx * kLogSlotSize},
+          src);
+    }
+    s += run;
+    left -= run;
   }
 }
 
@@ -395,8 +515,14 @@ sim::Task<void> Endpoint::log_loop() {
       const auto tagged = rdma::load_pod<TaggedLogRecord>(
           region.bytes(), log_slot_offset(applied_seq_ + 1));
       applied_seq_ = tagged.rec.seq;
-      co_await node_->cpu().use(cfg.follower_proc);
-      if (stale(inc)) co_return;
+      // The apply cost is charged once per batch (at the head record):
+      // batch members share one unmarshal/apply pass, which is the
+      // follower half of the batching amortization. Unbatched records
+      // are their own head (batch == 1), preserving the seed cost model.
+      if (tagged.rec.batch != 0) {
+        co_await node_->cpu().use(cfg.follower_proc);
+        if (stale(inc)) co_return;
+      }
       apply_record(tagged.rec);
       applied_any = true;
     }
@@ -459,6 +585,8 @@ sim::Task<void> Endpoint::props_loop() {
         maybe_commit(rec.uid);
       }
     }
+    // Commits decided during this drain go out as one COMMIT span.
+    flush_commits();
   }
 }
 
@@ -518,6 +646,18 @@ sim::Task<Delivery> Endpoint::next_delivery() {
   Delivery d = ready_.front();
   ready_.pop_front();
   co_return d;
+}
+
+sim::Task<std::vector<Delivery>> Endpoint::next_deliveries() {
+  const std::uint64_t inc = incarnation_;
+  co_await sim::wait_until(*ready_notifier_, [this] { return !ready_.empty(); });
+  // Stale-waiter sentinel, as in next_delivery(): an empty span.
+  if (stale(inc)) co_return std::vector<Delivery>{};
+  co_await node_->cpu().use(system_->config().deliver_proc);
+  if (stale(inc)) co_return std::vector<Delivery>{};
+  std::vector<Delivery> out(ready_.begin(), ready_.end());
+  ready_.clear();
+  co_return out;
 }
 
 void Endpoint::debug_dump() const {
@@ -774,7 +914,13 @@ sim::Task<void> Endpoint::takeover() {
   taking_over_ = false;
 
   // 5. Re-drive in-flight messages: resend proposals for locally proposed
-  //    uncommitted messages and re-propose inbox'd ones.
+  //    uncommitted messages (in-flight batches recover member by member —
+  //    every batch member is its own log record with its own clock) and
+  //    route inbox'd ones through the batcher for re-proposal. Commit
+  //    decisions buffered before the takeover belong to the old reign;
+  //    drop them so maybe_commit re-decides under the new epoch.
+  commit_buf_.clear();
+  for (auto& [uid, p] : pending_) p.commit_queued = false;
   for (auto& [uid, p] : pending_) {
     if (p.proposed_locally && !p.committed) {
       system_->fabric().simulator().spawn(
@@ -790,6 +936,7 @@ sim::Task<void> Endpoint::takeover() {
             it->second.propose_acked = true;
             self.send_proposals(u);
             self.maybe_commit(u);
+            self.flush_commits();
           }(*this, uid));
     }
   }
@@ -804,7 +951,7 @@ sim::Task<void> Endpoint::takeover() {
   }
   ctr_reproposals_->inc(to_propose.size());
   for (MsgUid uid : to_propose) {
-    system_->fabric().simulator().spawn(drive_message(uid));
+    enqueue_propose(uid);
   }
 }
 
@@ -823,6 +970,8 @@ void Endpoint::restart() {
   pending_.clear();
   seen_.clear();
   ready_.clear();
+  propose_queue_.clear();
+  commit_buf_.clear();
   clock_ = 0;
   applied_seq_ = 0;
   append_seq_ = 0;
@@ -1016,6 +1165,7 @@ sim::Task<void> Endpoint::rejoin() {
               it->second.propose_acked = true;
               self.send_proposals(u);
               self.maybe_commit(u);
+              self.flush_commits();
             }(*this, uid));
       }
     }

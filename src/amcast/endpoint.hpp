@@ -87,6 +87,13 @@ class Endpoint {
   /// Awaits and returns the next delivered message, in delivery order.
   sim::Task<Delivery> next_delivery();
 
+  /// Awaits at least one delivery and drains the whole ready queue in
+  /// delivery order, charging the hand-off cost once for the span. This
+  /// is the batched consumer path: under load the application stops
+  /// paying a wakeup + deliver_proc per message. Returns an empty vector
+  /// to a waiter parked across a crash+restart (the stale sentinel).
+  sim::Task<std::vector<Delivery>> next_deliveries();
+
   /// Non-blocking variant used by pollers.
   std::optional<Delivery> try_next_delivery();
 
@@ -133,6 +140,7 @@ class Endpoint {
     std::map<GroupId, std::uint64_t> proposals;  // group -> proposal clock
     DstMask shed_groups = 0;  // groups whose leader shed this message
     bool shed = false;        // committed verdict (any group shed it)
+    bool commit_queued = false;  // buffered in commit_buf_, not yet appended
   };
 
   // --- protocol coroutines -------------------------------------------
@@ -141,7 +149,9 @@ class Endpoint {
   sim::Task<void> props_loop();
   sim::Task<void> control_loop();
   sim::Task<void> heartbeat_loop();
-  sim::Task<void> drive_message(MsgUid uid);  // leader: propose..commit
+  sim::Task<void> batch_loop();  // leader: drain propose queue into batches
+  sim::Task<void> finish_batch(std::uint64_t last_seq,
+                               std::vector<MsgUid> members);
   sim::Task<void> takeover();
   sim::Task<void> rejoin();  // restart path: replay + adopt + catch up
 
@@ -152,10 +162,13 @@ class Endpoint {
   }
 
   // --- helpers --------------------------------------------------------
-  void append_record(LogRecord rec);           // local ring + replicate
+  void append_local(const LogRecord& rec);     // local ring + apply
+  void replicate_span(std::uint64_t first_seq, std::uint64_t count);
   void apply_record(const LogRecord& rec);
   void maybe_commit(MsgUid uid);
-  void commit(MsgUid uid);
+  void commit(MsgUid uid);          // buffers into commit_buf_
+  void flush_commits();             // appends + replicates buffered commits
+  void enqueue_propose(MsgUid uid);
   void try_deliver();
   void update_status_page();
   void note_seen(const WireMessage& msg);
@@ -191,19 +204,21 @@ class Endpoint {
   // client retries a later uid (a retry, or the next command after a
   // give-up) can commit before an abandoned earlier uid, so sequences no
   // longer complete in order and a max()-watermark would drop messages
-  // inconsistently across groups.
+  // inconsistently across groups. The watermark is exclusive ("all seqs
+  // below it delivered") so sequence 0 — representable since the uid
+  // encoding was made total — starts out undelivered like any other.
   struct DeliveredSet {
-    std::uint64_t watermark = 0;        // all seqs <= watermark delivered
-    std::set<std::uint64_t> above;      // delivered seqs > watermark
+    std::uint64_t watermark = 0;        // all seqs < watermark delivered
+    std::set<std::uint64_t> above;      // delivered seqs >= watermark
 
     [[nodiscard]] bool contains(std::uint64_t seq) const {
-      return seq <= watermark || above.contains(seq);
+      return seq < watermark || above.contains(seq);
     }
     void insert(std::uint64_t seq) {
-      if (seq <= watermark) return;
+      if (seq < watermark) return;
       above.insert(seq);
-      while (above.contains(watermark + 1)) {
-        above.erase(watermark + 1);
+      while (above.contains(watermark)) {
+        above.erase(watermark);
         ++watermark;
       }
     }
@@ -213,6 +228,18 @@ class Endpoint {
   std::vector<DeliveredSet> delivered_;  // per client id
   std::map<MsgUid, WireMessage> seen_;  // inbox'd but not yet proposed
   std::uint64_t delivered_count_ = 0;
+
+  // Leader-side batching. note_seen/takeover enqueue uids; batch_loop
+  // drains the queue into PROPOSE batches. Commits ready at the same
+  // instant are buffered and flushed as one COMMIT span.
+  struct QueuedCommit {
+    MsgUid uid = 0;
+    std::uint64_t final_ts = 0;
+    std::uint32_t flags = 0;
+  };
+  std::deque<MsgUid> propose_queue_;
+  std::unique_ptr<sim::Notifier> batch_notifier_;
+  std::vector<QueuedCommit> commit_buf_;
 
   [[nodiscard]] bool already_delivered(MsgUid uid) const;
   void mark_delivered(MsgUid uid);
@@ -235,6 +262,7 @@ class Endpoint {
   telemetry::Counter* ctr_takeovers_;
   telemetry::Counter* ctr_reproposals_;
   telemetry::Counter* ctr_shed_;
+  telemetry::Histogram* hist_batch_;  // PROPOSE batch sizes (messages)
 };
 
 }  // namespace heron::amcast

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -39,10 +40,23 @@ using MsgUid = std::uint64_t;
 /// to 16 partitions.
 constexpr std::uint64_t kMaxGroups = 64;
 
+/// Largest proposal clock that still packs into 64 bits:
+/// pack_ts(kMaxTsClock, kMaxGroups - 1) == UINT64_MAX exactly.
+constexpr std::uint64_t kMaxTsClock = ~std::uint64_t{0} / kMaxGroups;
+
 /// Globally unique, totally ordered timestamp: proposal clock in the high
 /// bits, proposing-group id in the low bits. Comparing packed values is
 /// exactly the (clock, group) lexicographic order.
+///
+/// Clocks beyond kMaxTsClock would silently wrap and break timestamp
+/// monotonicity, so packing saturates at the cap (asserting in debug
+/// builds): order is preserved for every representable clock, and clocks
+/// at the cap compare by group id only. At one tick per message this is
+/// ~2^58 messages — unreachable in any run, but chaos sweeps must not be
+/// able to corrupt the order silently.
 constexpr std::uint64_t pack_ts(std::uint64_t clock, GroupId group) {
+  assert(clock <= kMaxTsClock && "pack_ts: clock exceeds kMaxTsClock");
+  if (clock > kMaxTsClock) clock = kMaxTsClock;
   return clock * kMaxGroups + static_cast<std::uint64_t>(group);
 }
 constexpr std::uint64_t ts_clock(std::uint64_t packed) {
@@ -54,11 +68,18 @@ constexpr GroupId ts_group(std::uint64_t packed) {
 
 /// Message uids encode (client id, per-client sequence). Clients submit in
 /// a closed loop, so per-client sequences complete in order.
+///
+/// The client id is stored biased by one so that no valid (client, seq)
+/// pair can produce uid 0 — the inbox ring and the delivery path both use
+/// uid 0 as the empty-slot / stale-waiter sentinel, and the unbiased
+/// encoding mapped (client 0, seq 0) onto it, silently dropping that
+/// message. The bias preserves per-client uid order.
 constexpr MsgUid make_uid(std::uint32_t client, std::uint32_t seq) {
-  return (static_cast<MsgUid>(client) << 32) | seq;
+  assert(client < 0xffffffffu && "make_uid: client id reserved by the bias");
+  return ((static_cast<MsgUid>(client) + 1) << 32) | seq;
 }
 constexpr std::uint32_t uid_client(MsgUid uid) {
-  return static_cast<std::uint32_t>(uid >> 32);
+  return static_cast<std::uint32_t>(uid >> 32) - 1;
 }
 constexpr std::uint32_t uid_seq(MsgUid uid) {
   return static_cast<std::uint32_t>(uid & 0xffffffffULL);
@@ -101,6 +122,15 @@ struct WireMessage {
 static_assert(std::is_trivially_copyable_v<WireMessage>);
 
 /// Group-log record replicated leader -> followers.
+///
+/// The leader coalesces records into batches: a batch occupies `batch`
+/// consecutive log slots and is replicated with one contiguous span write
+/// per follower (split only at the ring wrap). The head record carries
+/// the batch size; members carry 0. Followers charge their per-record
+/// software cost once per batch head, which is what amortizes the
+/// follower share of the ordering cost under load. Each record is still
+/// fully self-contained, so replay, catch-up and failover stay
+/// record-granular.
 struct LogRecord {
   enum class Kind : std::uint32_t { kInvalid = 0, kPropose = 1, kCommit = 2 };
 
@@ -109,6 +139,8 @@ struct LogRecord {
   std::uint32_t flags = 0;  // bit 0: message shed by admission control
   MsgUid uid = 0;
   std::uint64_t value = 0;  // kPropose: proposal clock; kCommit: packed final ts
+  std::uint32_t batch = 1;  // batch head: records in this batch; members: 0
+  std::uint32_t pad = 0;
   WireMessage msg{};        // payload only meaningful for kPropose
 };
 static_assert(std::is_trivially_copyable_v<LogRecord>);
@@ -165,7 +197,30 @@ struct Config {
   /// reached this many messages marks new arrivals as shed. Shed messages
   /// still run through ordering (so every destination agrees) but are
   /// answered with BUSY instead of being executed. 0 disables shedding.
+  /// Accounting is at batch granularity: the leader samples the backlog
+  /// once per batch and sheds the members that would land beyond the
+  /// window, which preserves the per-message contract exactly at
+  /// max_batch = 1.
   std::uint32_t admission_window = 0;
+
+  /// Leader-side batching: the leader drains its propose queue and
+  /// coalesces up to `max_batch` messages into one PROPOSE span, one
+  /// follower replication + majority-ack round, and one COMMIT span.
+  /// Every message keeps its own unique proposal clock and packed final
+  /// timestamp, so delivery order and the multicast properties are
+  /// untouched; only the per-message software costs are amortized.
+  /// 1 disables batching (seed behavior); values are clamped to
+  /// kMaxBatchLimit.
+  std::uint32_t max_batch = 1;
+
+  /// With batching enabled, how long a leader holding a partial batch
+  /// waits for more arrivals before proposing it. 0 proposes immediately
+  /// (batches then only form from natural backlog), which keeps the
+  /// unloaded single-client latency identical to the unbatched path.
+  sim::Nanos batch_timeout = 0;
 };
+
+/// Hard cap on Config::max_batch (and so on the PROPOSE span length).
+constexpr std::uint32_t kMaxBatchLimit = 64;
 
 }  // namespace heron::amcast

@@ -50,15 +50,23 @@ class LatencyRecorder {
   }
 
   /// Percentile in [0, 100] by nearest-rank on the sorted samples.
+  /// Out-of-range p is clamped: before the clamp, a negative p produced a
+  /// negative rank whose size_t conversion wrapped past the clamp-to-last
+  /// guard and returned the *maximum* sample.
   [[nodiscard]] Nanos percentile(double p) const {
     if (samples_.empty()) return 0;
     sort_samples();
+    p = std::clamp(p, 0.0, 100.0);
     const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
     const auto idx = static_cast<std::size_t>(std::llround(rank));
     return samples_[std::min(idx, samples_.size() - 1)];
   }
 
   /// Evenly spaced CDF points: `n` pairs of (latency_ns, cumulative_frac).
+  /// Uses the same nearest-rank rounding as percentile(), so
+  /// cdf(n)[i-1].first == percentile(100 * i / n) for every point; the
+  /// previous truncation disagreed with percentile() whenever the rank's
+  /// fraction was >= 0.5.
   [[nodiscard]] std::vector<std::pair<Nanos, double>> cdf(
       std::size_t n = 100) const {
     std::vector<std::pair<Nanos, double>> out;
@@ -67,9 +75,9 @@ class LatencyRecorder {
     out.reserve(n);
     for (std::size_t i = 1; i <= n; ++i) {
       const double frac = static_cast<double>(i) / static_cast<double>(n);
-      const auto idx = static_cast<std::size_t>(
-          frac * static_cast<double>(samples_.size() - 1));
-      out.emplace_back(samples_[idx], frac);
+      const double rank = frac * static_cast<double>(samples_.size() - 1);
+      const auto idx = static_cast<std::size_t>(std::llround(rank));
+      out.emplace_back(samples_[std::min(idx, samples_.size() - 1)], frac);
     }
     return out;
   }

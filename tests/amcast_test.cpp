@@ -11,6 +11,7 @@
 
 #include "amcast/system.hpp"
 #include "rdma/fabric.hpp"
+#include "rdma/pod.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -63,6 +64,88 @@ struct Cluster {
     log.attach(sim, sys);
   }
 };
+
+// --- encoding regression tests ---------------------------------------
+
+TEST(AmcastTypes, UidEncodingNeverCollidesWithSentinel) {
+  // uid 0 is the inbox empty-slot / stale-waiter sentinel. The unbiased
+  // encoding mapped (client 0, seq 0) onto it, silently dropping that
+  // message; the biased encoding must keep every valid pair nonzero.
+  EXPECT_NE(make_uid(0, 0), MsgUid{0});
+
+  // Round-trips, including the corners.
+  const std::pair<std::uint32_t, std::uint32_t> cases[] = {
+      {0, 0}, {0, 1}, {0, 0xffffffffu}, {1, 0}, {17, 42},
+      {0xfffffffeu, 0}, {0xfffffffeu, 0xffffffffu}};
+  for (const auto& [client, seq] : cases) {
+    const MsgUid uid = make_uid(client, seq);
+    EXPECT_NE(uid, MsgUid{0}) << client << "," << seq;
+    EXPECT_EQ(uid_client(uid), client);
+    EXPECT_EQ(uid_seq(uid), seq);
+  }
+
+  // The bias preserves per-client uid order.
+  EXPECT_LT(make_uid(3, 5), make_uid(3, 6));
+  EXPECT_LT(make_uid(3, 0xffffffffu), make_uid(4, 0));
+}
+
+TEST(AmcastTypes, PackTsBoundary) {
+  // The largest representable clock packs exactly to the top of the
+  // 64-bit range; anything below stays strictly monotone.
+  EXPECT_EQ(pack_ts(kMaxTsClock, static_cast<GroupId>(kMaxGroups - 1)),
+            ~std::uint64_t{0});
+  EXPECT_EQ(ts_clock(pack_ts(kMaxTsClock, 5)), kMaxTsClock);
+  EXPECT_EQ(ts_group(pack_ts(kMaxTsClock, 5)), 5);
+  EXPECT_LT(pack_ts(kMaxTsClock - 1, static_cast<GroupId>(kMaxGroups - 1)),
+            pack_ts(kMaxTsClock, 0));
+
+#ifdef NDEBUG
+  // Release builds saturate instead of silently wrapping: pre-fix,
+  // pack_ts(kMaxTsClock + 1, 0) wrapped to a tiny value and broke
+  // timestamp monotonicity.
+  EXPECT_EQ(pack_ts(kMaxTsClock + 1, 0), pack_ts(kMaxTsClock, 0));
+  EXPECT_GE(pack_ts(kMaxTsClock + 1, 5), pack_ts(kMaxTsClock, 0));
+#else
+  EXPECT_DEATH(pack_ts(kMaxTsClock + 1, 5), "kMaxTsClock");
+#endif
+}
+
+TEST(Amcast, ClientZeroFirstSequenceIsDeliverable) {
+  // End-to-end regression for the sentinel collision: a message carrying
+  // uid make_uid(0, 0) written straight into the inbox rings must still
+  // be ordered and delivered. Pre-fix its uid was 0, so the inbox scan
+  // treated the slot as empty forever.
+  Cluster c(1, 3);
+  auto& client = c.sys.add_client();  // client id 0
+
+  WireMessage msg;
+  msg.uid = make_uid(0, 0);
+  msg.ring_seq = 1;
+  msg.dst = dst_of(0);
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  msg.set_payload(std::as_bytes(std::span(payload)));
+
+  c.sim.spawn([](Cluster& cl, ClientEndpoint& from,
+                 WireMessage m) -> Task<void> {
+    for (int r = 0; r < 3; ++r) {
+      Endpoint& ep = cl.sys.endpoint(0, r);
+      cl.fabric.write_async(
+          from.node().id(),
+          rdma::RAddr{ep.node().id(), ep.inbox_mr(),
+                      ep.inbox_slot_offset(0, m.ring_seq)},
+          rdma::pod_bytes(m));
+    }
+    co_return;
+  }(c, client, msg));
+  c.sim.run_for(sim::ms(5));
+
+  for (int r = 0; r < 3; ++r) {
+    const auto& seq = c.log.by_replica[{0, r}];
+    ASSERT_EQ(seq.size(), 1u) << "replica " << r;
+    EXPECT_EQ(seq[0].uid, make_uid(0, 0));
+    EXPECT_EQ(seq[0].payload_len, 3u);
+  }
+}
 
 // --- basic single-group behaviour ------------------------------------
 

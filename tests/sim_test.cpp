@@ -352,6 +352,66 @@ TEST(Stats, MeanAndPercentiles) {
   EXPECT_EQ(rec.max(), 100);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Table-driven nearest-rank checks, including the out-of-range clamp:
+  // before the fix a negative p produced a negative rank whose size_t
+  // conversion wrapped huge and returned the maximum sample.
+  struct Case {
+    std::vector<Nanos> samples;
+    double p;
+    Nanos want;
+  };
+  const Case cases[] = {
+      {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0, 1},
+      {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 100, 10},
+      {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50, 6},   // rank 4.5 rounds to idx 5
+      {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, -5, 1},   // clamped to p=0
+      {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 250, 10}, // clamped to p=100
+      {{42}, 0, 42},
+      {{42}, 50, 42},
+      {{42}, 100, 42},
+      {{42}, -1, 42},
+      {{7, 3}, 0, 3},
+      {{7, 3}, 49, 3},
+      {{7, 3}, 51, 7},
+      {{7, 3}, 100, 7},
+  };
+  for (const Case& c : cases) {
+    LatencyRecorder rec;
+    for (Nanos v : c.samples) rec.record(v);
+    EXPECT_EQ(rec.percentile(c.p), c.want)
+        << "samples=" << c.samples.size() << " p=" << c.p;
+  }
+  // The pre-fix wraparound: on 1..100, percentile(-5) returned 100.
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(i);
+  EXPECT_EQ(rec.percentile(-5), 1);
+}
+
+TEST(Stats, CdfMatchesPercentile) {
+  // cdf() and percentile() must use the same nearest-rank rounding; the
+  // pre-fix cdf truncated the rank, disagreeing whenever its fractional
+  // part was >= 0.5 (e.g. 10 samples at frac 0.1: rank 0.9 -> idx 0 vs 1).
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.record(i * 10);
+  const auto points = rec.cdf(10);
+  ASSERT_EQ(points.size(), 10u);
+  for (const auto& [lat, frac] : points) {
+    EXPECT_EQ(lat, rec.percentile(frac * 100.0)) << "frac=" << frac;
+  }
+  EXPECT_EQ(points.front().first, rec.percentile(10));
+  EXPECT_EQ(points.back().first, 100);
+}
+
+TEST(Stats, CdfSingleSample) {
+  LatencyRecorder rec;
+  rec.record(5);
+  const auto points = rec.cdf(4);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& [lat, frac] : points) EXPECT_EQ(lat, 5);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
 TEST(Stats, StddevOfConstantIsZero) {
   LatencyRecorder rec;
   for (int i = 0; i < 10; ++i) rec.record(42);
