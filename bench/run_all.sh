@@ -70,6 +70,16 @@ echo "== overload_bench =="
 "$build_dir/bench/overload_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_overload.json"
 
+echo "== read_sweep =="
+"$build_dir/bench/read_sweep" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_reads.json"
+
+# Fast-read chaos smoke: leader crash + restart during an open lease;
+# the linearizability, exactly-once and convergence oracles gate the run.
+echo "== read_sweep (--chaos) =="
+"$build_dir/bench/read_sweep" --chaos "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_reads_chaos.json"
+
 echo
 echo "artifacts:"
 ls -l "$out_dir"/BENCH_*.json

@@ -621,6 +621,7 @@ void Endpoint::try_deliver() {
     d.payload = best->msg.payload;
     d.payload_len = best->msg.payload_len;
     d.shed = best->shed;
+    d.lease = (best->msg.flags & kWireFlagLease) != 0;
     mark_delivered(best_uid);
     pending_.erase(best_uid);
     seen_.erase(best_uid);
@@ -921,24 +922,32 @@ sim::Task<void> Endpoint::takeover() {
   //    drop them so maybe_commit re-decides under the new epoch.
   commit_buf_.clear();
   for (auto& [uid, p] : pending_) p.commit_queued = false;
-  for (auto& [uid, p] : pending_) {
-    if (p.proposed_locally && !p.committed) {
-      system_->fabric().simulator().spawn(
-          [](Endpoint& self, MsgUid u) -> sim::Task<void> {
-            const std::uint64_t inc2 = self.incarnation_;
-            const std::uint64_t seq = self.pending_.at(u).propose_seq;
-            co_await sim::wait_until(
-                self.node_->region(self.acks_mr_).on_write(),
-                [&self, seq] { return self.propose_majority_acked(seq); });
-            if (self.stale(inc2)) co_return;
-            auto it = self.pending_.find(u);
-            if (it == self.pending_.end()) co_return;
-            it->second.propose_acked = true;
-            self.send_proposals(u);
-            self.maybe_commit(u);
-            self.flush_commits();
-          }(*this, uid));
-    }
+  // Snapshot first: spawn() starts the coroutine eagerly, and when the
+  // majority-ack predicate already holds it runs straight through to
+  // maybe_commit/flush_commits, which can erase pending_ entries out
+  // from under a live iterator.
+  std::vector<MsgUid> redrive;
+  for (const auto& [uid, p] : pending_) {
+    if (p.proposed_locally && !p.committed) redrive.push_back(uid);
+  }
+  for (MsgUid uid : redrive) {
+    system_->fabric().simulator().spawn(
+        [](Endpoint& self, MsgUid u) -> sim::Task<void> {
+          const std::uint64_t inc2 = self.incarnation_;
+          const auto pit = self.pending_.find(u);
+          if (pit == self.pending_.end()) co_return;  // earlier re-drive won
+          const std::uint64_t seq = pit->second.propose_seq;
+          co_await sim::wait_until(
+              self.node_->region(self.acks_mr_).on_write(),
+              [&self, seq] { return self.propose_majority_acked(seq); });
+          if (self.stale(inc2)) co_return;
+          auto it = self.pending_.find(u);
+          if (it == self.pending_.end()) co_return;
+          it->second.propose_acked = true;
+          self.send_proposals(u);
+          self.maybe_commit(u);
+          self.flush_commits();
+        }(*this, uid));
   }
   std::vector<MsgUid> to_propose;
   for (const auto& [uid, msg] : seen_) {

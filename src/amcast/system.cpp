@@ -53,7 +53,8 @@ ClientEndpoint::ClientEndpoint(System& system, std::uint32_t client_id,
 }
 
 sim::Task<MsgUid> ClientEndpoint::multicast(DstMask dst,
-                                            std::span<const std::byte> payload) {
+                                            std::span<const std::byte> payload,
+                                            std::uint32_t flags) {
   assert(dst != 0);
   assert(payload.size() <= kMaxPayload);
   const auto seq = static_cast<std::uint32_t>(++next_seq_);
@@ -64,6 +65,7 @@ sim::Task<MsgUid> ClientEndpoint::multicast(DstMask dst,
   WireMessage msg;
   msg.uid = uid;
   msg.dst = dst;
+  msg.flags = flags;
   msg.set_payload(payload);
 
   ring_seq_.resize(static_cast<std::size_t>(system_->group_count()), 0);

@@ -18,8 +18,11 @@ class ClientEndpoint {
   ClientEndpoint(System& system, std::uint32_t client_id, rdma::Node& node);
 
   /// Atomically multicasts `payload` to the groups in `dst`. Returns the
-  /// message uid after the (modeled) marshal + post cost.
-  sim::Task<MsgUid> multicast(DstMask dst, std::span<const std::byte> payload);
+  /// message uid after the (modeled) marshal + post cost. `flags` are
+  /// kWireFlag* bits carried verbatim to every delivery (e.g. the lease
+  /// marker bit).
+  sim::Task<MsgUid> multicast(DstMask dst, std::span<const std::byte> payload,
+                              std::uint32_t flags = 0);
 
   [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
   [[nodiscard]] rdma::Node& node() { return *node_; }

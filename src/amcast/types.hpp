@@ -98,6 +98,15 @@ constexpr int dst_count(DstMask mask) { return __builtin_popcountll(mask); }
 /// request descriptors (type + keys) fit comfortably.
 constexpr std::size_t kMaxPayload = 256;
 
+/// Client-set wire flags. Bit 0 marks a lease marker: a control command
+/// (grant/revoke of the fast-read lease) that rides the ordered stream
+/// like any message so that every replica agrees on epoch boundaries —
+/// the same trick as the BUSY marker, but set by the sender rather than
+/// decided by a leader. The flag travels inside the WireMessage through
+/// inbox rings, log replication and failover re-proposals, and surfaces
+/// as Delivery::lease.
+constexpr std::uint32_t kWireFlagLease = 1u << 0;
+
 /// A message as written by clients into replica inboxes.
 ///
 /// `ring_seq` is a per-(client, destination-group) counter used purely for
@@ -108,6 +117,7 @@ struct WireMessage {
   MsgUid uid = 0;
   std::uint64_t ring_seq = 0;
   DstMask dst = 0;
+  std::uint32_t flags = 0;  // kWireFlag* bits, set by the sender
   std::uint32_t payload_len = 0;
   std::array<std::byte, kMaxPayload> payload{};
 
@@ -167,6 +177,9 @@ struct Delivery {
   /// still totally ordered (every destination delivers it with the same
   /// flag) but the application must reply BUSY instead of executing.
   bool shed = false;
+  /// Sender-marked lease marker (kWireFlagLease): a fast-read lease
+  /// grant/revoke command, handled by the replica instead of the app.
+  bool lease = false;
 
   [[nodiscard]] std::span<const std::byte> payload_view() const {
     return {payload.data(), payload_len};

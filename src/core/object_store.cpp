@@ -9,22 +9,26 @@ namespace heron::core {
 
 namespace {
 
+// Leaves the seqlock word (offset 0) alone: version installs happen
+// outside any write-phase bracket and must not perturb the generation
+// count a fast reader may be validating against.
 void write_header(std::span<std::byte> slot, Tmp tmp_a, Tmp tmp_b,
                   std::uint32_t size, std::uint32_t serialized) {
-  rdma::store_pod(slot, 0, tmp_a);
-  rdma::store_pod(slot, 8, tmp_b);
-  rdma::store_pod(slot, 16, size);
-  rdma::store_pod(slot, 20, serialized);
+  rdma::store_pod(slot, 8, tmp_a);
+  rdma::store_pod(slot, 16, tmp_b);
+  rdma::store_pod(slot, 24, size);
+  rdma::store_pod(slot, 28, serialized);
 }
 
 }  // namespace
 
 SlotView SlotView::parse(std::span<const std::byte> raw) {
   SlotView v;
-  v.tmp_a = rdma::load_pod<Tmp>(raw, 0);
-  v.tmp_b = rdma::load_pod<Tmp>(raw, 8);
-  v.size = rdma::load_pod<std::uint32_t>(raw, 16);
-  v.serialized = rdma::load_pod<std::uint32_t>(raw, 20);
+  v.lock = rdma::load_pod<std::uint64_t>(raw, 0);
+  v.tmp_a = rdma::load_pod<Tmp>(raw, 8);
+  v.tmp_b = rdma::load_pod<Tmp>(raw, 16);
+  v.size = rdma::load_pod<std::uint32_t>(raw, 24);
+  v.serialized = rdma::load_pod<std::uint32_t>(raw, 28);
   v.val_a = raw.subspan(header_bytes(), v.size);
   v.val_b = raw.subspan(header_bytes() + v.size, v.size);
   return v;
@@ -60,6 +64,7 @@ std::uint64_t ObjectStore::create(Oid oid, std::span<const std::byte> init,
 
   Entry e{offset, size, serialized};
   auto slot = slot_span(e);
+  rdma::store_pod(slot, 0, std::uint64_t{0});  // seqlock: even, generation 0
   write_header(slot, 0, 0, size, serialized ? 1 : 0);
   std::memcpy(slot.data() + SlotView::header_bytes(), init.data(), size);
   std::memcpy(slot.data() + SlotView::header_bytes() + size, init.data(),
@@ -82,17 +87,34 @@ void ObjectStore::set(Oid oid, std::span<const std::byte> value, Tmp tmp) {
     throw std::logic_error("ObjectStore::set: size mismatch");
   }
   auto slot = slot_span(e);
-  const auto tmp_a = rdma::load_pod<Tmp>(slot, 0);
-  const auto tmp_b = rdma::load_pod<Tmp>(slot, 8);
+  const auto tmp_a = rdma::load_pod<Tmp>(slot, 8);
+  const auto tmp_b = rdma::load_pod<Tmp>(slot, 16);
   if (tmp_a <= tmp_b) {
-    rdma::store_pod(slot, 0, tmp);
+    rdma::store_pod(slot, 8, tmp);
     std::memcpy(slot.data() + SlotView::header_bytes(), value.data(),
                 value.size());
   } else {
-    rdma::store_pod(slot, 8, tmp);
+    rdma::store_pod(slot, 16, tmp);
     std::memcpy(slot.data() + SlotView::header_bytes() + e.size, value.data(),
                 value.size());
   }
+}
+
+void ObjectStore::begin_write(Oid oid) {
+  auto slot = slot_span(index_.at(oid));
+  const auto lock = rdma::load_pod<std::uint64_t>(slot, 0);
+  // Already-odd means a nested bracket; keep it odd (outermost end wins).
+  rdma::store_pod(slot, 0, lock | 1);
+}
+
+void ObjectStore::end_write(Oid oid) {
+  auto slot = slot_span(index_.at(oid));
+  const auto lock = rdma::load_pod<std::uint64_t>(slot, 0);
+  rdma::store_pod(slot, 0, (lock | 1) + 1);  // even, next generation
+}
+
+std::uint64_t ObjectStore::seqlock(Oid oid) const {
+  return rdma::load_pod<std::uint64_t>(slot_span(index_.at(oid)), 0);
 }
 
 void ObjectStore::install_slot(Oid oid, std::span<const std::byte> slot_bytes,

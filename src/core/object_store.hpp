@@ -10,8 +10,16 @@
 //     (Algorithm 2 line 22) — finding none means they lag.
 //
 // Slot layout (so one read returns both versions, as in the paper):
-//   [ tmp_a : u64 | tmp_b : u64 | size : u32 | serialized : u32
+//   [ lock : u64 | tmp_a : u64 | tmp_b : u64 | size : u32 | serialized : u32
 //     | val_a : size bytes | val_b : size bytes ]
+//
+// `lock` is a per-object seqlock word for the one-sided fast-read path:
+// the replica makes it odd (begin_write) for the duration of a request's
+// write phase and even again (end_write) once the new version is applied
+// and acknowledged safe, so a remote reader that samples the slot with a
+// single RDMA READ can detect a torn/in-flight value and retry or fall
+// back to the ordered path. Algorithm 2 remote readers (which want a
+// *historical* version via version_before) ignore the lock on purpose.
 #pragma once
 
 #include <cstdint>
@@ -28,12 +36,17 @@ namespace heron::core {
 /// Parsed view of a raw object slot (also used by remote readers on the
 /// bytes an RDMA read returned).
 struct SlotView {
+  std::uint64_t lock = 0;
   Tmp tmp_a = 0;
   Tmp tmp_b = 0;
   std::uint32_t size = 0;
   std::uint32_t serialized = 0;
   std::span<const std::byte> val_a;
   std::span<const std::byte> val_b;
+
+  /// Odd seqlock word: a write phase is in flight; a fast reader must
+  /// retry or fall back.
+  [[nodiscard]] bool torn() const { return (lock & 1) != 0; }
 
   /// Version with the highest tmp strictly smaller than `before`
   /// (Algorithm 2 line 22). nullopt => the reader lags.
@@ -51,7 +64,7 @@ struct SlotView {
     return tmp_a >= tmp_b ? std::pair{tmp_a, val_a} : std::pair{tmp_b, val_b};
   }
 
-  static constexpr std::uint64_t header_bytes() { return 24; }
+  static constexpr std::uint64_t header_bytes() { return 32; }
   [[nodiscard]] std::uint64_t slot_bytes() const {
     return header_bytes() + 2ull * size;
   }
@@ -79,8 +92,16 @@ class ObjectStore {
   [[nodiscard]] SlotView view(Oid oid) const;
 
   /// Dual-versioned update (Algorithm 2 lines 29-31): overwrites the
-  /// older version and tags it with `tmp`.
+  /// older version and tags it with `tmp`. Does not touch the seqlock
+  /// word; the caller brackets write phases with begin/end_write.
   void set(Oid oid, std::span<const std::byte> value, Tmp tmp);
+
+  /// Seqlock bracket around a request's write phase: begin_write makes
+  /// the slot's lock word odd (fast readers see a torn slot), end_write
+  /// makes it even again with a new generation count.
+  void begin_write(Oid oid);
+  void end_write(Oid oid);
+  [[nodiscard]] std::uint64_t seqlock(Oid oid) const;
 
   /// Raw in-place slot overwrite (both versions + tags).
   void install_slot(Oid oid, std::span<const std::byte> slot_bytes,

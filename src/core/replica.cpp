@@ -86,6 +86,7 @@ Replica::Replica(System& system, GroupId group, int rank)
   staging_mr_ = n.register_region(
       reps * cfg.statesync_ring_slots *
       (sizeof(ChunkHeader) + cfg.statesync_chunk_bytes));
+  fastread_mr_ = n.register_region(fastread_region_bytes(static_cast<int>(reps)));
 
   exec_done_ = std::make_unique<sim::Notifier>(system.simulator());
   for (int t = 0; t < std::max(1, cfg.exec_threads); ++t) {
@@ -116,8 +117,12 @@ Replica::Replica(System& system, GroupId group, int rank)
   ctr_xfer_bytes_applied_ = &m.counter("core", "transfer_bytes_applied", label);
   ctr_dedup_hits_ = &m.counter("core", "session_dedup_hits", label);
   ctr_shed_replies_ = &m.counter("core", "shed_replies", label);
+  ctr_lease_grants_ = &m.counter("core", "lease_grants", label);
+  ctr_gate_waits_ = &m.counter("core", "gate_waits", label);
+  ctr_ordered_reads_ = &m.counter("core", "ordered_reads", label);
   hist_exec_ = &m.histogram("core", "exec_ns", label);
   hist_coord_ = &m.histogram("core", "coord_ns", label);
+  hist_gate_wait_ = &m.histogram("core", "gate_wait_ns", label);
 }
 
 rdma::Node& Replica::node() {
@@ -218,6 +223,19 @@ sim::Task<void> Replica::main_loop() {
         if (stale(inc)) co_return;
       }
 
+      // Lease-grant marker (kWireFlagLease): ordered like any command but
+      // replica-internal — no session, no reply (the lease manager is a
+      // raw multicast endpoint with no reply slot). A shed marker is
+      // dropped identically everywhere: the shed bit is set by the
+      // ordering leader before delivery, so no replica installs a grant
+      // the others skipped.
+      if (d.lease) {
+        if (!r.shed) apply_lease_grant(r);
+        last_executed_ = std::max(last_executed_, r.tmp);
+        if (leases_enabled()) push_applied();
+        continue;
+      }
+
       // Shed by admission control: still totally ordered (so every replica
       // of every destination takes this exact branch for this uid), but
       // answered BUSY and never executed.
@@ -249,8 +267,14 @@ sim::Task<void> Replica::main_loop() {
       session_mark(r);
 
       const HeronConfig& cfg = system_->config();
+      // Concurrent dispatch is off under leases: the write gate's applied
+      // watermark (last_executed_) only means "everything up to tmp is
+      // applied" when requests apply in timestamp order. Core-level reads
+      // also stay on the sequential path (their payload is not an
+      // application command, so conflict_keys cannot parse it).
       if (cfg.exec_threads > 1 && cfg.mode == Mode::kApp &&
-          r.single_partition()) {
+          r.single_partition() && !leases_enabled() &&
+          (r.header.flags & kReqFlagRead) == 0) {
         // §III-D1 extension: run non-conflicting single-partition requests
         // on idle worker cores.
         auto keys = app_->conflict_keys(r, group_);
@@ -372,9 +396,29 @@ sim::Task<void> Replica::handle_request(Request r) {
     co_return;
   }
 
+  // Core-level ordered read (kReqFlagRead): answered from the store
+  // without invoking the application. It is the fast-read fallback and
+  // the address-resolution vehicle for the client's fast-read cache. No
+  // write gate is needed here: this replica executes the stream
+  // sequentially, so every earlier write's gate already completed before
+  // the read runs.
+  if ((r.header.flags & kReqFlagRead) != 0 && cfg.mode == Mode::kApp) {
+    co_await node().cpu().use(cfg.exec_dispatch_proc);
+    if (stale(inc)) co_return;
+    Reply reply = make_read_reply(r);
+    ++executed_;
+    ctr_executed_->inc();
+    last_executed_ = std::max(last_executed_, r.tmp);
+    if (leases_enabled()) push_applied();
+    note_executed(r, reply);
+    co_await send_reply(r, reply);
+    co_return;
+  }
+
   // Lines 5-7: single-partition requests skip coordination.
   if (r.single_partition()) {
     Reply reply;
+    std::vector<Oid> locked;
     if (cfg.mode == Mode::kApp) {
       const sim::Nanos t0 = system_->simulator().now();
       ExecOutcome out = co_await execute(r);
@@ -385,10 +429,16 @@ sim::Task<void> Replica::handle_request(Request r) {
       // Single-partition requests only touch local objects; they cannot
       // observe remote progress, hence cannot detect lagging.
       reply = std::move(out.reply);
+      locked = std::move(out.locked);
     }
     ++executed_;
     ctr_executed_->inc();
     last_executed_ = std::max(last_executed_, r.tmp);
+    if (leases_enabled()) {
+      push_applied();
+      co_await write_gate(r, locked);
+      if (stale(inc)) co_return;
+    }
     note_executed(r, reply);
     co_await send_reply(r, reply);
     co_return;
@@ -402,6 +452,7 @@ sim::Task<void> Replica::handle_request(Request r) {
 
   // Phase 3 (lines 11-13).
   Reply reply;
+  std::vector<Oid> locked;
   if (cfg.mode == Mode::kApp) {
     const sim::Nanos t0 = system_->simulator().now();
     ExecOutcome out = co_await execute(r);
@@ -410,10 +461,13 @@ sim::Task<void> Replica::handle_request(Request r) {
     exec_lat_.record(exec_ns);
     hist_exec_->observe(exec_ns);
     if (out.lagging) {
+      // Lagging is detected in the read phase, before any seqlock bracket
+      // is taken, so there is nothing to release here.
       co_await request_state_transfer(r.tmp);
       co_return;  // no reply from this replica; others answer the client
     }
     reply = std::move(out.reply);
+    locked = std::move(out.locked);
   }
 
   // Phase 4 (lines 14-16); carries the wait-for-all statistics.
@@ -428,6 +482,11 @@ sim::Task<void> Replica::handle_request(Request r) {
   ++executed_;
   ctr_executed_->inc();
   last_executed_ = std::max(last_executed_, r.tmp);
+  if (leases_enabled()) {
+    push_applied();
+    co_await write_gate(r, locked);
+    if (stale(inc)) co_return;
+  }
   note_executed(r, reply);
   co_await send_reply(r, reply);  // Phase 5 (line 17)
 }
@@ -514,17 +573,22 @@ sim::Task<void> Replica::send_reply(const Request& r, const Reply& reply) {
   const HeronConfig& cfg = system_->config();
   co_await node().cpu().use(cfg.reply_proc);
 
-  Client& client = system_->client(amcast::uid_client(r.uid));
+  // Amcast client ids also cover internal endpoints (lease managers),
+  // which have no reply slot; replies to them are dropped here.
+  Client* client = system_->client_by_amcast_id(amcast::uid_client(r.uid));
+  if (client == nullptr) co_return;
   ReplySlot slot;
   slot.uid = r.uid;
   slot.status = reply.status;
   slot.payload_len = static_cast<std::uint32_t>(
       std::min(reply.payload.size(), kMaxReplyPayload));
-  std::memcpy(slot.payload.data(), reply.payload.data(), slot.payload_len);
+  if (slot.payload_len > 0) {
+    std::memcpy(slot.payload.data(), reply.payload.data(), slot.payload_len);
+  }
 
   system_->fabric().write_async(
       node().id(),
-      rdma::RAddr{client.node().id(), client.reply_mr(),
+      rdma::RAddr{client->node().id(), client->reply_mr(),
                   static_cast<std::uint64_t>(group_) * sizeof(ReplySlot)},
       rdma::pod_bytes(slot));
 }
@@ -589,6 +653,29 @@ sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
 
   Reply reply = app_->execute(r, ctx);
 
+  ExecOutcome out;
+  if (leases_enabled()) {
+    // Seqlock bracket: every overwritten slot goes odd for the whole
+    // write phase AND the write gate that follows — a fast reader must
+    // not observe r's value until every lease holder can serve it, or two
+    // fast reads against different replicas could see r then not-r (read
+    // inversion). Fresh creates need no bracket: a fast reader can only
+    // learn their address from an ordered read, which is itself ordered
+    // (and gated) after the create. The brackets are released by
+    // write_gate.
+    auto lock_for_write = [&](Oid oid) {
+      if (!store_->exists(oid)) return;
+      if (std::find(out.locked.begin(), out.locked.end(), oid) !=
+          out.locked.end()) {
+        return;
+      }
+      store_->begin_write(oid);
+      out.locked.push_back(oid);
+    };
+    for (const auto& c : ctx.creates()) lock_for_write(c.oid);
+    for (const auto& [oid, bytes] : ctx.writes()) lock_for_write(oid);
+  }
+
   // Writing phase: charge the application cost plus write serialization,
   // then apply all writes at one instant (the store is never observed
   // mid-write-phase).
@@ -608,7 +695,9 @@ sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
         static_cast<sim::Nanos>(static_cast<double>(write_cpu) * jitter));
   }
   apply_writes(r, ctx);
-  co_return ExecOutcome{.lagging = false, .reply = std::move(reply)};
+  out.lagging = false;
+  out.reply = std::move(reply);
+  co_return out;
 }
 
 void Replica::apply_writes(const Request& r, ExecContext& ctx) {
@@ -630,6 +719,109 @@ void Replica::apply_writes(const Request& r, ExecContext& ctx) {
     store_->set(oid, bytes, r.tmp);
     log_update(r.tmp, oid);
   }
+}
+
+// ---------------------------------------------------------------------
+// Fast-read leases: grant markers, applied watermarks, the write gate
+// and the ordered-read fallback.
+// ---------------------------------------------------------------------
+
+bool Replica::leases_enabled() const {
+  return system_->config().lease_duration > 0;
+}
+
+void Replica::publish_lease_word() {
+  const LeaseWord w{lease_epoch_, lease_expiry_};
+  rdma::store_pod(node().region(fastread_mr_).bytes(), kFastReadLeaseOffset, w);
+  node().region(fastread_mr_).on_write().notify_all();
+}
+
+void Replica::apply_lease_grant(const Request& r) {
+  if (r.payload.size() < sizeof(LeaseGrantWire)) return;  // malformed
+  LeaseGrantWire wire{};
+  std::memcpy(&wire, r.payload.data(), sizeof(wire));
+  ++lease_grants_;
+  ctr_lease_grants_->inc();
+  lease_epoch_ = r.tmp;
+  // Monotone: expiry = submit time + duration and the manager submits
+  // sequentially, so grants carry non-decreasing expiries; max() guards
+  // the invariant the write gate's timeout cap leans on.
+  lease_expiry_ = std::max(lease_expiry_, wire.expiry);
+  publish_lease_word();
+  hub_->tracer.instant(
+      "core", "lease_grant", node().id(),
+      {telemetry::Arg{"epoch", lease_epoch_},
+       telemetry::Arg{"expiry", static_cast<std::uint64_t>(lease_expiry_)}});
+}
+
+void Replica::push_applied() {
+  const AppliedWord w{last_executed_, system_->simulator().now()};
+  // Own slot first (keeps the gate's region scan uniform across ranks),
+  // then one-sided writes into every peer's fast-read region.
+  rdma::store_pod(node().region(fastread_mr_).bytes(),
+                  fastread_applied_offset(rank_), w);
+  node().region(fastread_mr_).on_write().notify_all();
+  for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+    if (q == rank_) continue;
+    Replica& peer = system_->replica(group_, q);
+    system_->fabric().write_async(
+        node().id(),
+        rdma::RAddr{peer.node().id(), peer.fastread_mr(),
+                    fastread_applied_offset(rank_)},
+        rdma::pod_bytes(w));
+  }
+}
+
+sim::Task<void> Replica::write_gate(const Request& r,
+                                    const std::vector<Oid>& locked) {
+  const std::uint64_t inc = incarnation_;
+  const sim::Nanos now = system_->simulator().now();
+  // Nothing to wait for without locked slots or an active lease: fast
+  // reads are impossible (no lease) or cannot observe r's writes (no
+  // overwritten slot).
+  if (!locked.empty() && leases_enabled() && lease_expiry_ > now) {
+    const int reps = system_->replicas_per_partition();
+    auto all_applied = [this, reps, &r] {
+      const auto region = node().region(fastread_mr_).bytes();
+      for (int q = 0; q < reps; ++q) {
+        const auto w =
+            rdma::load_pod<AppliedWord>(region, fastread_applied_offset(q));
+        if (w.tmp < r.tmp) return false;
+      }
+      return true;
+    };
+    if (!all_applied()) {
+      ++gate_waits_;
+      ctr_gate_waits_->inc();
+      // Capped by the expiry of the lease active NOW: any grant still
+      // valid after that instant is ordered after r in the stream, so its
+      // holder has already applied r — a fast read it authorizes cannot
+      // miss r's writes even if a crashed peer never catches up.
+      co_await sim::wait_until_timeout(node().region(fastread_mr_).on_write(),
+                                       all_applied, lease_expiry_ - now);
+      if (stale(inc)) co_return;
+      hist_gate_wait_->observe(system_->simulator().now() - now);
+    }
+  }
+  for (Oid oid : locked) store_->end_write(oid);
+}
+
+Reply Replica::make_read_reply(const Request& r) const {
+  ctr_ordered_reads_->inc();
+  if (r.payload.size() < sizeof(Oid)) return Reply{kStatusReadNotFound, {}};
+  Oid oid = 0;
+  std::memcpy(&oid, r.payload.data(), sizeof(oid));
+  if (!store_->exists(oid)) return Reply{kStatusReadNotFound, {}};
+  const auto [tmp, value] = store_->get(oid);
+  ReadAnswerWire wire{tmp, store_->offset_of(oid), store_->size_of(oid),
+                      static_cast<std::uint32_t>(rank_)};
+  Reply reply;
+  const std::size_t inline_len = std::min(value.size(), kMaxReadInline);
+  if (value.size() > kMaxReadInline) reply.status = kStatusReadTruncated;
+  reply.payload.resize(sizeof(wire) + inline_len);
+  std::memcpy(reply.payload.data(), &wire, sizeof(wire));
+  std::memcpy(reply.payload.data() + sizeof(wire), value.data(), inline_len);
+  return reply;
 }
 
 sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
@@ -1226,6 +1418,18 @@ void Replica::restart() {
   // superset for every covered command).
   sessions_.clear();
 
+  // Fast-read lease state is volatile: a restarted replica must not serve
+  // fast reads until a grant ordered after its rejoin transfer arrives.
+  // Zero the published lease word first, then normalize any seqlock left
+  // odd by a write phase in flight at crash time — no fast reader acts on
+  // these slots while the lease word reads "no lease".
+  lease_epoch_ = 0;
+  lease_expiry_ = 0;
+  publish_lease_word();
+  store_->for_each_oid([this](Oid oid) {
+    if (store_->seqlock(oid) & 1) store_->end_write(oid);
+  });
+
   // The in-memory update log is gone; mark it truncated so a later
   // transfer served *by* this replica correctly falls back to a full
   // snapshot instead of claiming an empty delta.
@@ -1331,6 +1535,9 @@ sim::Task<void> Replica::rejoin() {
   HSIM_LOG(system_->simulator(), kInfo,
            "core g" << group_ << ".r" << rank_
                     << " rejoin complete: last_executed=" << last_executed_);
+  // Peers' write gates may be waiting on this rank's applied watermark;
+  // push it now that the transferred state covers it.
+  if (leases_enabled()) push_applied();
   // Only now resume execution: the store reflects the survivors' state and
   // deliveries with tmp <= last_req_ are skipped by the main loop.
   sim.spawn(main_loop());

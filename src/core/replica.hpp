@@ -109,6 +109,13 @@ class Replica {
   [[nodiscard]] rdma::MrId addrq_mr() const { return addrq_mr_; }
   [[nodiscard]] rdma::MrId addra_mr() const { return addra_mr_; }
   [[nodiscard]] rdma::MrId staging_mr() const { return staging_mr_; }
+  [[nodiscard]] rdma::MrId fastread_mr() const { return fastread_mr_; }
+
+  // Fast-read lease state (tests / diagnostics).
+  [[nodiscard]] std::uint64_t lease_epoch() const { return lease_epoch_; }
+  [[nodiscard]] sim::Nanos lease_expiry() const { return lease_expiry_; }
+  [[nodiscard]] std::uint64_t lease_grants() const { return lease_grants_; }
+  [[nodiscard]] std::uint64_t gate_waits() const { return gate_waits_; }
 
   // Offset helpers shared with peer writers.
   [[nodiscard]] std::uint64_t coord_offset(GroupId h, int q) const;
@@ -141,6 +148,9 @@ class Replica {
   struct ExecOutcome {
     bool lagging = false;
     Reply reply;
+    /// Oids left seqlock-odd by the write phase (leases enabled only);
+    /// the write gate releases them before the reply goes out.
+    std::vector<Oid> locked;
   };
   sim::Task<ExecOutcome> execute(const Request& r);
   sim::Task<ExecOutcome> execute_on(const Request& r, sim::Cpu& cpu);
@@ -152,7 +162,28 @@ class Replica {
   sim::Task<RemoteRead> read_remote(const Request& r, Oid oid, GroupId h);
   sim::Task<bool> resolve_addr(Oid oid, GroupId h);
   sim::Task<void> addr_query_loop();  // answers peers' address queries
+  /// Applies the request's writes. With leases enabled, the written oids
+  /// stay seqlock-odd (begin_write was called before the write-phase CPU
+  /// charge) and are returned in `locked` for the caller to release after
+  /// the write gate.
   void apply_writes(const Request& r, ExecContext& ctx);
+
+  // --- fast-read leases -------------------------------------------------
+  [[nodiscard]] bool leases_enabled() const;
+  /// Handles a lease-grant marker delivered through the ordered stream.
+  void apply_lease_grant(const Request& r);
+  /// Pushes this replica's applied watermark (last_executed_) into every
+  /// peer's fast-read region; called after each execution so the write
+  /// gate below can complete.
+  void push_applied();
+  /// Write gate: before acknowledging a request that wrote under an
+  /// active lease, wait until every peer has applied it (or the lease
+  /// active at execution time has expired). Releases the seqlock brackets
+  /// taken in execute_on.
+  sim::Task<void> write_gate(const Request& r, const std::vector<Oid>& locked);
+  /// Answers a core-level ordered read (kReqFlagRead) from the store.
+  [[nodiscard]] Reply make_read_reply(const Request& r) const;
+  void publish_lease_word();
 
   // --- state transfer (Algorithm 3) ------------------------------------
   sim::Task<void> request_state_transfer(Tmp failed_tmp);
@@ -195,6 +226,13 @@ class Replica {
   /// Post-execution bookkeeping: caches the reply and fires the system's
   /// exec observer (the exactly-once oracle's evidence stream).
   void note_executed(const Request& r, const Reply& reply);
+
+  // --- fast-read lease state -------------------------------------------
+  rdma::MrId fastread_mr_{};
+  std::uint64_t lease_epoch_ = 0;     // tmp of the latest applied grant
+  sim::Nanos lease_expiry_ = 0;       // absolute; monotone across grants
+  std::uint64_t lease_grants_ = 0;
+  std::uint64_t gate_waits_ = 0;      // gates that actually suspended
 
   Tmp last_req_ = 0;       // Algorithm 1: tmp of the last request (delivered)
   Tmp last_executed_ = 0;  // highest tmp whose writes are applied locally
@@ -256,8 +294,12 @@ class Replica {
   telemetry::Counter* ctr_xfer_bytes_applied_;
   telemetry::Counter* ctr_dedup_hits_;
   telemetry::Counter* ctr_shed_replies_;
+  telemetry::Counter* ctr_lease_grants_;
+  telemetry::Counter* ctr_gate_waits_;
+  telemetry::Counter* ctr_ordered_reads_;
   telemetry::Histogram* hist_exec_;
   telemetry::Histogram* hist_coord_;
+  telemetry::Histogram* hist_gate_wait_;
 
   sim::Rng rng_;
 };

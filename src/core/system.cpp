@@ -1,6 +1,8 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -26,6 +28,37 @@ System::System(rdma::Fabric& fabric, int partitions, int replicas,
 void System::start() {
   amcast_->start();
   for (auto& r : replicas_) r->start();
+  if (config_.lease_duration > 0) {
+    for (GroupId g = 0; g < partitions(); ++g) {
+      auto& ep = amcast_->add_client();
+      if (by_id_.size() <= ep.client_id()) {
+        by_id_.resize(ep.client_id() + 1, nullptr);
+      }
+      by_id_[ep.client_id()] = nullptr;  // internal: no reply slot
+      simulator().spawn(lease_manager_loop(ep, g));
+    }
+  }
+}
+
+sim::Task<void> System::lease_manager_loop(amcast::ClientEndpoint& ep,
+                                           GroupId g) {
+  auto& sim = simulator();
+  // Renew at half the duration so a healthy partition always holds a
+  // valid lease; the grant carries the absolute expiry computed at submit
+  // time, so every replica installs the identical value. The floor guards
+  // against pathological durations: see kMinLeaseRenewPeriod.
+  const sim::Nanos period =
+      std::max(kMinLeaseRenewPeriod, config_.lease_duration / 2);
+  for (;;) {
+    const RequestHeader header{sim.now(), 0, 0, 0};
+    const LeaseGrantWire grant{sim.now() + config_.lease_duration};
+    std::array<std::byte, sizeof(RequestHeader) + sizeof(LeaseGrantWire)>
+        wire{};
+    std::memcpy(wire.data(), &header, sizeof(header));
+    std::memcpy(wire.data() + sizeof(header), &grant, sizeof(grant));
+    co_await ep.multicast(amcast::dst_of(g), wire, amcast::kWireFlagLease);
+    co_await sim.sleep(period);
+  }
 }
 
 void System::restart_replica(GroupId g, int rank) {
@@ -39,6 +72,10 @@ void System::restart_replica(GroupId g, int rank) {
 Client& System::add_client() {
   auto& ep = amcast_->add_client();
   clients_.push_back(std::make_unique<Client>(*this, ep));
+  if (by_id_.size() <= ep.client_id()) {
+    by_id_.resize(ep.client_id() + 1, nullptr);
+  }
+  by_id_[ep.client_id()] = clients_.back().get();
   return *clients_.back();
 }
 
@@ -65,10 +102,17 @@ Client::Client(System& system, amcast::ClientEndpoint& ep)
   ctr_retries_ = &hub.metrics.counter("client", "retries", label);
   ctr_timeouts_ = &hub.metrics.counter("client", "timeouts", label);
   ctr_busy_ = &hub.metrics.counter("client", "busy_replies", label);
+  ctr_fast_hits_ = &hub.metrics.counter("core", "fastread_hits", label);
+  ctr_fast_torn_ = &hub.metrics.counter("core", "fastread_torn_retries", label);
+  ctr_fast_fallbacks_ =
+      &hub.metrics.counter("core", "fastread_fallbacks", label);
+  ctr_fast_lease_rejects_ =
+      &hub.metrics.counter("core", "fastread_lease_rejects", label);
 }
 
 sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
-                                         std::span<const std::byte> payload) {
+                                         std::span<const std::byte> payload,
+                                         std::uint32_t flags) {
   if (in_flight_) {
     throw std::logic_error(
         "core::Client::submit: overlapping submit on client " +
@@ -83,7 +127,7 @@ sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
   const sim::Nanos start = sim.now();
   const std::uint64_t seq = ++session_seq_;
 
-  RequestHeader header{start, seq, kind, 0};
+  RequestHeader header{start, seq, kind, flags};
   std::vector<std::byte> wire(sizeof(RequestHeader) + payload.size());
   std::memcpy(wire.data() + sizeof(header), payload.data(), payload.size());
 
@@ -206,6 +250,108 @@ sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
   }
   in_flight_ = false;
   co_return result;
+}
+
+sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
+  const HeronConfig& cfg = system_->config();
+  auto& sim = system_->simulator();
+  const sim::Nanos start = sim.now();
+
+  if (cfg.lease_duration > 0) {
+    const auto it = fastread_cache_.find(oid);
+    if (it != fastread_cache_.end()) {
+      const FastLoc loc = it->second;
+      Replica& target = system_->replica(home, loc.rank);
+      const auto target_node = target.node().id();
+      bool cache_bad = false;
+
+      // READ 1: the lease word. The per-(initiator, target) in-order
+      // channel guarantees this samples strictly before the slot READ
+      // below, so a lease valid here covers the slot sample.
+      std::vector<std::byte> lease_buf(sizeof(LeaseWord));
+      const auto cc1 = co_await system_->fabric().read(
+          node().id(),
+          rdma::RAddr{target_node, target.fastread_mr(), kFastReadLeaseOffset},
+          lease_buf);
+      if (!cc1.ok()) {
+        cache_bad = true;
+      } else {
+        const auto lease = rdma::load_pod<LeaseWord>(
+            std::span<const std::byte>(lease_buf), 0);
+        if (lease.epoch == 0 || lease.expiry <= sim.now()) {
+          ++fastread_lease_rejects_;
+          ctr_fast_lease_rejects_->inc();
+        } else {
+          // READ 2 (+ retries): the object slot. A torn (odd) seqlock
+          // means a write phase or its write gate is in flight there.
+          std::vector<std::byte> slot_buf(SlotView::header_bytes() +
+                                          2ull * loc.size);
+          for (int attempt = 0; attempt <= cfg.fastread_torn_retries;
+               ++attempt) {
+            const auto cc2 = co_await system_->fabric().read(
+                node().id(),
+                rdma::RAddr{target_node, target.store().mr(), loc.offset},
+                slot_buf);
+            if (!cc2.ok() ||
+                rdma::load_pod<std::uint32_t>(std::span<const std::byte>(
+                                                  slot_buf),
+                                              24) != loc.size) {
+              cache_bad = true;
+              break;
+            }
+            const SlotView view = SlotView::parse(slot_buf);
+            if (view.torn()) {
+              ++fastread_torn_retries_;
+              ctr_fast_torn_->inc();
+              continue;
+            }
+            const auto [tmp, value] = view.current();
+            ++fastread_hits_;
+            ctr_fast_hits_->inc();
+            ReadResult res;
+            res.fast = true;
+            res.tmp = tmp;
+            res.value.assign(value.begin(), value.end());
+            res.latency = sim.now() - start;
+            co_return res;
+          }
+        }
+      }
+      if (cache_bad) fastread_cache_.erase(oid);
+    }
+  }
+
+  // Ordered fallback: a core-level read through the multicast stream.
+  // Linearizable because the replica answers it in stream order, after
+  // every earlier write's gate completed. The reply carries the slot
+  // address and re-seeds the fast-read cache.
+  ++fastread_fallbacks_;
+  ctr_fast_fallbacks_->inc();
+  ReadResult res;
+  Result sub =
+      co_await submit(amcast::dst_of(home), 0, rdma::pod_bytes(oid),
+                      kReqFlagRead);
+  res.submit_status = sub.status;
+  res.latency = sim.now() - start;
+  if (sub.status != SubmitStatus::kOk) co_return res;
+  res.status = sub.reply.status;
+  if (sub.reply.status == kStatusReadNotFound ||
+      sub.reply.payload.size() < sizeof(ReadAnswerWire)) {
+    co_return res;
+  }
+  ReadAnswerWire wire{};
+  std::memcpy(&wire, sub.reply.payload.data(), sizeof(wire));
+  res.tmp = wire.tmp;
+  res.value.assign(sub.reply.payload.begin() +
+                       static_cast<std::ptrdiff_t>(sizeof(wire)),
+                   sub.reply.payload.end());
+  if (cfg.lease_duration > 0 &&
+      wire.rank < static_cast<std::uint32_t>(
+                      system_->replicas_per_partition())) {
+    fastread_cache_[oid] =
+        FastLoc{static_cast<int>(wire.rank), wire.offset, wire.size};
+  }
+  co_return res;
 }
 
 }  // namespace heron::core

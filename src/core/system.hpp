@@ -4,6 +4,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "amcast/system.hpp"
@@ -44,8 +46,39 @@ class Client {
   /// a terminal timeout/overload verdict under the retry lifecycle).
   /// Throws std::logic_error on an overlapping submit on the same client:
   /// concurrent requests would alias the per-partition reply slots.
+  /// `flags` lands in RequestHeader::flags (kReqFlag* bits).
   sim::Task<Result> submit(DstMask dst, std::uint32_t kind,
-                           std::span<const std::byte> payload);
+                           std::span<const std::byte> payload,
+                           std::uint32_t flags = 0);
+
+  /// Outcome of a linearizable read (Client::read).
+  struct ReadResult {
+    /// 0 = value returned; kStatusReadNotFound / kStatusReadTruncated
+    /// otherwise (fast reads always return the full value).
+    std::uint32_t status = 0;
+    /// Transport verdict of the ordered fallback; kOk for fast reads.
+    SubmitStatus submit_status = SubmitStatus::kOk;
+    bool fast = false;  // served by one-sided RDMA READs
+    Tmp tmp = 0;        // version timestamp of the returned value
+    std::vector<std::byte> value;
+    sim::Nanos latency = 0;
+  };
+
+  /// Linearizable read of `oid` homed in partition `home`.
+  ///
+  /// Fast path (lease_duration > 0 and the per-oid address cache is warm):
+  /// two one-sided RDMA READs against one replica — the lease word, then
+  /// the object slot. The in-order per-(initiator, target) channel makes
+  /// the lease sample strictly older than the slot sample, so a lease
+  /// valid at the first READ plus an even (untorn) seqlock at the second
+  /// proves the value is write-gate-complete: every other lease holder
+  /// can already serve it, which is what makes the read linearizable.
+  ///
+  /// Falls back to an ordered read through the multicast stream
+  /// (kReqFlagRead) on a cold cache, an absent/expired lease, a slot that
+  /// stays torn after fastread_torn_retries, or remote failure. The
+  /// fallback's reply carries the slot address and re-seeds the cache.
+  sim::Task<ReadResult> read(GroupId home, Oid oid);
 
   [[nodiscard]] std::uint32_t id() const { return ep_->client_id(); }
   [[nodiscard]] rdma::Node& node() { return ep_->node(); }
@@ -61,9 +94,30 @@ class Client {
   [[nodiscard]] std::uint64_t busy_replies() const { return busy_replies_; }
   [[nodiscard]] bool in_flight() const { return in_flight_; }
 
+  // Fast-read path stats.
+  /// Test hook: the replica rank a fast read of `oid` would target, or
+  /// nullopt when the address cache is cold.
+  [[nodiscard]] std::optional<int> fastread_cached_rank(Oid oid) const {
+    const auto it = fastread_cache_.find(oid);
+    if (it == fastread_cache_.end()) return std::nullopt;
+    return it->second.rank;
+  }
+  [[nodiscard]] std::uint64_t fastread_hits() const { return fastread_hits_; }
+  [[nodiscard]] std::uint64_t fastread_torn_retries() const {
+    return fastread_torn_retries_;
+  }
+  [[nodiscard]] std::uint64_t fastread_fallbacks() const {
+    return fastread_fallbacks_;
+  }
+  [[nodiscard]] std::uint64_t fastread_lease_rejects() const {
+    return fastread_lease_rejects_;
+  }
+
   void reset_stats() {
     completed_ = 0;
     retries_ = timeouts_ = overloaded_ = busy_replies_ = 0;
+    fastread_hits_ = fastread_torn_retries_ = fastread_fallbacks_ =
+        fastread_lease_rejects_ = 0;
     latencies_.clear();
   }
 
@@ -80,9 +134,29 @@ class Client {
   std::uint64_t overloaded_ = 0;   // kOverloaded outcomes
   std::uint64_t busy_replies_ = 0; // BUSY answers observed (pre-backoff)
   sim::LatencyRecorder latencies_;
+
+  /// Per-oid fast-read address cache, seeded by ordered-read replies.
+  /// Per-rank coherent: slot offsets can diverge across replicas after a
+  /// state transfer, so the cached offset is only used against the rank
+  /// that answered.
+  struct FastLoc {
+    int rank = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t size = 0;
+  };
+  std::unordered_map<Oid, FastLoc> fastread_cache_;
+  std::uint64_t fastread_hits_ = 0;
+  std::uint64_t fastread_torn_retries_ = 0;
+  std::uint64_t fastread_fallbacks_ = 0;
+  std::uint64_t fastread_lease_rejects_ = 0;
+
   telemetry::Counter* ctr_retries_;
   telemetry::Counter* ctr_timeouts_;
   telemetry::Counter* ctr_busy_;
+  telemetry::Counter* ctr_fast_hits_;
+  telemetry::Counter* ctr_fast_torn_;
+  telemetry::Counter* ctr_fast_fallbacks_;
+  telemetry::Counter* ctr_fast_lease_rejects_;
 };
 
 class System {
@@ -127,7 +201,15 @@ class System {
   [[nodiscard]] AppFactory& app_factory() { return factory_; }
 
   Client& add_client();
+  /// Ordinal access: the i-th add_client() call. NOT the amcast client id
+  /// — internal endpoints (lease managers) consume amcast ids too.
   [[nodiscard]] Client& client(std::uint32_t id) { return *clients_[id]; }
+  /// Client owning the given amcast client id; nullptr for internal
+  /// endpoints (lease managers) and unknown ids. Replicas route replies
+  /// through this so internal commands never dereference a client.
+  [[nodiscard]] Client* client_by_amcast_id(std::uint32_t id) {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
 
   /// Total completions across clients (throughput accounting).
@@ -171,11 +253,18 @@ class System {
   }
 
  private:
+  /// One per partition when lease_duration > 0: multicasts a lease-grant
+  /// marker (kWireFlagLease) every lease_duration / 2 so replicas renew
+  /// before expiry. A raw multicast endpoint, not a core::Client — it
+  /// never reads a reply.
+  sim::Task<void> lease_manager_loop(amcast::ClientEndpoint& ep, GroupId g);
+
   std::unique_ptr<amcast::System> amcast_;
   HeronConfig config_;
   AppFactory factory_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<Client*> by_id_;  // amcast client id -> Client (or nullptr)
   ClientAttemptObserver attempt_observer_;
   ClientOutcomeObserver outcome_observer_;
   ExecObserver exec_observer_;

@@ -31,6 +31,13 @@ enum class Mode : std::uint8_t {
   kApp,        // full Heron: coordinate + execute the application
 };
 
+/// RequestHeader::flags bit 0: a core-level ordered read. The replica
+/// answers it from the object store (value + version + slot address)
+/// without invoking the application; it is the fast-read fallback path
+/// and doubles as per-replica address resolution for the client's
+/// fast-read cache.
+constexpr std::uint32_t kReqFlagRead = 1u << 0;
+
 /// Fixed header every client prepends to its application payload.
 struct RequestHeader {
   sim::Nanos sent_at = 0;   // client virtual time, for latency breakdowns
@@ -39,7 +46,7 @@ struct RequestHeader {
   /// at-most-once execution (session dedup). 0 = sessionless (no dedup).
   std::uint64_t session_seq = 0;
   std::uint32_t kind = 0;   // application-defined request type
-  std::uint32_t flags = 0;
+  std::uint32_t flags = 0;  // kReqFlag* bits
 };
 static_assert(std::is_trivially_copyable_v<RequestHeader>);
 
@@ -63,6 +70,10 @@ constexpr std::size_t kMaxReplyPayload = 64;
 /// not executed; the client should back off and retry. High value so it
 /// cannot collide with application statuses.
 constexpr std::uint32_t kStatusBusy = 0xFFFFFF01u;
+
+/// Reserved reply statuses for core-level ordered reads (kReqFlagRead).
+constexpr std::uint32_t kStatusReadNotFound = 0xFFFFFF02u;
+constexpr std::uint32_t kStatusReadTruncated = 0xFFFFFF03u;
 
 /// Terminal outcome of Client::submit.
 enum class SubmitStatus : std::uint8_t {
@@ -117,6 +128,61 @@ struct AddrAnswer {
   std::uint32_t found = 0;
 };
 static_assert(std::is_trivially_copyable_v<AddrAnswer>);
+
+// --- fast-read path (lease-based linearizable one-sided READs) --------
+
+/// Payload of a lease-grant marker (follows the RequestHeader): the
+/// absolute expiry the grant carries. The expiry is computed by the lease
+/// manager at submit time, so every replica installs the identical value;
+/// the epoch is the marker's delivery timestamp (unique and monotone).
+struct LeaseGrantWire {
+  sim::Nanos expiry = 0;
+};
+static_assert(std::is_trivially_copyable_v<LeaseGrantWire>);
+
+/// Lease word published at kFastReadLeaseOffset of a replica's fast-read
+/// region; fast readers sample it with a one-sided READ before the slot.
+/// epoch == 0 means "no lease" (also the state right after a restart).
+struct LeaseWord {
+  std::uint64_t epoch = 0;
+  sim::Nanos expiry = 0;
+};
+static_assert(std::is_trivially_copyable_v<LeaseWord>);
+
+/// Applied watermark replica q pushes into slot q of each peer's
+/// fast-read region after every execution; the write gate waits on it.
+struct AppliedWord {
+  Tmp tmp = 0;
+  sim::Nanos pushed_at = 0;
+};
+static_assert(std::is_trivially_copyable_v<AppliedWord>);
+
+/// Fast-read region layout: the lease word at offset 0 (own cache line),
+/// then one AppliedWord per peer rank.
+constexpr std::uint64_t kFastReadLeaseOffset = 0;
+constexpr std::uint64_t kFastReadAppliedBase = 64;
+constexpr std::uint64_t fastread_applied_offset(int rank) {
+  return kFastReadAppliedBase +
+         static_cast<std::uint64_t>(rank) * sizeof(AppliedWord);
+}
+constexpr std::uint64_t fastread_region_bytes(int replicas) {
+  return fastread_applied_offset(replicas);
+}
+
+/// Ordered-read reply layout (status kOk/...ReadTruncated): this header,
+/// then the value bytes. offset/size/rank seed the client's per-replica
+/// fast-read address cache (slot offsets may diverge across replicas
+/// after a state transfer, so the cache must be per-rank).
+struct ReadAnswerWire {
+  Tmp tmp = 0;
+  std::uint64_t offset = 0;  // slot offset at the replying replica
+  std::uint32_t size = 0;    // object payload size
+  std::uint32_t rank = 0;    // replying replica's rank
+};
+static_assert(std::is_trivially_copyable_v<ReadAnswerWire>);
+
+/// Value bytes an ordered-read reply can carry inline.
+constexpr std::size_t kMaxReadInline = kMaxReplyPayload - sizeof(ReadAnswerWire);
 
 /// Runtime knobs for the Heron replica layer.
 struct HeronConfig {
@@ -183,7 +249,27 @@ struct HeronConfig {
   /// Overall per-request deadline across attempts and backoffs. 0 means
   /// the retry budget alone bounds the request.
   sim::Nanos client_deadline = 0;
+
+  // --- fast reads (lease-based, one-sided) ----------------------------
+  /// Lease duration for the linearizable fast-read path. 0 disables the
+  /// whole mechanism (seed behaviour: no markers, no watermark pushes,
+  /// no write gate). When > 0, a per-partition lease manager multicasts
+  /// a grant marker every lease_duration / 2, and writes gate their
+  /// acknowledgement on every peer having applied them (capped by the
+  /// expiry of the lease active at execution time).
+  sim::Nanos lease_duration = 0;
+  /// Torn-slot retries before a fast read falls back to the ordered path.
+  int fastread_torn_retries = 3;
 };
+
+/// Floor for the lease manager's renewal period. Renewing faster than the
+/// ordering round trip cannot produce usable grants (each expires before it
+/// is delivered), yet the marker stream alone can exceed the replicas'
+/// per-message CPU budget (~7us/marker on the leader: inbox + leader +
+/// deliver processing) and collapse the group — CPU queues grow without
+/// bound and commits stop. The floor keeps a misconfigured too-short lease
+/// safely degraded (always-expired grants, fully ordered reads) instead.
+constexpr sim::Nanos kMinLeaseRenewPeriod = sim::us(10);
 
 /// Per-replica coordination statistics backing Table I.
 struct CoordStats {

@@ -28,7 +28,7 @@ void HistoryRecorder::attach(core::System& sys) {
       sys.amcast().endpoint(g, r).set_delivery_observer(
           [this, g, r](const amcast::Delivery& d) {
             deliveries_.push_back(DeliveryEvent{
-                g, r, d.uid, d.tmp, d.dst, sys_->simulator().now()});
+                g, r, d.uid, d.tmp, d.dst, d.lease, sys_->simulator().now()});
           });
     }
   }
@@ -77,8 +77,11 @@ std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
     per_replica[{d.group, d.rank}].push_back(&d);
 
     // Integrity: only invoked messages (when invocations were recorded),
-    // only at destination groups, at most once per replica.
-    if (!invoked.empty() && !invoked.contains(d.uid)) {
+    // only at destination groups, at most once per replica. Lease-grant
+    // markers come from internal endpoints that fire no attempt observer,
+    // so they are exempt from the uninvoked check (but not from the
+    // order, timestamp and agreement checks below).
+    if (!d.lease && !invoked.empty() && !invoked.contains(d.uid)) {
       violation("integrity", "replica g" + std::to_string(d.group) + ".r" +
                                  std::to_string(d.rank) +
                                  " delivered uninvoked " + uid_str(d.uid));

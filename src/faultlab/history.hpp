@@ -51,6 +51,9 @@ struct DeliveryEvent {
   amcast::MsgUid uid = 0;
   std::uint64_t tmp = 0;
   amcast::DstMask dst = 0;
+  /// Lease-grant marker injected by an internal endpoint (no matching
+  /// invoke event); still subject to order/timestamp/agreement checks.
+  bool lease = false;
   sim::Nanos at = 0;
 };
 

@@ -1,0 +1,155 @@
+#include "faultlab/linear.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace heron::faultlab {
+
+void LinearChecker::note_write(core::Oid key, std::uint32_t client,
+                               std::uint64_t seq, sim::Nanos invoked_at,
+                               sim::Nanos completed_at,
+                               core::SubmitStatus status) {
+  writes_[key].push_back(WriteOp{client, seq, invoked_at, completed_at,
+                                 status});
+}
+
+void LinearChecker::note_read(core::Oid key, core::Tmp tmp,
+                              sim::Nanos invoked_at, sim::Nanos completed_at,
+                              bool fast) {
+  reads_[key].push_back(ReadOp{tmp, invoked_at, completed_at, fast});
+}
+
+std::size_t LinearChecker::read_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, ops] : reads_) n += ops.size();
+  return n;
+}
+
+std::size_t LinearChecker::write_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, ops] : writes_) n += ops.size();
+  return n;
+}
+
+std::vector<Violation> LinearChecker::check(
+    const HistoryRecorder& history) const {
+  std::vector<Violation> out;
+
+  // (client, seq) -> executed version timestamp. Session dedup plus total
+  // order guarantee every replica executes the same attempt of a command,
+  // so the first recorded tmp is THE tmp (exactly-once is checked by its
+  // own oracle).
+  std::map<CommandKey, core::Tmp> tmp_of;
+  for (const auto& e : history.execs()) {
+    tmp_of.try_emplace({e.client, e.seq}, e.tmp);
+  }
+
+  auto describe = [](core::Oid key, const ReadOp& r) {
+    std::ostringstream os;
+    os << (r.fast ? "fast" : "ordered") << " read of oid " << key
+       << " at [" << r.invoked_at << ", " << r.completed_at << "] returned tmp "
+       << r.tmp;
+    return os.str();
+  };
+
+  for (const auto& [key, key_reads] : reads_) {
+    // Resolve this key's writes once: every write with a recorded
+    // execution (membership set), and the kOk-completed subset (staleness
+    // lower bound).
+    struct ResolvedWrite {
+      core::Tmp tmp = 0;
+      sim::Nanos invoked_at = 0;
+      sim::Nanos completed_at = 0;
+      bool completed_ok = false;
+    };
+    std::vector<ResolvedWrite> writes;
+    if (const auto it = writes_.find(key); it != writes_.end()) {
+      for (const WriteOp& w : it->second) {
+        const auto t = tmp_of.find({w.client, w.seq});
+        if (t == tmp_of.end()) continue;  // never executed anywhere
+        writes.push_back(ResolvedWrite{
+            t->second, w.invoked_at, w.completed_at,
+            w.status == core::SubmitStatus::kOk});
+      }
+    }
+
+    std::vector<const ReadOp*> by_invoked;
+    by_invoked.reserve(key_reads.size());
+    for (const ReadOp& r : key_reads) by_invoked.push_back(&r);
+    std::sort(by_invoked.begin(), by_invoked.end(),
+              [](const ReadOp* a, const ReadOp* b) {
+                return a->invoked_at < b->invoked_at;
+              });
+    auto by_completed = by_invoked;
+    std::sort(by_completed.begin(), by_completed.end(),
+              [](const ReadOp* a, const ReadOp* b) {
+                return a->completed_at < b->completed_at;
+              });
+
+    // Staleness + read order: sweep reads in invocation order, folding in
+    // writes/reads that completed strictly before each invocation.
+    std::vector<const ResolvedWrite*> w_by_completed;
+    for (const ResolvedWrite& w : writes) {
+      if (w.completed_ok) w_by_completed.push_back(&w);
+    }
+    std::sort(w_by_completed.begin(), w_by_completed.end(),
+              [](const ResolvedWrite* a, const ResolvedWrite* b) {
+                return a->completed_at < b->completed_at;
+              });
+    core::Tmp write_floor = 0;
+    core::Tmp read_floor = 0;
+    std::size_t wi = 0, rj = 0;
+    for (const ReadOp* r : by_invoked) {
+      while (wi < w_by_completed.size() &&
+             w_by_completed[wi]->completed_at < r->invoked_at) {
+        write_floor = std::max(write_floor, w_by_completed[wi]->tmp);
+        ++wi;
+      }
+      while (rj < by_completed.size() &&
+             by_completed[rj]->completed_at < r->invoked_at) {
+        read_floor = std::max(read_floor, by_completed[rj]->tmp);
+        ++rj;
+      }
+      if (r->tmp < write_floor) {
+        out.push_back(Violation{
+            "linearizability",
+            describe(key, *r) + " but a write with tmp " +
+                std::to_string(write_floor) + " completed before it"});
+      }
+      if (r->tmp < read_floor) {
+        out.push_back(Violation{
+            "linearizability",
+            describe(key, *r) + " but an earlier read already returned tmp " +
+                std::to_string(read_floor) + " (read inversion)"});
+      }
+    }
+
+    // Membership: sweep reads in completion order, folding in writes
+    // invoked strictly before each completion.
+    std::vector<const ResolvedWrite*> w_by_invoked;
+    for (const ResolvedWrite& w : writes) w_by_invoked.push_back(&w);
+    std::sort(w_by_invoked.begin(), w_by_invoked.end(),
+              [](const ResolvedWrite* a, const ResolvedWrite* b) {
+                return a->invoked_at < b->invoked_at;
+              });
+    std::set<core::Tmp> known{0};  // 0 = the bootstrap value
+    std::size_t wk = 0;
+    for (const ReadOp* r : by_completed) {
+      while (wk < w_by_invoked.size() &&
+             w_by_invoked[wk]->invoked_at < r->completed_at) {
+        known.insert(w_by_invoked[wk]->tmp);
+        ++wk;
+      }
+      if (!known.contains(r->tmp)) {
+        out.push_back(Violation{
+            "linearizability",
+            describe(key, *r) +
+                " which is no write invoked before the read completed"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace heron::faultlab

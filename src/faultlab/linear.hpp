@@ -1,0 +1,74 @@
+// Linearizability oracle for reads interleaved with writes (and crashes).
+//
+// The workload reports every read and write operation on a per-object
+// register history; check() verifies the reads against the version
+// timestamps the writes were executed with (resolved through the
+// HistoryRecorder's execution stream — the multicast timestamp doubles as
+// the version number, so real-time order and version order must agree):
+//
+//   * staleness   — a read must return a version at least as new as the
+//                   newest write to the same key that COMPLETED (kOk at
+//                   the client) before the read was invoked;
+//   * membership  — the returned version must be 0 (the bootstrap value)
+//                   or the timestamp of a write to the same key that was
+//                   invoked before the read completed (no reads from the
+//                   future, no invented versions);
+//   * read order  — two non-overlapping reads of the same key must see
+//                   non-decreasing versions (the read-inversion check the
+//                   fast-read write gate exists to uphold).
+//
+// Writes that timed out at the client are excluded from the staleness
+// lower bound (they may or may not have executed) but still count for
+// membership when an execution was recorded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "faultlab/history.hpp"
+
+namespace heron::faultlab {
+
+class LinearChecker {
+ public:
+  /// Reports a write of `key` submitted as logical command (client, seq).
+  /// `invoked_at`/`completed_at` bracket the whole submit (all attempts);
+  /// `status` is the client's terminal verdict.
+  void note_write(core::Oid key, std::uint32_t client, std::uint64_t seq,
+                  sim::Nanos invoked_at, sim::Nanos completed_at,
+                  core::SubmitStatus status);
+
+  /// Reports a read of `key` that returned version `tmp` (0 = bootstrap
+  /// value). `fast` tags one-sided reads in violation messages.
+  void note_read(core::Oid key, core::Tmp tmp, sim::Nanos invoked_at,
+                 sim::Nanos completed_at, bool fast);
+
+  [[nodiscard]] std::size_t read_count() const;
+  [[nodiscard]] std::size_t write_count() const;
+
+  /// Runs the three per-key checks. `history` resolves (client, seq) to
+  /// the executed version timestamp.
+  [[nodiscard]] std::vector<Violation> check(
+      const HistoryRecorder& history) const;
+
+ private:
+  struct WriteOp {
+    std::uint32_t client = 0;
+    std::uint64_t seq = 0;
+    sim::Nanos invoked_at = 0;
+    sim::Nanos completed_at = 0;
+    core::SubmitStatus status = core::SubmitStatus::kOk;
+  };
+  struct ReadOp {
+    core::Tmp tmp = 0;
+    sim::Nanos invoked_at = 0;
+    sim::Nanos completed_at = 0;
+    bool fast = false;
+  };
+  std::map<core::Oid, std::vector<WriteOp>> writes_;
+  std::map<core::Oid, std::vector<ReadOp>> reads_;
+};
+
+}  // namespace heron::faultlab

@@ -107,6 +107,7 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
   if (!in_bounds(target.region(addr.mr), addr.offset, out.size())) {
     ++stats_.failures;
     ctr_bad_addr_->inc();
+    span.arg("bad_address", 1);
     co_return Completion{Status::kBadAddress};
   }
 
@@ -144,6 +145,11 @@ void Fabric::deliver_write(std::int32_t target_id, RAddr addr,
   Node& target = node(target_id);
   if (!target.alive()) {
     ++stats_.failures;
+    ctr_errors_->inc();
+    hub_->tracer.instant(
+        "rdma", "write_dropped", target_id,
+        {telemetry::Arg{"mr", static_cast<std::uint64_t>(addr.mr.value)},
+         telemetry::Arg{"bytes", data.size()}});
     return;  // payload dropped; initiator (if waiting) sees the WC error
   }
   auto& region = target.region(addr.mr);
@@ -166,6 +172,7 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
   if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
     ++stats_.failures;
     ctr_bad_addr_->inc();
+    span.arg("bad_address", 1);
     co_return Completion{Status::kBadAddress};
   }
 
@@ -205,6 +212,10 @@ void Fabric::write_async(std::int32_t initiator, RAddr addr,
   if (!in_bounds(target.region(addr.mr), addr.offset, data.size())) {
     ++stats_.failures;
     ctr_bad_addr_->inc();
+    hub_->tracer.instant("rdma", "write_async_bad_address", initiator,
+                         {telemetry::Arg{"target",
+                                         static_cast<std::uint64_t>(addr.node)},
+                          telemetry::Arg{"bytes", data.size()}});
     return;
   }
 

@@ -72,22 +72,35 @@ Task<void> wait_until(Notifier& n, Pred pred) {
 
 /// Like wait_until, but gives up after `timeout` ns. Returns true if the
 /// predicate became true, false on timeout. Used for the state-transfer
-/// suspicion timeout (Algorithm 3, lines 19-22).
+/// suspicion timeout (Algorithm 3, lines 19-22) and the lease write gate.
 template <typename Pred>
 Task<bool> wait_until_timeout(Notifier& n, Pred pred, Nanos timeout) {
   Simulator& sim = n.simulator();
   const Nanos deadline = sim.now() + timeout;
+  // `armed` means the coroutine is suspended and the next event (notifier
+  // or deadline) owns the resume; the loser of the race sees armed ==
+  // false and does nothing.
+  struct State {
+    std::coroutine_handle<> h;
+    bool armed = false;
+  };
+  // A single deadline timer for the whole wait, armed lazily on the first
+  // suspension. Scheduling one per loop iteration would leave every
+  // superseded timer pending in the event queue until the deadline --
+  // quadratic bloat under notify-heavy predicates.
+  std::shared_ptr<State> st;
   while (!pred()) {
     if (sim.now() >= deadline) co_return false;
-
-    // One-shot race between "notified" and "deadline": whichever event
-    // fires first resumes the coroutine; the shared state swallows the
-    // loser.
-    struct State {
-      std::coroutine_handle<> h;
-      bool resumed = false;
-    };
-    auto st = std::make_shared<State>();
+    if (!st) {
+      st = std::make_shared<State>();
+      auto st_timer = st;
+      sim.schedule_at(deadline, [st_timer] {
+        if (st_timer->armed) {
+          st_timer->armed = false;
+          st_timer->h.resume();
+        }
+      });
+    }
     // NOTE: the awaiter holds the shared state BY REFERENCE to the frame
     // local above and is otherwise trivially destructible. GCC 12
     // destroys non-trivial awaiter temporaries twice in this pattern
@@ -95,30 +108,22 @@ Task<bool> wait_until_timeout(Notifier& n, Pred pred, Nanos timeout) {
     // members trivial.
     struct Awaiter {
       Notifier& n;
-      Simulator& sim;
-      Nanos deadline;
       std::shared_ptr<State>& st;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         st->h = h;
+        st->armed = true;
         auto st_copy = st;
         n.add_waiter([st_copy] {
-          if (!st_copy->resumed) {
-            st_copy->resumed = true;
+          if (st_copy->armed) {
+            st_copy->armed = false;
             st_copy->h.resume();
-          }
-        });
-        auto st_copy2 = st;
-        sim.schedule_at(deadline, [st_copy2] {
-          if (!st_copy2->resumed) {
-            st_copy2->resumed = true;
-            st_copy2->h.resume();
           }
         });
       }
       void await_resume() const noexcept {}
     };
-    co_await Awaiter{n, sim, deadline, st};
+    co_await Awaiter{n, st};
   }
   co_return true;
 }

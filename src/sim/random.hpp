@@ -60,8 +60,15 @@ class Rng {
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(bounded(range));
+    // Width in unsigned space: `hi - lo` as signed overflows for extreme
+    // spans (e.g. lo = INT64_MIN, hi >= 0), which is UB. Unsigned
+    // subtraction wraps to the correct width; a full-span request wraps
+    // the +1 to 0, meaning "any 64-bit value".
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) -
+                                static_cast<std::uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     bounded(range));
   }
 
   /// Uniform integer in [0, bound). bound == 0 yields 0.

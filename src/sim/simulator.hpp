@@ -75,6 +75,10 @@ class Simulator {
     return events_executed_;
   }
 
+  /// Number of events currently scheduled and not yet run (diagnostics;
+  /// lets tests assert that waiting primitives don't bloat the queue).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
  private:
   struct Event {
     Nanos when;

@@ -1,0 +1,111 @@
+// Fail-on-pre-fix regression tests for the hot-path bugfix sweep:
+//   * wait_until_timeout used to schedule a fresh deadline timer per
+//     notification, bloating the event queue quadratically;
+//   * Rng::uniform_int computed `hi - lo` in signed arithmetic, which
+//     overflows (UB) for extreme spans;
+//   * Fabric::deliver_write dropped payloads for dead targets while
+//     bumping stats_.failures but not the completion_errors counter,
+//     so the two diverged.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+
+#include "rdma/fabric.hpp"
+#include "sim/notifier.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace heron {
+namespace {
+
+sim::Task<void> park_until_timeout(sim::Notifier& n, bool& timed_out) {
+  const bool ok =
+      co_await sim::wait_until_timeout(n, [] { return false; }, sim::ms(1));
+  timed_out = !ok;
+}
+
+TEST(BugfixRegression, WaitUntilTimeoutSchedulesOneDeadlineTimer) {
+  sim::Simulator sim;
+  sim::Notifier n(sim);
+  bool timed_out = false;
+  sim.spawn(park_until_timeout(n, timed_out));
+
+  // Hammer the notifier with spurious wakeups well before the deadline.
+  constexpr int kNotifies = 200;
+  for (int i = 1; i <= kNotifies; ++i) {
+    sim.schedule(sim::us(i), [&n] { n.notify_all(); });
+  }
+  sim.run_until(sim::us(kNotifies + 1));
+
+  // Pre-fix every wakeup left a superseded deadline timer pending until
+  // ms(1) — ~kNotifies queued events here. Post-fix: the single timer.
+  EXPECT_LE(sim.pending_events(), 3u);
+
+  sim.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(BugfixRegression, UniformIntHandlesExtremeRanges) {
+  sim::Rng rng(123);
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+
+  // Degenerate one-value ranges at both extremes.
+  EXPECT_EQ(rng.uniform_int(kMin, kMin), kMin);
+  EXPECT_EQ(rng.uniform_int(kMax, kMax), kMax);
+
+  // Narrow ranges hugging the extremes, and fully negative ranges,
+  // stay in bounds.
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(kMin, kMin + 9);
+    EXPECT_GE(v, kMin);
+    EXPECT_LE(v, kMin + 9);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+
+  // The full span: `hi - lo` overflows a signed 64-bit subtraction
+  // (pre-fix UB). Post-fix this draws any 64-bit value.
+  bool seen_negative = false;
+  bool seen_nonnegative = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto v = rng.uniform_int(kMin, kMax);
+    seen_negative |= v < 0;
+    seen_nonnegative |= v >= 0;
+  }
+  EXPECT_TRUE(seen_negative);
+  EXPECT_TRUE(seen_nonnegative);
+}
+
+TEST(BugfixRegression, DeadTargetWritesCountAsCompletionErrors) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, 1);
+  fabric.telemetry().metrics.enable();
+  auto& a = fabric.add_node();
+  auto& b = fabric.add_node();
+  const auto mr = b.register_region(64);
+
+  // Fire-and-forget writes whose target dies before they arrive are
+  // dropped at delivery time.
+  std::array<std::byte, 8> payload{};
+  constexpr int kWrites = 4;
+  for (int i = 0; i < kWrites; ++i) {
+    fabric.write_async(a.id(), rdma::RAddr{b.id(), mr, 0}, payload);
+  }
+  b.crash();
+  sim.run();
+
+  EXPECT_EQ(fabric.stats().failures, static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(
+      fabric.telemetry().metrics.counter("rdma", "completion_errors").value(),
+      fabric.stats().failures);
+}
+
+}  // namespace
+}  // namespace heron

@@ -1,0 +1,337 @@
+// Lease-based linearizable fast reads: warm-cache one-sided hits, torn-
+// slot retries, lease expiry, fallback + cache reseed on remote failure,
+// crash/restart linearizability under the LinearChecker oracle, and
+// same-seed determinism of the whole read path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "faultlab/bank.hpp"
+#include "faultlab/history.hpp"
+#include "faultlab/injector.hpp"
+#include "faultlab/linear.hpp"
+#include "faultlab/plan.hpp"
+#include "rdma/fabric.hpp"
+
+namespace heron::faultlab {
+namespace {
+
+constexpr std::uint64_t kAccounts = 8;
+
+core::HeronConfig lease_config(sim::Nanos lease_duration) {
+  core::HeronConfig cfg;
+  cfg.object_region_bytes = 1u << 20;
+  cfg.lease_duration = lease_duration;
+  return cfg;
+}
+
+/// Single-client scripted scenario harness: builds a 1x3 bank deployment
+/// with leases on, runs `script` to completion, and asserts it finished.
+template <typename Script>
+void run_script(std::uint64_t seed, sim::Nanos lease_duration,
+                Script script) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  core::System sys(
+      fabric, /*partitions=*/1, /*replicas=*/3,
+      [] { return std::make_unique<BankApp>(1, kAccounts); },
+      lease_config(lease_duration));
+  sys.start();
+  auto& client = sys.add_client();
+  bool done = false;
+  sim.spawn(script(sys, client, done));
+  sim.run_for(sim::ms(50));
+  EXPECT_TRUE(done) << "script did not finish";
+}
+
+sim::Task<void> deposit(core::Client& client, core::Oid account,
+                        std::int64_t amount) {
+  DepositReq req{account, amount};
+  const auto res = co_await client.submit(amcast::dst_of(0), kDeposit,
+                                          std::as_bytes(std::span(&req, 1)));
+  EXPECT_EQ(res.status, core::SubmitStatus::kOk);
+}
+
+std::int64_t balance_of(const core::Client::ReadResult& res) {
+  Account a{};
+  EXPECT_EQ(res.value.size(), sizeof(a));
+  if (res.value.size() == sizeof(a)) {
+    std::memcpy(&a, res.value.data(), sizeof(a));
+  }
+  return a.balance;
+}
+
+// ---------------------------------------------------------------------
+// Directed scenarios
+// ---------------------------------------------------------------------
+
+sim::Task<void> warm_cache_script(core::System&, core::Client& client,
+                                  bool& done) {
+  co_await deposit(client, 0, 25);
+  // Cold cache: the first read takes the ordered path and seeds the
+  // per-oid slot address from the reply.
+  const auto r1 = co_await client.read(0, 0);
+  EXPECT_FALSE(r1.fast);
+  EXPECT_EQ(r1.status, 0u);
+  EXPECT_EQ(balance_of(r1), 1025);
+  EXPECT_TRUE(client.fastread_cached_rank(0).has_value());
+  EXPECT_EQ(client.fastread_fallbacks(), 1u);
+  // Warm cache + valid lease: served by two one-sided READs.
+  const auto r2 = co_await client.read(0, 0);
+  EXPECT_TRUE(r2.fast);
+  EXPECT_EQ(r2.tmp, r1.tmp);
+  EXPECT_EQ(balance_of(r2), 1025);
+  EXPECT_EQ(client.fastread_hits(), 1u);
+  EXPECT_EQ(client.fastread_fallbacks(), 1u);
+  // A later write is visible to a later fast read (write-gate freshness).
+  co_await deposit(client, 0, 10);
+  const auto r3 = co_await client.read(0, 0);
+  EXPECT_TRUE(r3.fast);
+  EXPECT_GT(r3.tmp, r2.tmp);
+  EXPECT_EQ(balance_of(r3), 1035);
+  done = true;
+}
+
+TEST(FastRead, WarmCacheServesOneSidedReads) {
+  run_script(7, sim::ms(1), warm_cache_script);
+}
+
+sim::Task<void> torn_slot_script(core::System& sys, core::Client& client,
+                                 bool& done) {
+  co_await deposit(client, 0, 5);
+  (void)co_await client.read(0, 0);  // seed the cache
+  const auto hits_before = client.fastread_hits();
+  // Hold every replica's slot torn so the fast read sees an odd seqlock
+  // regardless of which rank the cache points at; after the retry budget
+  // it must fall back to the ordered path and still return the value.
+  for (int r = 0; r < 3; ++r) sys.replica(0, r).store().begin_write(0);
+  const auto r1 = co_await client.read(0, 0);
+  EXPECT_FALSE(r1.fast);
+  EXPECT_EQ(r1.status, 0u);
+  EXPECT_EQ(balance_of(r1), 1005);
+  EXPECT_EQ(client.fastread_hits(), hits_before);
+  EXPECT_GE(client.fastread_torn_retries(),
+            static_cast<std::uint64_t>(
+                sys.config().fastread_torn_retries + 1));
+  // Slot released: the next read is one-sided again.
+  for (int r = 0; r < 3; ++r) sys.replica(0, r).store().end_write(0);
+  const auto r2 = co_await client.read(0, 0);
+  EXPECT_TRUE(r2.fast);
+  EXPECT_EQ(r2.tmp, r1.tmp);
+  done = true;
+}
+
+TEST(FastRead, TornSlotRetriesThenFallsBack) {
+  run_script(11, sim::ms(1), torn_slot_script);
+}
+
+sim::Task<void> expired_lease_script(core::System&, core::Client& client,
+                                     bool& done) {
+  co_await deposit(client, 0, 5);
+  (void)co_await client.read(0, 0);  // seed the cache
+  // The lease duration is shorter than the ordering latency, so every
+  // grant a replica installs is already expired: the fast path must
+  // reject at READ 1 and fall back, and must never report a hit.
+  const auto r1 = co_await client.read(0, 0);
+  EXPECT_FALSE(r1.fast);
+  EXPECT_EQ(r1.status, 0u);
+  EXPECT_EQ(balance_of(r1), 1005);
+  EXPECT_EQ(client.fastread_hits(), 0u);
+  EXPECT_GE(client.fastread_lease_rejects(), 1u);
+  done = true;
+}
+
+TEST(FastRead, ExpiredLeaseForcesOrderedFallback) {
+  run_script(13, sim::us(4), expired_lease_script);
+}
+
+sim::Task<void> crashed_target_script(core::System& sys,
+                                      core::Client& client, bool& done) {
+  co_await deposit(client, 0, 5);
+  (void)co_await client.read(0, 0);  // seed the cache
+  const auto cached = client.fastread_cached_rank(0);
+  EXPECT_TRUE(cached.has_value());
+  if (!cached.has_value()) co_return;
+  // Crash the cached replica; the two survivors keep a majority so the
+  // ordered fallback still completes, and its reply reseeds the cache
+  // onto a live rank.
+  sys.amcast().endpoint(0, *cached).node().crash();
+  const auto r1 = co_await client.read(0, 0);
+  EXPECT_FALSE(r1.fast);
+  EXPECT_EQ(r1.status, 0u);
+  EXPECT_EQ(balance_of(r1), 1005);
+  const auto reseeded = client.fastread_cached_rank(0);
+  EXPECT_TRUE(reseeded.has_value());
+  if (!reseeded.has_value()) co_return;
+  EXPECT_NE(*reseeded, *cached);
+  const auto r2 = co_await client.read(0, 0);
+  EXPECT_TRUE(r2.fast);
+  EXPECT_EQ(balance_of(r2), 1005);
+  done = true;
+}
+
+TEST(FastRead, RemoteFailureFallsBackAndReseedsCache) {
+  run_script(17, sim::ms(1), crashed_target_script);
+}
+
+// ---------------------------------------------------------------------
+// Mixed workload cells: linearizability under faults + determinism
+// ---------------------------------------------------------------------
+
+struct ReadCellResult {
+  std::uint64_t completed = 0;
+  std::uint64_t fast_hits = 0;
+  std::uint64_t torn_retries = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t lease_rejects = 0;
+  std::uint64_t lease_grants = 0;
+  std::uint64_t gate_waits = 0;
+  std::size_t reads_checked = 0;
+  std::size_t writes_checked = 0;
+  std::vector<std::uint64_t> digests;
+  std::vector<Violation> violations;
+};
+
+/// Closed-loop mixed read/deposit client; every completed operation is
+/// reported to the LinearChecker.
+sim::Task<void> mixed_loop(core::System& sys, core::Client& client,
+                           LinearChecker& lin, std::uint64_t seed, int ops,
+                           double read_ratio) {
+  sim::Rng rng(seed);
+  auto& sim = sys.simulator();
+  const auto partitions = static_cast<std::uint64_t>(sys.partitions());
+  const auto total = partitions * kAccounts;
+  for (int k = 0; k < ops; ++k) {
+    const core::Oid oid = rng.bounded(total);
+    const auto home = static_cast<amcast::GroupId>(oid % partitions);
+    if (rng.chance(read_ratio)) {
+      const sim::Nanos t0 = sim.now();
+      const auto res = co_await client.read(home, oid);
+      if (res.submit_status == core::SubmitStatus::kOk && res.status == 0) {
+        lin.note_read(oid, res.tmp, t0, sim.now(), res.fast);
+      }
+    } else {
+      DepositReq req{oid, 5};
+      const sim::Nanos t0 = sim.now();
+      const auto res = co_await client.submit(
+          amcast::dst_of(home), kDeposit, std::as_bytes(std::span(&req, 1)));
+      lin.note_write(oid, client.id(), res.session_seq, t0, sim.now(),
+                     res.status);
+    }
+  }
+}
+
+ReadCellResult run_read_cell(std::uint64_t seed, int partitions, int clients,
+                             int ops, double read_ratio,
+                             sim::Nanos lease_duration,
+                             const std::string& plan_text = "") {
+  constexpr int kReplicas = 3;
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  // Crash plans lose in-flight requests; retries (session-deduped) let
+  // every client loop run to completion across the fault window.
+  core::HeronConfig cfg = lease_config(lease_duration);
+  cfg.client_attempt_timeout = sim::us(200);
+  cfg.client_max_retries = 12;
+  cfg.client_retry_backoff = sim::us(20);
+  cfg.client_retry_backoff_max = sim::us(500);
+  core::System sys(
+      fabric, partitions, kReplicas,
+      [partitions] {
+        return std::make_unique<BankApp>(partitions, kAccounts);
+      },
+      cfg);
+  HistoryRecorder history;
+  history.attach(sys);
+  sys.start();
+
+  LinearChecker lin;
+  for (int c = 0; c < clients; ++c) {
+    sim.spawn(mixed_loop(sys, sys.add_client(),
+                         lin, seed * 1000 + static_cast<std::uint64_t>(c),
+                         ops, read_ratio));
+  }
+  Injector injector(sys);
+  injector.run(FaultPlan::parse("plan", plan_text));
+  sim.run_for(sim::ms(100));
+
+  ReadCellResult out;
+  for (std::uint32_t c = 0; c < sys.client_count(); ++c) {
+    auto& cl = sys.client(c);
+    out.completed += cl.completed();
+    out.fast_hits += cl.fastread_hits();
+    out.torn_retries += cl.fastread_torn_retries();
+    out.fallbacks += cl.fastread_fallbacks();
+    out.lease_rejects += cl.fastread_lease_rejects();
+    EXPECT_FALSE(cl.in_flight()) << "client " << c << " hung";
+  }
+  for (core::GroupId g = 0; g < partitions; ++g) {
+    for (int r = 0; r < kReplicas; ++r) {
+      out.lease_grants += sys.replica(g, r).lease_grants();
+      out.gate_waits += sys.replica(g, r).gate_waits();
+      if (!sys.replica(g, r).node().alive()) continue;
+      out.digests.push_back(store_digest(sys.replica(g, r)));
+    }
+  }
+  out.reads_checked = lin.read_count();
+  out.writes_checked = lin.write_count();
+  out.violations =
+      check_amcast_properties(history, sys, injector.ever_crashed());
+  check_exactly_once(history, out.violations);
+  check_store_convergence(sys, out.violations);
+  for (auto& v : lin.check(history)) out.violations.push_back(std::move(v));
+  return out;
+}
+
+TEST(FastRead, MixedWorkloadIsLinearizableAndMostlyOneSided) {
+  const auto res = run_read_cell(23, /*partitions=*/2, /*clients=*/3,
+                                 /*ops=*/60, /*read_ratio=*/0.9,
+                                 sim::ms(1));
+  EXPECT_GT(res.reads_checked, 0u);
+  EXPECT_GT(res.writes_checked, 0u);
+  EXPECT_GT(res.lease_grants, 0u);
+  // With healthy leases the steady state is one-sided: fallbacks are
+  // confined to cold-cache seeds and the occasional torn slot.
+  EXPECT_GT(res.fast_hits, res.fallbacks);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+  }
+}
+
+TEST(FastRead, LeaderCrashDuringOpenLeaseStaysLinearizable) {
+  const auto res = run_read_cell(29, /*partitions=*/2, /*clients=*/3,
+                                 /*ops=*/40, /*read_ratio=*/0.7,
+                                 sim::ms(1),
+                                 "crash g0.r0 @ 500us; restart g0.r0 @ 5ms");
+  // Every closed-loop command eventually completed despite the crash.
+  // Fast-read hits answer without touching the ordered submit path, so
+  // they count separately from Client::completed().
+  EXPECT_EQ(res.completed + res.fast_hits, 3u * 40u);
+  EXPECT_GT(res.reads_checked, 0u);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+  }
+}
+
+TEST(FastRead, ReadPathIsDeterministic) {
+  const auto a = run_read_cell(31, 2, 3, 30, 0.8, sim::ms(1),
+                               "crash g0.r1 @ 1ms; restart g0.r1 @ 4ms");
+  const auto b = run_read_cell(31, 2, 3, 30, 0.8, sim::ms(1),
+                               "crash g0.r1 @ 1ms; restart g0.r1 @ 4ms");
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.fast_hits, b.fast_hits);
+  EXPECT_EQ(a.torn_retries, b.torn_retries);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.lease_rejects, b.lease_rejects);
+  EXPECT_EQ(a.lease_grants, b.lease_grants);
+  EXPECT_EQ(a.gate_waits, b.gate_waits);
+  EXPECT_EQ(a.digests, b.digests);
+}
+
+}  // namespace
+}  // namespace heron::faultlab
