@@ -80,6 +80,16 @@ echo "== read_sweep (--chaos) =="
 "$build_dir/bench/read_sweep" --chaos "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_reads_chaos.json"
 
+echo "== recovery_bench =="
+"$build_dir/bench/recovery_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_recovery.json"
+
+# Durable chaos smoke: crash a replica mid-checkpoint (plus a torn-write
+# variant) under retrying load; the oracle suite gates the run.
+echo "== recovery_bench (--chaos) =="
+"$build_dir/bench/recovery_bench" --chaos "${quick_flags[@]}" \
+  "${seed_flags[@]}" --json "$out_dir/BENCH_recovery_chaos.json"
+
 echo
 echo "artifacts:"
 ls -l "$out_dir"/BENCH_*.json

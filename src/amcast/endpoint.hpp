@@ -108,6 +108,12 @@ class Endpoint {
   /// Prints protocol state to stderr (debugging aid for tests).
   void debug_dump() const;
 
+  /// Depth of the leader's propose queue (ordered-but-unproposed uids);
+  /// the checkpoint writer uses it as a foreground-load signal.
+  [[nodiscard]] std::size_t propose_backlog() const {
+    return propose_queue_.size();
+  }
+
   // Region handles (published via the System directory).
   [[nodiscard]] rdma::MrId inbox_mr() const { return inbox_mr_; }
   [[nodiscard]] rdma::MrId log_mr() const { return log_mr_; }

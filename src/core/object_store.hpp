@@ -131,6 +131,19 @@ class ObjectStore {
     for (const auto& [oid, entry] : index_) fn(oid);
   }
 
+  /// Visits every object's current version as
+  /// fn(oid, tmp, value_span, serialized); used by the checkpoint writer
+  /// to snapshot the store without per-object index lookups. Iteration
+  /// order unspecified (checkpoint records are order-independent).
+  template <typename Fn>
+  void for_each_object(Fn&& fn) const {
+    for (const auto& [oid, entry] : index_) {
+      const SlotView v = SlotView::parse(slot_span(entry));
+      const auto [tmp, val] = v.current();
+      fn(oid, tmp, val, entry.serialized);
+    }
+  }
+
  private:
   struct Entry {
     std::uint64_t offset;

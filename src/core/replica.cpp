@@ -26,14 +26,24 @@ struct ChunkHeader {
   std::uint64_t seq = 0;
   std::uint32_t record_count = 0;
   std::uint32_t payload_bytes = 0;
+  std::uint32_t flags = 0;  // kChunkFlag* bits
+  std::uint32_t pad = 0;
 };
 static_assert(std::is_trivially_copyable_v<ChunkHeader>);
 
-/// Per-record kinds inside a chunk: application objects and per-client
+/// ChunkHeader::flags bit 0: this chunk belongs to a full (whole-store)
+/// transfer rather than a delta catch-up. The receiver splits its
+/// applied-bytes accounting on it (full vs delta restart cost).
+constexpr std::uint32_t kChunkFlagFull = 1u << 0;
+
+/// Per-record kinds inside a chunk: application objects, per-client
 /// session entries (the dedup state must travel with the store, or a
-/// rejoined replica would re-execute retried commands).
+/// rejoined replica would re-execute retried commands) and session-TTL
+/// tombstones (evicted floors; without them a rejoined replica could
+/// re-execute a retry the donor had already answered as stale).
 constexpr std::uint32_t kRecObject = 0;
 constexpr std::uint32_t kRecSession = 1;
+constexpr std::uint32_t kRecTombstone = 2;
 
 /// Per-record header inside a chunk, followed by the record's bytes. For
 /// kRecObject: the current version (receiver installs it as the object's
@@ -55,12 +65,59 @@ static_assert(std::is_trivially_copyable_v<ChunkRecord>);
 struct SessionWire {
   std::uint64_t watermark = 0;
   std::uint64_t cached_seq = 0;
+  std::uint64_t last_tmp = 0;    // tmp of the session's last executed cmd
   std::uint32_t cached_status = 0;
   std::uint32_t cached_len = 0;
   std::uint32_t extra_count = 0;
-  std::uint32_t pad = 0;
+  std::uint32_t paged_out = 0;   // cached payload lives on the device
 };
 static_assert(std::is_trivially_copyable_v<SessionWire>);
+
+/// Session <-> wire blob, shared by state transfer (chunk records) and
+/// the checkpoint writer (kRecordSession records). `last_active` is a
+/// local clock and stays off the wire; installers re-stamp it.
+std::vector<std::byte> encode_session(const Replica::Session& s) {
+  std::vector<std::byte> out(sizeof(SessionWire));
+  const SessionWire wire{
+      s.watermark,
+      s.cached_seq,
+      s.last_tmp,
+      s.cached_reply.status,
+      static_cast<std::uint32_t>(s.cached_reply.payload.size()),
+      static_cast<std::uint32_t>(s.above.size()),
+      s.reply_paged_out ? 1u : 0u};
+  std::memcpy(out.data(), &wire, sizeof(wire));
+  out.insert(out.end(), s.cached_reply.payload.begin(),
+             s.cached_reply.payload.end());
+  for (const std::uint64_t e : s.above) {
+    const std::size_t off = out.size();
+    out.resize(off + sizeof(e));
+    std::memcpy(out.data() + off, &e, sizeof(e));
+  }
+  return out;
+}
+
+Replica::Session decode_session(std::span<const std::byte> bytes) {
+  Replica::Session s;
+  if (bytes.size() < sizeof(SessionWire)) return s;  // malformed
+  SessionWire wire{};
+  std::memcpy(&wire, bytes.data(), sizeof(wire));
+  s.watermark = wire.watermark;
+  s.cached_seq = wire.cached_seq;
+  s.last_tmp = wire.last_tmp;
+  s.cached_reply.status = wire.cached_status;
+  s.reply_paged_out = wire.paged_out != 0;
+  auto rest = bytes.subspan(sizeof(SessionWire));
+  s.cached_reply.payload.assign(rest.begin(), rest.begin() + wire.cached_len);
+  rest = rest.subspan(wire.cached_len);
+  for (std::uint32_t e = 0; e < wire.extra_count; ++e) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, rest.data() + static_cast<std::size_t>(e) * sizeof(v),
+                sizeof(v));
+    s.above.insert(v);
+  }
+  return s;
+}
 
 }  // namespace
 
@@ -115,6 +172,15 @@ Replica::Replica(System& system, GroupId group, int rank)
   ctr_transfers_served_ = &m.counter("core", "transfers_served", label);
   ctr_xfer_bytes_sent_ = &m.counter("core", "transfer_bytes_sent", label);
   ctr_xfer_bytes_applied_ = &m.counter("core", "transfer_bytes_applied", label);
+  ctr_xfer_bytes_applied_full_ =
+      &m.counter("core", "transfer_bytes_applied_full", label);
+  ctr_xfer_bytes_applied_delta_ =
+      &m.counter("core", "transfer_bytes_applied_delta", label);
+  ctr_checkpoints_ = &m.counter("durable", "replica_checkpoints", label);
+  ctr_ckpt_deferred_ = &m.counter("durable", "checkpoints_deferred", label);
+  ctr_sessions_evicted_ = &m.counter("durable", "sessions_evicted", label);
+  ctr_stale_session_ = &m.counter("durable", "stale_session_replies", label);
+  gauge_restart_delta_ = &m.gauge("durable", "restart_delta_bytes", label);
   ctr_dedup_hits_ = &m.counter("core", "session_dedup_hits", label);
   ctr_shed_replies_ = &m.counter("core", "shed_replies", label);
   ctr_lease_grants_ = &m.counter("core", "lease_grants", label);
@@ -123,6 +189,11 @@ Replica::Replica(System& system, GroupId group, int rank)
   hist_exec_ = &m.histogram("core", "exec_ns", label);
   hist_coord_ = &m.histogram("core", "coord_ns", label);
   hist_gate_wait_ = &m.histogram("core", "gate_wait_ns", label);
+
+  if (cfg.durable.enabled()) {
+    ckpt_ = std::make_unique<durable::CheckpointStore>(
+        system.simulator(), hub_, cfg.durable, label);
+  }
 }
 
 rdma::Node& Replica::node() {
@@ -136,6 +207,7 @@ void Replica::start() {
   sim.spawn(addr_query_loop());
   sim.spawn(statesync_watch_loop());
   sim.spawn(staging_apply_loop());
+  if (ckpt_ != nullptr) sim.spawn(checkpoint_loop());
 }
 
 void Replica::reset_stats() {
@@ -248,6 +320,24 @@ sim::Task<void> Replica::main_loop() {
         continue;
       }
 
+      // Session-TTL tombstone: this client's session was evicted and the
+      // command is at or below the evicted floor. Its original execution
+      // (if any) happened before eviction; answering a distinguishable
+      // kStatusStaleSession — and never re-executing — preserves
+      // at-most-once without the session state.
+      if (r.header.session_seq != 0) {
+        const auto tomb = evicted_sessions_.find(amcast::uid_client(r.uid));
+        if (tomb != evicted_sessions_.end() &&
+            r.header.session_seq <= tomb->second) {
+          ++stale_session_replies_;
+          ctr_stale_session_->inc();
+          last_executed_ = std::max(last_executed_, r.tmp);
+          co_await send_reply(r, Reply{kStatusStaleSession, {}});
+          if (stale(inc)) co_return;
+          continue;
+        }
+      }
+
       // Session dedup: a retry of a command that already executed (or is
       // executing right now) here must not run again. Answer from the reply
       // cache when it holds exactly this command; stay silent for in-flight
@@ -258,6 +348,11 @@ sim::Task<void> Replica::main_loop() {
         last_executed_ = std::max(last_executed_, r.tmp);
         if (const Reply* cached = session_cached(r)) {
           co_await send_reply(r, *cached);
+          if (stale(inc)) co_return;
+        } else if (session_reply_paged_out(r)) {
+          // The cached payload was paged out to the durable device after a
+          // covering checkpoint; fetch it back and answer from there.
+          co_await answer_paged_reply(r);
           if (stale(inc)) co_return;
         }
         continue;
@@ -325,7 +420,10 @@ bool Replica::session_executed(const Request& r) const {
 
 void Replica::session_mark(const Request& r) {
   if (r.header.session_seq == 0) return;
-  sessions_[amcast::uid_client(r.uid)].mark(r.header.session_seq);
+  Session& s = sessions_[amcast::uid_client(r.uid)];
+  s.mark(r.header.session_seq);
+  s.last_tmp = std::max(s.last_tmp, r.tmp);
+  s.last_active = system_->simulator().now();
 }
 
 void Replica::session_cache_reply(const Request& r, const Reply& reply) {
@@ -339,6 +437,7 @@ void Replica::session_cache_reply(const Request& r, const Reply& reply) {
   s.cached_reply.payload.assign(reply.payload.begin(),
                                 reply.payload.begin() +
                                     static_cast<std::ptrdiff_t>(len));
+  s.reply_paged_out = false;  // the in-memory copy is authoritative again
 }
 
 const Reply* Replica::session_cached(const Request& r) const {
@@ -346,7 +445,42 @@ const Reply* Replica::session_cached(const Request& r) const {
   const auto it = sessions_.find(amcast::uid_client(r.uid));
   if (it == sessions_.end()) return nullptr;
   if (it->second.cached_seq != r.header.session_seq) return nullptr;
+  if (it->second.reply_paged_out) return nullptr;  // see answer_paged_reply
   return &it->second.cached_reply;
+}
+
+bool Replica::session_reply_paged_out(const Request& r) const {
+  if (r.header.session_seq == 0) return false;
+  const auto it = sessions_.find(amcast::uid_client(r.uid));
+  return it != sessions_.end() &&
+         it->second.cached_seq == r.header.session_seq &&
+         it->second.reply_paged_out;
+}
+
+sim::Task<void> Replica::answer_paged_reply(const Request& r) {
+  const std::uint32_t client = amcast::uid_client(r.uid);
+  // Fallback when the fetch fails (CRC, compacted away): the command DID
+  // execute (session_executed passed), only its reply payload is gone —
+  // exactly the contract kStatusStaleSession carries.
+  Reply reply{kStatusStaleSession, {}};
+  if (ckpt_ != nullptr) {
+    const auto rec =
+        co_await ckpt_->fetch_record(durable::kRecordSession, client);
+    if (rec.has_value()) {
+      Session persisted = decode_session(rec->bytes);
+      if (persisted.cached_seq == r.header.session_seq) {
+        reply = persisted.cached_reply;
+        // Re-cache: further retries answer from memory again.
+        const auto it = sessions_.find(client);
+        if (it != sessions_.end() &&
+            it->second.cached_seq == r.header.session_seq) {
+          it->second.cached_reply = reply;
+          it->second.reply_paged_out = false;
+        }
+      }
+    }
+  }
+  co_await send_reply(r, reply);
 }
 
 void Replica::note_executed(const Request& r, const Reply& reply) {
@@ -1023,35 +1157,55 @@ sim::Task<void> Replica::addr_query_loop() {
 void Replica::log_update(Tmp tmp, Oid oid) {
   update_log_.push_back(LogEntry{tmp, oid});
   if (update_log_.size() > system_->config().update_log_capacity) {
+    // A capacity pop loses dirty-tracking: remember the highest tmp ever
+    // dropped this way, so a delta checkpoint whose base is older is
+    // forced full. Checkpoint truncation (entries the checkpoint covers)
+    // does NOT update this — those entries are durably recorded.
+    log_dropped_max_ = std::max(log_dropped_max_, update_log_.front().tmp);
+    log_floor_ = std::max(log_floor_, update_log_.front().tmp);
     update_log_.pop_front();
     log_truncated_ = true;
   }
 }
 
-std::vector<Oid> Replica::log_objects_since(Tmp from_tmp,
+std::vector<Oid> Replica::log_objects_since(Tmp from_tmp, bool held_through,
                                             bool& full_transfer) const {
-  full_transfer =
-      log_truncated_ && (update_log_.empty() || update_log_.front().tmp >= from_tmp);
+  // from_tmp == 0 is a from-scratch restart (no checkpoint, volatile
+  // memory lost): by definition a full transfer, whatever the log holds.
+  //
+  // Otherwise the requester needs every update at/above from_tmp
+  // (failed-request semantics) or strictly above it (held_through: a
+  // delta request certifies from_tmp itself is applied). A delta
+  // suffices exactly when no entry the requester needs was ever dropped:
+  // log_floor_ is the highest tmp dropped by any path (capacity pops,
+  // checkpoint truncation, restart wipe).
+  full_transfer = from_tmp == 0 || (held_through ? log_floor_ > from_tmp
+                                                 : log_floor_ >= from_tmp);
   std::vector<Oid> out;
   std::set<Oid> seen;
   if (full_transfer) return out;
   // Entries are appended in execution order => sorted by tmp.
-  auto it = std::lower_bound(
-      update_log_.begin(), update_log_.end(), from_tmp,
-      [](const LogEntry& e, Tmp t) { return e.tmp < t; });
+  auto it =
+      held_through
+          ? std::upper_bound(update_log_.begin(), update_log_.end(), from_tmp,
+                             [](Tmp t, const LogEntry& e) { return t < e.tmp; })
+          : std::lower_bound(update_log_.begin(), update_log_.end(), from_tmp,
+                             [](const LogEntry& e, Tmp t) { return e.tmp < t; });
   for (; it != update_log_.end(); ++it) {
     if (seen.insert(it->oid).second) out.push_back(it->oid);
   }
   return out;
 }
 
-sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp) {
+sim::Task<void> Replica::request_state_transfer(Tmp failed_tmp,
+                                                bool have_sessions) {
   const std::uint64_t inc = incarnation_;
   ++state_transfers_;
   ctr_state_transfers_->inc();
   auto span = hub_->tracer.span("core", "state_transfer", node().id());
   span.arg("from_tmp", failed_tmp);
-  const StateSyncEntry entry{failed_tmp, 1, 0, ++statesync_serial_};
+  const StateSyncEntry entry{failed_tmp, have_sessions ? 2ull : 1ull, 0,
+                             ++statesync_serial_};
 
   // Lines 2-4: write the request into every group member's statesync
   // memory (and our own, so candidates and our waiter see one source).
@@ -1113,13 +1267,14 @@ sim::Task<void> Replica::statesync_watch_loop() {
       if (q == rank_) continue;
       const auto e = rdma::load_pod<StateSyncEntry>(region.bytes(),
                                                     statesync_offset(q));
-      if (e.status != 1 || e.serial == handled[static_cast<std::size_t>(q)]) {
+      if ((e.status != 1 && e.status != 2) ||
+          e.serial == handled[static_cast<std::size_t>(q)]) {
         continue;
       }
       handled[static_cast<std::size_t>(q)] = e.serial;
       system_->simulator().spawn(
-          [](Replica& self, int lagger, Tmp from, std::uint64_t serial,
-             std::uint64_t inc2) -> sim::Task<void> {
+          [](Replica& self, int lagger, Tmp from, bool sessions_delta,
+             std::uint64_t serial, std::uint64_t inc2) -> sim::Task<void> {
             // Line 9-11: deterministic handler selection — candidates in
             // cyclic rank order after the lagger; candidate k starts after
             // k suspicion timeouts unless someone finished first.
@@ -1139,15 +1294,19 @@ sim::Task<void> Replica::statesync_watch_loop() {
                   self.statesync_offset(lagger));
               // Lines 19-22: someone else completed it (status back to 0)
               // or a newer request superseded this one.
-              if (now_e.status != 1 || now_e.serial != serial) co_return;
+              if ((now_e.status != 1 && now_e.status != 2) ||
+                  now_e.serial != serial) {
+                co_return;
+              }
             }
-            co_await self.perform_transfer(lagger, from);
-          }(*this, q, e.req_tmp, e.serial, inc));
+            co_await self.perform_transfer(lagger, from, sessions_delta);
+          }(*this, q, e.req_tmp, e.status == 2, e.serial, inc));
     }
   }
 }
 
-sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
+sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp,
+                                          bool sessions_delta) {
   const std::uint64_t inc = incarnation_;
   const HeronConfig& cfg = system_->config();
 
@@ -1173,7 +1332,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
   const Tmp rid = std::max<Tmp>(last_executed_, 1);
 
   bool full = false;
-  std::vector<Oid> oids = log_objects_since(from_tmp, full);
+  std::vector<Oid> oids = log_objects_since(from_tmp, sessions_delta, full);
   if (full) {
     oids.clear();
     oids.reserve(store_->object_count());
@@ -1196,7 +1355,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
     const std::uint64_t seq =
         ++staging_sent_[static_cast<std::size_t>(lagger_rank)];
     ctr_xfer_bytes_sent_->inc(sizeof(ChunkHeader) + fill);
-    ChunkHeader hdr{seq, count, fill};
+    ChunkHeader hdr{seq, count, fill, full ? kChunkFlagFull : 0u, 0};
     rdma::store_pod(std::span(chunk), 0, hdr);
     // Flow control: never run more than ring_slots-2 chunks ahead of the
     // applier (its cursor is mirrored into our statesync ack word below).
@@ -1244,12 +1403,15 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
   // Session table: the dedup state must travel with the store — the
   // receiver replaces whole entries, which is safe because this snapshot
   // waited for last_executed_ >= from_tmp, so per covered client its
-  // session is a superset of anything the lagger executed.
+  // session is a superset of anything the lagger executed. A delta
+  // request (status 2) certifies the requester already holds session
+  // state through from_tmp inclusive — a restored checkpoint chain is
+  // complete up to its watermark — so sessions idle at or before
+  // from_tmp are skipped.
   for (const auto& [client, s] : sessions_) {
-    const std::vector<std::uint64_t> extra(s.above.begin(), s.above.end());
-    const auto payload_len = static_cast<std::uint32_t>(
-        sizeof(SessionWire) + s.cached_reply.payload.size() +
-        extra.size() * sizeof(std::uint64_t));
+    if (sessions_delta && s.last_tmp <= from_tmp) continue;
+    const std::vector<std::byte> blob = encode_session(s);
+    const auto payload_len = static_cast<std::uint32_t>(blob.size());
     const auto record_len =
         static_cast<std::uint32_t>(sizeof(ChunkRecord) + payload_len);
     if (record_len > chunk_capacity) {
@@ -1262,33 +1424,35 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp) {
 
     ChunkRecord rec;
     rec.oid = client;
+    rec.tmp = s.last_tmp;
     rec.size = payload_len;
     rec.kind = kRecSession;
-    std::uint64_t off = sizeof(ChunkHeader) + fill;
+    const std::uint64_t off = sizeof(ChunkHeader) + fill;
     rdma::store_pod(std::span(chunk), off, rec);
-    off += sizeof(ChunkRecord);
-    const SessionWire wire{
-        s.watermark,
-        s.cached_seq,
-        s.cached_reply.status,
-        static_cast<std::uint32_t>(s.cached_reply.payload.size()),
-        static_cast<std::uint32_t>(extra.size()),
-        0};
-    rdma::store_pod(std::span(chunk), off, wire);
-    off += sizeof(SessionWire);
-    if (!s.cached_reply.payload.empty()) {
-      std::memcpy(chunk.data() + off, s.cached_reply.payload.data(),
-                  s.cached_reply.payload.size());
-      off += s.cached_reply.payload.size();
-    }
-    if (!extra.empty()) {
-      std::memcpy(chunk.data() + off, extra.data(),
-                  extra.size() * sizeof(std::uint64_t));
-    }
+    std::memcpy(chunk.data() + off + sizeof(ChunkRecord), blob.data(),
+                blob.size());
     fill += record_len;
     ++count;
     serialize_cpu += static_cast<sim::Nanos>(
         static_cast<double>(payload_len) * cfg.memcpy_ns_per_byte);
+  }
+
+  // Session-TTL tombstones: always shipped whole (a handful of u64 pairs);
+  // the receiver merges by max floor.
+  for (const auto& [client, floor] : evicted_sessions_) {
+    const auto record_len = static_cast<std::uint32_t>(sizeof(ChunkRecord));
+    if (fill + record_len > chunk_capacity) {
+      co_await flush();
+      if (stale(inc)) co_return;
+    }
+    ChunkRecord rec;
+    rec.oid = client;
+    rec.tmp = floor;
+    rec.size = 0;
+    rec.kind = kRecTombstone;
+    rdma::store_pod(std::span(chunk), sizeof(ChunkHeader) + fill, rec);
+    fill += record_len;
+    ++count;
   }
   co_await flush();
   if (stale(inc)) co_return;
@@ -1352,23 +1516,19 @@ sim::Task<void> Replica::staging_apply_loop() {
           off += sizeof(ChunkRecord);
           const auto value = region.bytes().subspan(off, rec.size);
           if (rec.kind == kRecSession) {
-            const auto wire = rdma::load_pod<SessionWire>(value, 0);
-            Session s;
-            s.watermark = wire.watermark;
-            s.cached_seq = wire.cached_seq;
-            s.cached_reply.status = wire.cached_status;
-            auto rest = value.subspan(sizeof(SessionWire));
-            s.cached_reply.payload.assign(rest.begin(),
-                                          rest.begin() + wire.cached_len);
-            rest = rest.subspan(wire.cached_len);
-            for (std::uint32_t e = 0; e < wire.extra_count; ++e) {
-              s.above.insert(rdma::load_pod<std::uint64_t>(
-                  rest, static_cast<std::uint64_t>(e) * sizeof(std::uint64_t)));
-            }
+            Session s = decode_session(value);
+            s.last_active = system_->simulator().now();
             sessions_[static_cast<std::uint32_t>(rec.oid)] = std::move(s);
             off += rec.size;
             apply_cpu += static_cast<sim::Nanos>(
                 static_cast<double>(rec.size) * cfg.memcpy_ns_per_byte);
+            continue;
+          }
+          if (rec.kind == kRecTombstone) {
+            auto& floor =
+                evicted_sessions_[static_cast<std::uint32_t>(rec.oid)];
+            floor = std::max(floor, rec.tmp);
+            off += rec.size;
             continue;
           }
           store_->install_version(rec.oid, value, rec.tmp,
@@ -1383,6 +1543,13 @@ sim::Task<void> Replica::staging_apply_loop() {
         }
         staging_next_[static_cast<std::size_t>(s)] = hdr.seq;
         ctr_xfer_bytes_applied_->inc(hdr.payload_bytes);
+        if ((hdr.flags & kChunkFlagFull) != 0) {
+          xfer_applied_full_bytes_ += hdr.payload_bytes;
+          ctr_xfer_bytes_applied_full_->inc(hdr.payload_bytes);
+        } else {
+          xfer_applied_delta_bytes_ += hdr.payload_bytes;
+          ctr_xfer_bytes_applied_delta_->inc(hdr.payload_bytes);
+        }
         if (apply_cpu > 0) {
           co_await node().cpu().use(apply_cpu);
           if (stale(inc)) co_return;
@@ -1391,6 +1558,234 @@ sim::Task<void> Replica::staging_apply_loop() {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Durability: background checkpoint writer + image restore
+// (heron::durable). The writer drives off the applied watermark
+// (last_executed_), throttles against foreground load, and compacts the
+// update log and session caches behind each committed checkpoint.
+// ---------------------------------------------------------------------
+
+sim::Task<void> Replica::checkpoint_loop() {
+  const std::uint64_t inc = incarnation_;
+  const durable::DurableConfig& dcfg = system_->config().durable;
+  auto& sim = system_->simulator();
+  auto& ep = system_->amcast().endpoint(group_, rank_);
+  while (true) {
+    co_await sim.sleep(dcfg.checkpoint_interval);
+    if (stale(inc)) co_return;
+    // Throttle: defer while the foreground is hot — the ordering propose
+    // queue is deep, or the replica CPU has a backlog of queued work.
+    while (ep.propose_backlog() > dcfg.throttle_queue_depth ||
+           node().cpu().free_at() > sim.now() + dcfg.throttle_cpu_backlog) {
+      ++ckpt_deferred_;
+      ctr_ckpt_deferred_->inc();
+      co_await sim.sleep(dcfg.throttle_backoff);
+      if (stale(inc)) co_return;
+    }
+    co_await write_checkpoint_once(inc);
+    if (stale(inc)) co_return;
+  }
+}
+
+sim::Task<void> Replica::write_checkpoint_once(std::uint64_t inc) {
+  const HeronConfig& cfg = system_->config();
+  const durable::DurableConfig& dcfg = cfg.durable;
+  const bool full = !ckpt_->has_checkpoint() || ckpt_->should_compact() ||
+                    ckpt_watermark_ < log_dropped_max_;
+
+  // A full checkpoint rewrites every session; paged-out reply payloads
+  // live only on the device, so fetch them back first (compaction would
+  // otherwise free the old record and lose the payload). Awaits here are
+  // fine — the snapshot below re-reads live state afterwards.
+  std::map<std::uint32_t, Reply> paged_replies;
+  if (full) {
+    std::vector<std::uint32_t> paged_clients;
+    for (const auto& [client, s] : sessions_) {
+      if (s.reply_paged_out) paged_clients.push_back(client);
+    }
+    for (const std::uint32_t client : paged_clients) {
+      const auto rec =
+          co_await ckpt_->fetch_record(durable::kRecordSession, client);
+      if (stale(inc)) co_return;
+      if (rec.has_value()) {
+        Session persisted = decode_session(rec->bytes);
+        paged_replies[client] = std::move(persisted.cached_reply);
+      }
+    }
+  }
+
+  // Synchronous snapshot (no suspension between reading the watermark and
+  // collecting records, so the image is consistent as of `w`).
+  const Tmp w = last_executed_;
+  if (w == 0) co_return;
+  if (!full && w == ckpt_watermark_) co_return;  // nothing new to persist
+
+  auto span = hub_->tracer.span("durable", "checkpoint", node().id());
+  span.arg("watermark", w);
+  span.arg("full", full ? 1u : 0u);
+
+  std::vector<durable::Record> records;
+  std::uint64_t snap_bytes = 0;
+  const auto add_object = [&](Oid oid, Tmp tmp, std::span<const std::byte> val,
+                              bool serialized) {
+    durable::Record rec;
+    rec.kind = durable::kRecordObject;
+    rec.flags = serialized ? durable::kRecordFlagSerialized : 0u;
+    rec.id = oid;
+    rec.tmp = tmp;
+    rec.bytes.assign(val.begin(), val.end());
+    snap_bytes += rec.bytes.size();
+    records.push_back(std::move(rec));
+  };
+  if (full) {
+    store_->for_each_object(add_object);
+  } else {
+    // Dirty set: objects written since the previous checkpoint. Entries
+    // are tmp-sorted; capacity pops above ckpt_watermark_ force `full`,
+    // so the log is complete over (ckpt_watermark_, w].
+    std::set<Oid> dirty;
+    auto it = std::lower_bound(
+        update_log_.begin(), update_log_.end(), ckpt_watermark_ + 1,
+        [](const LogEntry& e, Tmp t) { return e.tmp < t; });
+    for (; it != update_log_.end(); ++it) dirty.insert(it->oid);
+    for (const Oid oid : dirty) {
+      const auto [tmp, val] = store_->get(oid);
+      add_object(oid, tmp, val, store_->is_serialized(oid));
+    }
+  }
+  for (const auto& [client, s] : sessions_) {
+    if (!full && s.last_tmp <= ckpt_watermark_) continue;
+    durable::Record rec;
+    rec.kind = durable::kRecordSession;
+    rec.id = client;
+    rec.tmp = s.last_tmp;
+    if (s.reply_paged_out && paged_replies.contains(client)) {
+      Session copy = s;
+      copy.cached_reply = paged_replies[client];
+      copy.reply_paged_out = false;
+      rec.bytes = encode_session(copy);
+    } else {
+      rec.bytes = encode_session(s);
+    }
+    snap_bytes += rec.bytes.size();
+    records.push_back(std::move(rec));
+  }
+  for (const auto& [client, floor] : evicted_sessions_) {
+    durable::Record rec;
+    rec.kind = durable::kRecordTombstone;
+    rec.id = client;
+    rec.tmp = floor;
+    records.push_back(std::move(rec));
+  }
+
+  // Snapshotting is memcpy-class CPU work on the replica's core.
+  const auto snap_cpu = static_cast<sim::Nanos>(
+      static_cast<double>(snap_bytes) * cfg.memcpy_ns_per_byte);
+  if (snap_cpu > 0) {
+    co_await node().cpu().use(snap_cpu);
+    if (stale(inc)) co_return;
+  }
+
+  const bool ok = co_await ckpt_->write_checkpoint(
+      w, lease_epoch_, lease_expiry_, full, records,
+      [this, inc] { return stale(inc); });
+  if (stale(inc)) co_return;
+  if (!ok) co_return;  // aborted or out of pages; previous commit intact
+
+  ++checkpoints_;
+  ctr_checkpoints_->inc();
+  const Tmp prev_w = ckpt_watermark_;
+  ckpt_watermark_ = w;
+
+  // Log compaction: entries covered by the *previous* checkpoint are
+  // dropped (bounding memory). Truncation lags one checkpoint so a peer
+  // that restored a checkpoint as recent as our previous one can still
+  // be served an O(delta) transfer from the log; anything older falls
+  // back to a full snapshot via log_floor_.
+  while (!update_log_.empty() && update_log_.front().tmp <= prev_w) {
+    log_floor_ = std::max(log_floor_, update_log_.front().tmp);
+    update_log_.pop_front();
+    log_truncated_ = true;
+  }
+
+  // Session TTL: evict idle sessions now durably covered by this commit,
+  // leaving a tombstone floor ("everything <= floor was executed before
+  // eviction"; safe for sequential clients, which never resubmit an
+  // abandoned seq).
+  const sim::Nanos now = system_->simulator().now();
+  if (dcfg.session_ttl > 0) {
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const Session& s = it->second;
+      if (s.last_tmp <= w && now - s.last_active > dcfg.session_ttl) {
+        std::uint64_t floor = std::max(s.watermark, s.cached_seq);
+        if (!s.above.empty()) floor = std::max(floor, *s.above.rbegin());
+        auto& tomb = evicted_sessions_[it->first];
+        tomb = std::max(tomb, floor);
+        ++sessions_evicted_;
+        ctr_sessions_evicted_->inc();
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Reply page-out: cached payloads now persisted in the chain can be
+  // dropped from memory; a late retry pages them back in.
+  if (dcfg.page_out_replies) {
+    for (auto& [client, s] : sessions_) {
+      if (s.last_tmp <= w && !s.reply_paged_out &&
+          !s.cached_reply.payload.empty()) {
+        s.cached_reply.payload.clear();
+        s.cached_reply.payload.shrink_to_fit();
+        s.reply_paged_out = true;
+      }
+    }
+  }
+}
+
+sim::Task<void> Replica::apply_checkpoint_image(const durable::Image& img) {
+  const HeronConfig& cfg = system_->config();
+  const sim::Nanos now = system_->simulator().now();
+  std::uint64_t bytes = 0;
+  for (const durable::Record& rec : img.records) {
+    bytes += rec.bytes.size() + sizeof(durable::Record);
+    switch (rec.kind) {
+      case durable::kRecordObject:
+        store_->install_version(
+            rec.id, rec.bytes, rec.tmp,
+            (rec.flags & durable::kRecordFlagSerialized) != 0);
+        break;
+      case durable::kRecordSession: {
+        Session s = decode_session(rec.bytes);
+        s.last_active = now;
+        sessions_[static_cast<std::uint32_t>(rec.id)] = std::move(s);
+        break;
+      }
+      case durable::kRecordTombstone: {
+        auto& floor = evicted_sessions_[static_cast<std::uint32_t>(rec.id)];
+        floor = std::max(floor, rec.tmp);
+        break;
+      }
+      default:
+        break;  // unknown kinds from future formats: ignore
+    }
+  }
+  // Installing the image is memcpy-class work; the device read itself was
+  // charged by load_latest() on the device channel.
+  const auto cpu = static_cast<sim::Nanos>(static_cast<double>(bytes) *
+                                           cfg.memcpy_ns_per_byte);
+  if (cpu > 0) co_await node().cpu().use(cpu);
+
+  last_req_ = std::max(last_req_, img.watermark);
+  last_executed_ = std::max(last_executed_, img.watermark);
+  ckpt_watermark_ = img.watermark;
+  // Leases: restore only the expiry floor (the monotonicity invariant the
+  // write gate leans on). The epoch stays 0 — no fast read is served from
+  // this replica until a grant ordered after its rejoin arrives.
+  lease_expiry_ = std::max(lease_expiry_, img.lease_expiry);
 }
 
 // ---------------------------------------------------------------------
@@ -1417,6 +1812,30 @@ void Replica::restart() {
   // it from the donor (which, having executed at least as far, holds a
   // superset for every covered command).
   sessions_.clear();
+
+  // With the durable subsystem on (or volatile_restart modeling), losing
+  // power means losing the volatile watermarks too: rejoin() restarts
+  // from the newest checkpoint (or zero) and pays the recovery honestly —
+  // checkpoint read + delta transfer, or a full transfer. Legacy restarts
+  // keep the watermarks, standing in for a small stable-storage record.
+  // The registered object region survives either way; its stale bytes are
+  // never observable (see DESIGN.md: a restarted replica is only a remote
+  // -read candidate for requests it coordinated, whose slots it wrote).
+  const durable::DurableConfig& dcfg0 = system_->config().durable;
+  // Everything we had applied is gone from the log (cleared below): any
+  // peer asking for a delta older than our pre-crash watermark must get a
+  // full snapshot. Capture before the watermark reset.
+  log_floor_ = std::max(log_floor_, last_executed_);
+  if (dcfg0.enabled() || dcfg0.volatile_restart) {
+    last_req_ = 0;
+    last_executed_ = 0;
+    ckpt_watermark_ = 0;
+    log_dropped_max_ = 0;
+    evicted_sessions_.clear();
+  }
+  restored_from_checkpoint_ = false;
+  restart_catchup_bytes_ = 0;
+  rejoining_ = true;
 
   // Fast-read lease state is volatile: a restarted replica must not serve
   // fast reads until a grant ordered after its rejoin transfer arrives.
@@ -1527,10 +1946,45 @@ sim::Task<void> Replica::rejoin() {
     staging_sent_[static_cast<std::size_t>(q)] = max_seq;
   }
 
+  // O(delta) restart: load the newest valid checkpoint chain from the
+  // device and install it, then catch up only the tail via Algorithm 3.
+  // Any CRC/manifest failure falls through to restored==false and the
+  // legacy full transfer below.
+  bool have_sessions = false;
+  if (ckpt_ != nullptr) {
+    const auto img = co_await ckpt_->load_latest();
+    if (stale(inc)) co_return;
+    if (img.has_value()) {
+      co_await apply_checkpoint_image(*img);
+      if (stale(inc)) co_return;
+      restored_from_checkpoint_ = true;
+      have_sessions = true;
+      HSIM_LOG(system_->simulator(), kInfo,
+               "core g" << group_ << ".r" << rank_
+                        << " restored checkpoint: watermark=" << img->watermark
+                        << " records=" << img->records.size()
+                        << " chain=" << img->chain_length);
+    }
+  }
+  hub_->tracer.instant(
+      "durable", "restart_source", node().id(),
+      {telemetry::Arg{"from_checkpoint", restored_from_checkpoint_ ? 1ull : 0ull},
+       telemetry::Arg{"watermark", last_executed_}});
+
   // Algorithm 3 as the rejoin vehicle: everything delivered while we were
-  // down is folded into a state transfer from the surviving members.
-  co_await request_state_transfer(last_executed_);
+  // down (or since the checkpoint watermark) is folded into a state
+  // transfer from the surviving members. A delta request (have_sessions)
+  // tells the donor we hold everything through last_executed_ inclusive,
+  // so only strictly newer updates ship; a plain request keeps the
+  // failed-request semantics (donor re-ships from_tmp itself).
+  const std::uint64_t applied_before =
+      xfer_applied_full_bytes_ + xfer_applied_delta_bytes_;
+  co_await request_state_transfer(last_executed_, have_sessions);
   if (stale(inc)) co_return;
+  restart_catchup_bytes_ =
+      xfer_applied_full_bytes_ + xfer_applied_delta_bytes_ - applied_before;
+  gauge_restart_delta_->set(
+      static_cast<std::int64_t>(restart_catchup_bytes_));
 
   HSIM_LOG(system_->simulator(), kInfo,
            "core g" << group_ << ".r" << rank_
@@ -1540,7 +1994,9 @@ sim::Task<void> Replica::rejoin() {
   if (leases_enabled()) push_applied();
   // Only now resume execution: the store reflects the survivors' state and
   // deliveries with tmp <= last_req_ are skipped by the main loop.
+  rejoining_ = false;
   sim.spawn(main_loop());
+  if (ckpt_ != nullptr) sim.spawn(checkpoint_loop());
 }
 
 }  // namespace heron::core

@@ -17,6 +17,7 @@
 #include "core/app.hpp"
 #include "core/object_store.hpp"
 #include "core/types.hpp"
+#include "durable/checkpoint.hpp"
 #include "sim/stats.hpp"
 #include "telemetry/hub.hpp"
 
@@ -72,6 +73,11 @@ class Replica {
     std::set<std::uint64_t> above;       // executed seqs > watermark
     std::uint64_t cached_seq = 0;        // seq the cached reply answers
     Reply cached_reply;                  // payload truncated to slot size
+    Tmp last_tmp = 0;                    // tmp of the last executed command
+    sim::Nanos last_active = 0;          // for session-TTL eviction
+    /// Cached-reply payload dropped after a covering checkpoint committed;
+    /// a retry pages it back in from the device (answer_paged_reply).
+    bool reply_paged_out = false;
 
     [[nodiscard]] bool executed(std::uint64_t seq) const {
       return seq != 0 && (seq <= watermark || above.contains(seq));
@@ -88,12 +94,61 @@ class Replica {
   [[nodiscard]] const std::map<std::uint32_t, Session>& sessions() const {
     return sessions_;
   }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  // Durable subsystem state (tests / bench / diagnostics).
+  [[nodiscard]] std::size_t update_log_size() const {
+    return update_log_.size();
+  }
+  [[nodiscard]] const std::deque<LogEntry>& update_log() const {
+    return update_log_;
+  }
+  [[nodiscard]] bool log_truncated() const { return log_truncated_; }
+  /// Highest tmp ever dropped from the update log (capacity pops,
+  /// checkpoint truncation, restart wipe); delta transfers are only
+  /// served from at or above it.
+  [[nodiscard]] Tmp log_floor() const { return log_floor_; }
+  [[nodiscard]] Tmp last_executed() const { return last_executed_; }
+  /// True from restart() until the rejoin path (checkpoint restore +
+  /// catch-up transfer) has completed and execution resumed.
+  [[nodiscard]] bool rejoining() const { return rejoining_; }
+  [[nodiscard]] Tmp checkpoint_watermark() const { return ckpt_watermark_; }
+  [[nodiscard]] std::uint64_t checkpoints_completed() const {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_deferred() const {
+    return ckpt_deferred_;
+  }
+  [[nodiscard]] std::uint64_t sessions_evicted() const {
+    return sessions_evicted_;
+  }
+  [[nodiscard]] std::uint64_t stale_session_replies() const {
+    return stale_session_replies_;
+  }
+  [[nodiscard]] bool restored_from_checkpoint() const {
+    return restored_from_checkpoint_;
+  }
+  [[nodiscard]] std::uint64_t restart_catchup_bytes() const {
+    return restart_catchup_bytes_;
+  }
+  [[nodiscard]] std::uint64_t xfer_applied_full_bytes() const {
+    return xfer_applied_full_bytes_;
+  }
+  [[nodiscard]] std::uint64_t xfer_applied_delta_bytes() const {
+    return xfer_applied_delta_bytes_;
+  }
+  /// Null when the durable subsystem is disabled.
+  [[nodiscard]] durable::CheckpointStore* durable_store() {
+    return ckpt_.get();
+  }
 
   /// Bench/test hook: runs the state-transfer protocol as if this replica
   /// failed to execute the request with timestamp `from` (Algorithm 3
   /// lines 1-6). Returns once the transferred state has been applied.
-  sim::Task<void> force_state_transfer(Tmp from) {
-    co_await request_state_transfer(from);
+  /// `have_sessions` marks the request as a delta (the requester certifies
+  /// it holds objects and sessions through `from` inclusive).
+  sim::Task<void> force_state_transfer(Tmp from, bool have_sessions = false) {
+    co_await request_state_transfer(from, have_sessions);
   }
 
   // Measurement hooks (read directly by the harness).
@@ -186,18 +241,39 @@ class Replica {
   void publish_lease_word();
 
   // --- state transfer (Algorithm 3) ------------------------------------
-  sim::Task<void> request_state_transfer(Tmp failed_tmp);
+  /// `have_sessions` marks the request as a delta (StateSyncEntry status
+  /// 2): this replica already holds session state through failed_tmp, so
+  /// the donor skips sessions older than that.
+  sim::Task<void> request_state_transfer(Tmp failed_tmp,
+                                         bool have_sessions = false);
   sim::Task<void> statesync_watch_loop();   // reacts to peers' requests
-  sim::Task<void> perform_transfer(int lagger_rank, Tmp from_tmp);
+  sim::Task<void> perform_transfer(int lagger_rank, Tmp from_tmp,
+                                   bool sessions_delta);
   sim::Task<void> staging_apply_loop();     // applies incoming chunks
   sim::Task<void> rejoin();                 // restart: recover + catch up
+
+  // --- durability (checkpointing + log compaction) ----------------------
+  sim::Task<void> checkpoint_loop();
+  sim::Task<void> write_checkpoint_once(std::uint64_t inc);
+  /// Installs a restored checkpoint image: objects, sessions, tombstones,
+  /// watermarks; charges memcpy-class CPU for the installed bytes.
+  sim::Task<void> apply_checkpoint_image(const durable::Image& img);
+  /// Retry of a session whose cached reply payload was paged out: fetch
+  /// the persisted session record and answer from it.
+  sim::Task<void> answer_paged_reply(const Request& r);
+  [[nodiscard]] bool session_reply_paged_out(const Request& r) const;
 
   /// True when a coroutine spawned under incarnation `inc` must exit (the
   /// node crashed, or restarted and fresh loops took over).
   [[nodiscard]] bool stale(std::uint64_t inc) {
     return !node().alive() || inc != incarnation_;
   }
+  /// Oids touched by logged updates the requester still needs: at/above
+  /// from_tmp (failed-request semantics) or strictly above it when
+  /// `held_through` (delta request: from_tmp itself is already applied).
+  /// Sets full_transfer when the log cannot cover the range.
   [[nodiscard]] std::vector<Oid> log_objects_since(Tmp from_tmp,
+                                                   bool held_through,
                                                    bool& full_transfer) const;
   void log_update(Tmp tmp, Oid oid);
   [[nodiscard]] std::uint64_t staging_pending() const;
@@ -261,6 +337,28 @@ class Replica {
   // Update log (ring semantics with truncation flag).
   std::deque<LogEntry> update_log_;
   bool log_truncated_ = false;
+  /// Highest tmp evicted by a *capacity* pop (not checkpoint truncation).
+  /// A delta checkpoint is unsound once this passes ckpt_watermark_ —
+  /// dirty entries were lost — so the next checkpoint is forced full.
+  Tmp log_dropped_max_ = 0;
+  /// Highest tmp dropped from the log by *any* path; see log_floor().
+  Tmp log_floor_ = 0;
+  bool rejoining_ = false;
+
+  // --- durable subsystem state ------------------------------------------
+  std::unique_ptr<durable::CheckpointStore> ckpt_;  // null when disabled
+  Tmp ckpt_watermark_ = 0;          // watermark of the last committed ckpt
+  /// Session-TTL tombstones: client id -> evicted floor (all seqs <= floor
+  /// were executed before eviction). Persisted and transferred.
+  std::map<std::uint32_t, std::uint64_t> evicted_sessions_;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t ckpt_deferred_ = 0;
+  std::uint64_t sessions_evicted_ = 0;
+  std::uint64_t stale_session_replies_ = 0;
+  bool restored_from_checkpoint_ = false;
+  std::uint64_t restart_catchup_bytes_ = 0;  // applied during last rejoin
+  std::uint64_t xfer_applied_full_bytes_ = 0;
+  std::uint64_t xfer_applied_delta_bytes_ = 0;
 
   // Staging ring cursors (state-transfer receive side).
   std::vector<std::uint64_t> staging_next_;  // per sender rank
@@ -292,6 +390,13 @@ class Replica {
   telemetry::Counter* ctr_transfers_served_;
   telemetry::Counter* ctr_xfer_bytes_sent_;
   telemetry::Counter* ctr_xfer_bytes_applied_;
+  telemetry::Counter* ctr_xfer_bytes_applied_full_;
+  telemetry::Counter* ctr_xfer_bytes_applied_delta_;
+  telemetry::Counter* ctr_checkpoints_;
+  telemetry::Counter* ctr_ckpt_deferred_;
+  telemetry::Counter* ctr_sessions_evicted_;
+  telemetry::Counter* ctr_stale_session_;
+  telemetry::Gauge* gauge_restart_delta_;
   telemetry::Counter* ctr_dedup_hits_;
   telemetry::Counter* ctr_shed_replies_;
   telemetry::Counter* ctr_lease_grants_;

@@ -121,6 +121,12 @@ class Client {
     latencies_.clear();
   }
 
+  /// Test hook: rewinds the session counter so the next submit reuses an
+  /// already-issued session_seq — models a client resending an old
+  /// command (e.g. after its session was TTL-evicted server-side).
+  void rewind_session(std::uint64_t seq) { session_seq_ = seq; }
+  [[nodiscard]] std::uint64_t session_seq() const { return session_seq_; }
+
  private:
   System* system_;
   amcast::ClientEndpoint* ep_;

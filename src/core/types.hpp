@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "amcast/types.hpp"
+#include "durable/config.hpp"
 #include "sim/time.hpp"
 
 namespace heron::core {
@@ -75,6 +76,12 @@ constexpr std::uint32_t kStatusBusy = 0xFFFFFF01u;
 constexpr std::uint32_t kStatusReadNotFound = 0xFFFFFF02u;
 constexpr std::uint32_t kStatusReadTruncated = 0xFFFFFF03u;
 
+/// Reserved reply status: the request is a retry from a session evicted by
+/// the session TTL, at or below the evicted floor. It was NOT re-executed
+/// (its original execution may or may not have happened before eviction);
+/// the client must treat the outcome as unknown, never as a fresh failure.
+constexpr std::uint32_t kStatusStaleSession = 0xFFFFFF04u;
+
 /// Terminal outcome of Client::submit.
 enum class SubmitStatus : std::uint8_t {
   kOk = 0,          // executed (possibly answered from the session cache)
@@ -105,9 +112,13 @@ struct CoordEntry {
 static_assert(std::is_trivially_copyable_v<CoordEntry>);
 
 /// State-transfer memory entry (Algorithm 3's statesync_mem[q]).
+/// status 2 is a delta request: the requester already holds all state
+/// (objects AND sessions) up to req_tmp — from a restored checkpoint or
+/// from having executed that far — so the donor may skip sessions whose
+/// last executed command is below req_tmp. status 1 ships everything.
 struct StateSyncEntry {
   Tmp req_tmp = 0;       // request the lagger failed to execute
-  std::uint64_t status = 0;  // 0: idle, 1: transfer requested
+  std::uint64_t status = 0;  // 0: idle, 1: full request, 2: delta request
   Tmp rid = 0;           // last request covered by the completed transfer
   std::uint64_t serial = 0;  // change detection
 };
@@ -260,6 +271,12 @@ struct HeronConfig {
   sim::Nanos lease_duration = 0;
   /// Torn-slot retries before a fast read falls back to the ordered path.
   int fastread_torn_retries = 3;
+
+  // --- durability (checkpointing + log compaction) ---------------------
+  /// See durable/config.hpp. durable.checkpoint_interval == 0 (default)
+  /// keeps the seed behaviour: no device, no checkpoints, restarts rejoin
+  /// via a full state transfer without losing volatile watermarks.
+  durable::DurableConfig durable;
 };
 
 /// Floor for the lease manager's renewal period. Renewing faster than the

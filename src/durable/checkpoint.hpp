@@ -1,0 +1,150 @@
+// Checkpoint store: incremental snapshots on the paged device, committed
+// atomically through a manifest chain.
+//
+// Layout (all in PageDevice pages):
+//   * pages 0 and 1 — two superblock slots, written alternately with an
+//     increasing sequence number. A reader takes the valid superblock
+//     with the highest seq; writing the superblock is the commit point.
+//   * data pages — packed state records (objects, sessions, tombstones).
+//   * manifest pages — one manifest per checkpoint, spanning a chain of
+//     pages. The manifest carries {watermark, lease epoch/expiry, the
+//     data-page list with per-page checksums, a link to the previous
+//     checkpoint's manifest}. A delta checkpoint links back to its
+//     predecessor; a full checkpoint links to nothing and, once its
+//     superblock lands, frees every page of the older chain (compaction).
+//
+// Commit order is data pages -> manifest -> superblock, so a crash at any
+// point leaves the previous checkpoint fully intact. Loading walks the
+// chain head-to-base verifying every CRC (device-level and
+// manifest-recorded); any failure invalidates the whole candidate and the
+// loader falls back to the other superblock, then to "no checkpoint"
+// (the caller recovers via a full state transfer instead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "durable/page_device.hpp"
+
+namespace heron::durable {
+
+/// Record kinds inside a checkpoint. Ids are oids (objects) or client
+/// ids (sessions, tombstones); `tmp` is the object version, the session's
+/// last executed command timestamp, or the tombstone's evicted floor.
+constexpr std::uint32_t kRecordObject = 0;
+constexpr std::uint32_t kRecordSession = 1;
+constexpr std::uint32_t kRecordTombstone = 2;
+
+/// Object flag bit: value stored in serialized form.
+constexpr std::uint32_t kRecordFlagSerialized = 1u << 0;
+
+struct Record {
+  std::uint32_t kind = kRecordObject;
+  std::uint32_t flags = 0;
+  std::uint64_t id = 0;
+  std::uint64_t tmp = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Decoded newest-wins state of a checkpoint chain.
+struct Image {
+  std::uint64_t watermark = 0;
+  std::uint64_t lease_epoch = 0;
+  std::int64_t lease_expiry = 0;
+  std::vector<Record> records;  // deduped by (kind, id), newest wins
+  std::uint64_t chain_length = 0;  // checkpoints walked (incl. the base)
+  std::uint64_t pages_read = 0;
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore(sim::Simulator& sim, telemetry::Hub* hub,
+                  const DurableConfig& cfg, const std::string& label);
+
+  /// Persists one checkpoint and commits it atomically. `full` replaces
+  /// the whole chain (and frees the old one); otherwise `records` is the
+  /// dirty delta since the previous commit. `abort` is polled between
+  /// page writes — when it returns true (owner crashed) the checkpoint is
+  /// abandoned with the previous commit intact. Returns false when
+  /// aborted or out of pages.
+  sim::Task<bool> write_checkpoint(std::uint64_t watermark,
+                                   std::uint64_t lease_epoch,
+                                   std::int64_t lease_expiry, bool full,
+                                   const std::vector<Record>& records,
+                                   std::function<bool()> abort = {});
+
+  /// Re-reads the newest valid checkpoint chain from the device (restart
+  /// path) and resets the in-memory commit state to it. nullopt when no
+  /// chain validates end-to-end.
+  sim::Task<std::optional<Image>> load_latest();
+
+  /// Reads back the newest persisted record for (kind, id) — the paging
+  /// path for evicted session replies. nullopt when absent or the page
+  /// fails its CRC.
+  sim::Task<std::optional<Record>> fetch_record(std::uint32_t kind,
+                                                std::uint64_t id);
+
+  [[nodiscard]] bool has_checkpoint() const { return head_page_ != kNoPage; }
+  [[nodiscard]] std::uint64_t watermark() const { return watermark_; }
+  [[nodiscard]] std::uint64_t checkpoints_written() const {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t full_checkpoints() const { return fulls_; }
+  [[nodiscard]] std::uint64_t aborted_checkpoints() const { return aborted_; }
+  [[nodiscard]] std::uint64_t chain_pages() const {
+    return chain_pages_.size();
+  }
+  /// Fraction of device pages held by the committed chain.
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] bool should_compact() const {
+    return utilization() > cfg_.compact_utilization;
+  }
+
+  [[nodiscard]] PageDevice& device() { return dev_; }
+
+ private:
+  static constexpr std::uint64_t kNoPage = ~0ull;
+
+  struct RecordLoc {
+    std::uint64_t page = 0;
+    std::uint32_t offset = 0;  // of the record header within the payload
+    std::uint32_t flags = 0;
+    std::uint64_t tmp = 0;
+  };
+
+  std::uint64_t alloc_page();
+  void free_page(std::uint64_t page);
+  [[nodiscard]] std::uint32_t page_payload_capacity() const;
+
+  sim::Simulator* sim_;
+  DurableConfig cfg_;
+  PageDevice dev_;
+
+  // Committed chain state (mirrors what the superblock + manifests say).
+  std::uint64_t super_seq_ = 0;
+  std::uint64_t head_page_ = kNoPage;  // first manifest page of the head
+  std::uint32_t head_crc_ = 0;
+  std::uint64_t watermark_ = 0;
+  std::vector<std::uint64_t> chain_pages_;  // every live page of the chain
+  std::map<std::pair<std::uint32_t, std::uint64_t>, RecordLoc> index_;
+
+  // Page allocator: bump + free list; pages 0/1 are the superblocks.
+  std::uint64_t next_page_ = 2;
+  std::vector<std::uint64_t> free_;
+
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t fulls_ = 0;
+  std::uint64_t aborted_ = 0;
+
+  telemetry::Counter* ctr_checkpoints_ = nullptr;
+  telemetry::Counter* ctr_full_checkpoints_ = nullptr;
+  telemetry::Counter* ctr_aborted_ = nullptr;
+  telemetry::Counter* ctr_pages_freed_ = nullptr;
+};
+
+}  // namespace heron::durable

@@ -232,6 +232,50 @@ std::uint64_t store_digest(core::Replica& replica) {
   return h;
 }
 
+std::uint64_t session_digest(core::Replica& replica) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= static_cast<std::uint64_t>(p[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [client, s] : replica.sessions()) {
+    mix(&client, sizeof(client));
+    mix(&s.watermark, sizeof(s.watermark));
+    mix(&s.cached_seq, sizeof(s.cached_seq));
+    mix(&s.last_tmp, sizeof(s.last_tmp));
+    mix(&s.cached_reply.status, sizeof(s.cached_reply.status));
+    for (const std::uint64_t e : s.above) mix(&e, sizeof(e));
+  }
+  return h;
+}
+
+void check_session_convergence(core::System& sys,
+                               std::vector<Violation>& violations) {
+  for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+    std::uint64_t want = 0;
+    int want_rank = -1;
+    for (int r = 0; r < sys.replicas_per_partition(); ++r) {
+      core::Replica& rep = sys.replica(g, r);
+      if (!rep.node().alive()) continue;
+      const std::uint64_t d = session_digest(rep);
+      if (want_rank < 0) {
+        want = d;
+        want_rank = r;
+        continue;
+      }
+      if (d != want) {
+        violations.push_back(Violation{
+            "session-convergence",
+            "g" + std::to_string(g) + ".r" + std::to_string(r) +
+                " session digest differs from r" + std::to_string(want_rank)});
+      }
+    }
+  }
+}
+
 void check_store_convergence(core::System& sys,
                              std::vector<Violation>& violations) {
   for (core::GroupId g = 0; g < sys.partitions(); ++g) {

@@ -149,4 +149,19 @@ std::uint64_t store_digest(core::Replica& replica);
 void check_store_convergence(core::System& sys,
                              std::vector<Violation>& violations);
 
+/// FNV-1a digest over the replica's session-dedup state in client order:
+/// (client, watermark, above-set, cached_seq, last_tmp, cached status).
+/// The cached reply *payload* and the paged-out flag are excluded —
+/// checkpoint-driven reply page-out timing legitimately differs across
+/// replicas; dedup correctness rests on the fields digested here.
+std::uint64_t session_digest(core::Replica& replica);
+
+/// Appends a violation for every group whose live replicas disagree on
+/// their session digest. Only valid with session_ttl disabled: TTL
+/// eviction happens at each replica's own checkpoint cadence, so evicted
+/// sets legitimately diverge (retries still get a stale-session or cached
+/// reply, never a re-execution — covered by the exactly-once oracle).
+void check_session_convergence(core::System& sys,
+                               std::vector<Violation>& violations);
+
 }  // namespace heron::faultlab

@@ -16,7 +16,7 @@ namespace {
 using sim::Nanos;
 using sim::Task;
 
-enum Kind : std::uint32_t { kNoop = 0, kTouch = 1, kTouchOne = 2 };
+enum Kind : std::uint32_t { kNoop = 0, kTouch = 1, kTouchOne = 2, kPut = 3 };
 
 /// Synthetic app over `count` fixed-size objects.
 class SyncApp : public Application {
@@ -37,6 +37,12 @@ class SyncApp : public Application {
       std::vector<std::byte> value(size_);
       std::memcpy(value.data(), &r.tmp, sizeof(r.tmp));
       ctx.write(1, value);
+    } else if (r.header.kind == kPut) {
+      Oid oid = 0;
+      std::memcpy(&oid, r.payload.data(), sizeof(oid));
+      std::vector<std::byte> value(size_);
+      std::memcpy(value.data(), &r.tmp, sizeof(r.tmp));
+      ctx.write(oid, value);
     }
     return Reply{};
   }
@@ -80,16 +86,28 @@ struct Env {
     sim.run_for(sim::ms(2));
   }
 
+  /// Submits a kPut touching exactly `oid` (distinct tmps, distinct oids
+  /// — the shape the truncation-boundary tests need).
+  void submit_put(Oid oid) {
+    sim.spawn([](Client& c, Oid o) -> Task<void> {
+      std::vector<std::byte> payload(sizeof(o));
+      std::memcpy(payload.data(), &o, sizeof(o));
+      co_await c.submit(amcast::dst_of(0), kPut, payload);
+    }(*client, oid));
+    sim.run_for(sim::ms(2));
+  }
+
   /// Forces a transfer at replica (0,2) covering everything from `from`,
-  /// returning the measured duration.
-  Nanos force(Tmp from) {
+  /// returning the measured duration. `held` requests delta semantics
+  /// (the requester certifies state held through `from` inclusive).
+  Nanos force(Tmp from, bool held = false) {
     Nanos duration = -1;
-    sim.spawn([](sim::Simulator& s, Replica& lagger, Tmp f,
+    sim.spawn([](sim::Simulator& s, Replica& lagger, Tmp f, bool h,
                  Nanos& out) -> Task<void> {
       const Nanos t0 = s.now();
-      co_await lagger.force_state_transfer(f);
+      co_await lagger.force_state_transfer(f, h);
       out = s.now() - t0;
-    }(sim, sys->replica(0, 2), from, duration));
+    }(sim, sys->replica(0, 2), from, held, duration));
     sim.run_for(sim::ms(50));
     return duration;
   }
@@ -195,6 +213,66 @@ TEST(StateTransfer, FullTransferAfterLogTruncation) {
     auto [lt, lv] = lagger.store().get(oid);
     EXPECT_EQ(lt, dt) << "oid " << oid;
   }
+}
+
+TEST(StateTransfer, TruncationBoundaries) {
+  // Exercises log_objects_since at the truncated-log head H and the drop
+  // floor F (highest tmp ever popped, F < H) under both request
+  // semantics: plain/failed-request (status 1: full iff floor >= from,
+  // ships >= from) and delta/held-through (status 2: full iff
+  // floor > from, ships > from).
+  HeronConfig cfg;
+  cfg.update_log_capacity = 4;
+  Env env(8, 128, false, cfg);
+  for (Oid oid = 1; oid <= 8; ++oid) env.submit_put(oid);
+
+  auto& donor = env.sys->replica(0, 0);
+  auto& lagger = env.sys->replica(0, 2);
+  ASSERT_EQ(donor.update_log().size(), 4u);  // oids 5..8 survive
+  const Tmp head = donor.update_log().front().tmp;
+  const Tmp floor = donor.log_floor();  // tmp of the 4th put
+  ASSERT_GT(floor, 0u);
+  ASSERT_LT(floor, head);
+
+  // Runs one forced transfer and returns {full, delta} applied-byte
+  // deltas at the lagger — which arm moved classifies the transfer.
+  auto run = [&](Tmp from, bool held) {
+    const auto full0 = lagger.xfer_applied_full_bytes();
+    const auto delta0 = lagger.xfer_applied_delta_bytes();
+    const Nanos d = env.force(from, held);
+    EXPECT_GE(d, 0) << "transfer from " << from << " never completed";
+    return std::pair{lagger.xfer_applied_full_bytes() - full0,
+                     lagger.xfer_applied_delta_bytes() - delta0};
+  };
+
+  // Plain: exactly at the head is serveable (ships >= H)...
+  auto [f_at, d_at] = run(head, false);
+  EXPECT_EQ(f_at, 0u);
+  EXPECT_GT(d_at, 0u);
+  // ...one above ships one object fewer...
+  auto [f_above, d_above] = run(head + 1, false);
+  EXPECT_EQ(f_above, 0u);
+  EXPECT_GT(d_above, 0u);
+  EXPECT_LT(d_above, d_at);
+  // ...and at the floor (below the retained window) the donor cannot
+  // prove coverage of `from` itself: full transfer.
+  auto [f_floor, d_floor] = run(floor, false);
+  EXPECT_GT(f_floor, 0u);
+  EXPECT_EQ(d_floor, 0u);
+
+  // Delta: holding through the floor inclusive is exactly enough...
+  auto [f_held, d_held] = run(floor, true);
+  EXPECT_EQ(f_held, 0u);
+  EXPECT_GT(d_held, 0u);
+  // ...one below it is not...
+  auto [f_low, d_low] = run(floor - 1, true);
+  EXPECT_GT(f_low, 0u);
+  EXPECT_EQ(d_low, 0u);
+  // ...and at the head the donor ships strictly-newer entries only.
+  auto [f_h2, d_h2] = run(head, true);
+  EXPECT_EQ(f_h2, 0u);
+  EXPECT_GT(d_h2, 0u);
+  EXPECT_LT(d_h2, d_at);
 }
 
 TEST(StateTransfer, LaggerSkipsCoveredRequests) {
