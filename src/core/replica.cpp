@@ -102,6 +102,12 @@ Replica::Session decode_session(std::span<const std::byte> bytes) {
   if (bytes.size() < sizeof(SessionWire)) return s;  // malformed
   SessionWire wire{};
   std::memcpy(&wire, bytes.data(), sizeof(wire));
+  // Validate the declared lengths against the blob before slicing: a
+  // truncated or corrupt blob must yield an empty session, not OOB reads.
+  const std::size_t need =
+      sizeof(SessionWire) + static_cast<std::size_t>(wire.cached_len) +
+      static_cast<std::size_t>(wire.extra_count) * sizeof(std::uint64_t);
+  if (bytes.size() < need) return s;
   s.watermark = wire.watermark;
   s.cached_seq = wire.cached_seq;
   s.last_tmp = wire.last_tmp;
@@ -468,7 +474,12 @@ sim::Task<void> Replica::answer_paged_reply(const Request& r) {
         co_await ckpt_->fetch_record(durable::kRecordSession, client);
     if (rec.has_value()) {
       Session persisted = decode_session(rec->bytes);
-      if (persisted.cached_seq == r.header.session_seq) {
+      // A persisted record that is itself marked paged-out carries no
+      // payload (a dirty-while-paged-out session snapshotted by a delta
+      // checkpoint); treat it like a failed fetch — the stale-session
+      // fallback — never as an empty success.
+      if (persisted.cached_seq == r.header.session_seq &&
+          !persisted.reply_paged_out) {
         reply = persisted.cached_reply;
         // Re-cache: further retries answer from memory again.
         const auto it = sessions_.find(client);
@@ -1595,15 +1606,20 @@ sim::Task<void> Replica::write_checkpoint_once(std::uint64_t inc) {
   const bool full = !ckpt_->has_checkpoint() || ckpt_->should_compact() ||
                     ckpt_watermark_ < log_dropped_max_;
 
-  // A full checkpoint rewrites every session; paged-out reply payloads
-  // live only on the device, so fetch them back first (compaction would
-  // otherwise free the old record and lose the payload). Awaits here are
-  // fine — the snapshot below re-reads live state afterwards.
+  // Paged-out reply payloads live only on the device, so any session
+  // about to be re-encoded — every session on a full checkpoint, dirty
+  // ones (last_tmp above the watermark) on a delta — must fetch them
+  // back first: the new kRecordSession record supersedes the old one
+  // under newest-wins indexing (and compaction frees it), so encoding
+  // without the payload would persist an empty reply in its place.
+  // Awaits here are fine — the snapshot below re-reads live state.
   std::map<std::uint32_t, Reply> paged_replies;
-  if (full) {
+  {
     std::vector<std::uint32_t> paged_clients;
     for (const auto& [client, s] : sessions_) {
-      if (s.reply_paged_out) paged_clients.push_back(client);
+      if (s.reply_paged_out && (full || s.last_tmp > ckpt_watermark_)) {
+        paged_clients.push_back(client);
+      }
     }
     for (const std::uint32_t client : paged_clients) {
       const auto rec =
@@ -1611,7 +1627,11 @@ sim::Task<void> Replica::write_checkpoint_once(std::uint64_t inc) {
       if (stale(inc)) co_return;
       if (rec.has_value()) {
         Session persisted = decode_session(rec->bytes);
-        paged_replies[client] = std::move(persisted.cached_reply);
+        // A record that is itself paged-out holds no payload; using it
+        // would launder an empty reply into a paged_out=0 record.
+        if (!persisted.reply_paged_out) {
+          paged_replies[client] = std::move(persisted.cached_reply);
+        }
       }
     }
   }

@@ -151,6 +151,17 @@ class Replica {
     co_await request_state_transfer(from, have_sessions);
   }
 
+  /// Test hook: advances client `client`'s session last_tmp to `tmp`, as
+  /// session_mark does at dispatch — models a later command from that
+  /// client being mid-execution (marked, reply not yet cached) when the
+  /// checkpoint writer snapshots the session table.
+  void test_touch_session(std::uint32_t client, Tmp tmp) {
+    const auto it = sessions_.find(client);
+    if (it != sessions_.end()) {
+      it->second.last_tmp = std::max(it->second.last_tmp, tmp);
+    }
+  }
+
   // Measurement hooks (read directly by the harness).
   [[nodiscard]] const CoordStats& coord_stats() const { return coord_stats_; }
   [[nodiscard]] sim::LatencyRecorder& ordering_lat() { return ordering_lat_; }

@@ -192,6 +192,7 @@ sim::Task<bool> CheckpointStore::write_checkpoint(
                           static_cast<std::uint32_t>(payload.size())});
     const std::uint64_t page = alloc_page();
     if (page == kNoPage || aborted()) {
+      free_page(page);  // not yet in `fresh`; no-op for kNoPage
       give_up(page != kNoPage);
       co_return false;
     }
@@ -432,6 +433,14 @@ sim::Task<std::optional<Image>> CheckpointStore::load_latest() {
     next_page_ = 2;
     for (const std::uint64_t p : chain_pages_) {
       next_page_ = std::max(next_page_, p + 1);
+    }
+    // Pages below next_page_ that the recovered chain does not reference
+    // (the other superblock's chain, aborted in-flight writes) would
+    // otherwise be unallocatable forever — reclaim them. Reusing a stale
+    // page is safe: chain walks validate head_crc/prev_crc and manifest
+    // checksums, so a superseded superblock can no longer resolve it.
+    for (std::uint64_t p = 2; p < next_page_; ++p) {
+      if (!seen_set.contains(p)) free_.push_back(p);
     }
     co_return img;
   }

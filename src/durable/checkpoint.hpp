@@ -99,6 +99,8 @@ class CheckpointStore {
   [[nodiscard]] std::uint64_t chain_pages() const {
     return chain_pages_.size();
   }
+  /// Pages on the allocator's free list (tests / diagnostics).
+  [[nodiscard]] std::size_t free_pages() const { return free_.size(); }
   /// Fraction of device pages held by the committed chain.
   [[nodiscard]] double utilization() const;
   [[nodiscard]] bool should_compact() const {

@@ -21,10 +21,11 @@ namespace {
 using sim::Nanos;
 using sim::Task;
 
-enum Kind : std::uint32_t { kTouchAll = 1, kPut = 3 };
+enum Kind : std::uint32_t { kTouchAll = 1, kPut = 3, kEcho = 4 };
 
 /// `count` non-serialized objects; kTouchAll rewrites every one, kPut
-/// rewrites the oid named in the payload.
+/// rewrites the oid named in the payload, kEcho writes nothing and
+/// replies with the request payload (a reply worth caching).
 class PutApp : public Application {
  public:
   PutApp(std::uint64_t count, std::uint32_t size)
@@ -43,6 +44,8 @@ class PutApp : public Application {
       Oid oid = 0;
       std::memcpy(&oid, r.payload.data(), sizeof(oid));
       ctx.write(oid, value);
+    } else if (r.header.kind == kEcho) {
+      return Reply{0, r.payload};
     }
     return Reply{};
   }
@@ -253,6 +256,85 @@ TEST(CheckpointRecovery, EvictedSessionRetryGetsStaleReplyNotReexecution) {
     EXPECT_GE(stale, 1u);
     flag = true;
   }(env, a, b, execs, done));
+  env.drive(done);
+}
+
+// Regression: a delta checkpoint snapshotting a session whose cached
+// reply is paged out but whose last_tmp already advanced (session_mark
+// runs at dispatch, before note_executed re-caches the reply) must fetch
+// the paged-out payload back from the device before encoding. Otherwise
+// the re-encoded record — which supersedes the one holding the real
+// payload under newest-wins indexing — carries an empty payload, and a
+// later retry of the cached seq is answered with an empty success reply.
+TEST(CheckpointRecovery, DeltaCheckpointPreservesPagedOutReplyPayload) {
+  HeronConfig cfg;
+  cfg.durable.checkpoint_interval = sim::ms(1);
+  Env env(8, 128, cfg);
+  auto& a = env.sys->add_client();
+  auto& b = env.sys->add_client();
+
+  bool done = false;
+  env.sim.spawn([](Env& e, Client& a_cl, Client& b_cl,
+                   bool& flag) -> Task<void> {
+    auto& s = e.sim;
+    std::vector<std::byte> magic(32);
+    for (std::size_t i = 0; i < magic.size(); ++i) {
+      magic[i] = static_cast<std::byte>(0xA0 + i);
+    }
+    const Client::Result first =
+        co_await a_cl.submit(amcast::dst_of(0), kEcho, magic);
+    EXPECT_EQ(first.status, SubmitStatus::kOk);
+    EXPECT_EQ(first.reply.payload, magic);
+
+    // b keeps the watermark moving so checkpoints fire and page a's
+    // cached reply out to the device on every replica.
+    auto all_paged = [&e, &a_cl] {
+      for (int r = 0; r < 3; ++r) {
+        const auto& sess = e.sys->replica(0, r).sessions();
+        const auto it = sess.find(a_cl.id());
+        if (it == sess.end() || !it->second.reply_paged_out) return false;
+      }
+      return true;
+    };
+    for (int k = 0; k < 2000 && !all_paged(); ++k) {
+      co_await submit_put(b_cl, 1);
+      co_await s.sleep(sim::us(200));
+    }
+    EXPECT_TRUE(all_paged());
+
+    // Dirty a's session while its reply is still paged out, then drive
+    // delta checkpoints that must re-encode it.
+    std::vector<std::uint64_t> ck(3);
+    for (int r = 0; r < 3; ++r) {
+      auto& rep = e.sys->replica(0, r);
+      rep.test_touch_session(a_cl.id(), rep.last_executed() + 1'000'000);
+      ck[r] = rep.checkpoints_completed();
+    }
+    auto all_checkpointed = [&e, &ck] {
+      for (int r = 0; r < 3; ++r) {
+        if (e.sys->replica(0, r).checkpoints_completed() <=
+            ck[static_cast<std::size_t>(r)]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (int k = 0; k < 2000 && !all_checkpointed(); ++k) {
+      co_await submit_put(b_cl, 2);
+      co_await s.sleep(sim::us(200));
+    }
+    EXPECT_TRUE(all_checkpointed());
+
+    // Retry of the paged-out command: the reply must be the original
+    // payload, paged back in from the device — never an empty success.
+    a_cl.rewind_session(0);
+    const Client::Result again =
+        co_await a_cl.submit(amcast::dst_of(0), kEcho, magic);
+    EXPECT_EQ(again.status, SubmitStatus::kOk);
+    EXPECT_EQ(again.reply.status, first.reply.status);
+    EXPECT_EQ(again.reply.payload, magic);
+    flag = true;
+  }(env, a, b, done));
   env.drive(done);
 }
 
