@@ -90,6 +90,17 @@ echo "== recovery_bench (--chaos) =="
 "$build_dir/bench/recovery_bench" --chaos "${quick_flags[@]}" \
   "${seed_flags[@]}" --json "$out_dir/BENCH_recovery_chaos.json"
 
+echo "== reconfig_bench =="
+"$build_dir/bench/reconfig_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_reconfig.json"
+
+# Repartitioning chaos smoke: a live range move with a source-leader
+# crash right after PREPARE plus a torn-copy-chunk cell; the no-lost/
+# no-duplicated-object and exactly-once-across-split oracles gate it.
+echo "== reconfig_bench (--chaos) =="
+"$build_dir/bench/reconfig_bench" --chaos "${quick_flags[@]}" \
+  "${seed_flags[@]}" --json "$out_dir/BENCH_reconfig_chaos.json"
+
 echo
 echo "artifacts:"
 ls -l "$out_dir"/BENCH_*.json

@@ -622,6 +622,7 @@ void Endpoint::try_deliver() {
     d.payload_len = best->msg.payload_len;
     d.shed = best->shed;
     d.lease = (best->msg.flags & kWireFlagLease) != 0;
+    d.epoch = (best->msg.flags & kWireFlagEpoch) != 0;
     mark_delivered(best_uid);
     pending_.erase(best_uid);
     seen_.erase(best_uid);

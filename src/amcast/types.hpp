@@ -107,6 +107,12 @@ constexpr std::size_t kMaxPayload = 256;
 /// as Delivery::lease.
 constexpr std::uint32_t kWireFlagLease = 1u << 0;
 
+/// Bit 1 marks a layout-epoch marker (heron::reconfig): a new partition
+/// layout ordered through the stream so that every replica of the
+/// affected groups switches layouts at the same stream position. Same
+/// delivery mechanics as the lease marker; surfaces as Delivery::epoch.
+constexpr std::uint32_t kWireFlagEpoch = 1u << 1;
+
 /// A message as written by clients into replica inboxes.
 ///
 /// `ring_seq` is a per-(client, destination-group) counter used purely for
@@ -180,6 +186,9 @@ struct Delivery {
   /// Sender-marked lease marker (kWireFlagLease): a fast-read lease
   /// grant/revoke command, handled by the replica instead of the app.
   bool lease = false;
+  /// Sender-marked layout-epoch marker (kWireFlagEpoch): a partition
+  /// layout install/flip, handled by the replica instead of the app.
+  bool epoch = false;
 
   [[nodiscard]] std::span<const std::byte> payload_view() const {
     return {payload.data(), payload_len};

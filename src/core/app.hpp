@@ -129,6 +129,16 @@ class Application {
       const Request& r, GroupId at_partition) const {
     return read_set(r, at_partition);
   }
+
+  /// heron::reconfig hook: layout-partitioned applications (partition_of
+  /// derived from an epoch-versioned range layout instead of a static
+  /// function) receive a pointer to their hosting replica's installed
+  /// layout before bootstrap. The pointer stays valid for the replica's
+  /// lifetime and tracks epoch bumps in place. Default: ignore (static
+  /// partitioning, seed behaviour).
+  virtual void bind_layout(const reconfig::Layout* layout) {
+    (void)layout;
+  }
 };
 
 }  // namespace heron::core

@@ -77,6 +77,16 @@ std::pair<Tmp, std::span<const std::byte>> ObjectStore::get(Oid oid) const {
   return view(oid).current();
 }
 
+void ObjectStore::retire(Oid oid) {
+  const auto it = index_.find(oid);
+  if (it == index_.end()) {
+    throw std::logic_error("ObjectStore::retire: unknown oid");
+  }
+  auto slot = slot_span(it->second);
+  rdma::store_pod(slot, 24, kRetiredSize);
+  index_.erase(it);
+}
+
 SlotView ObjectStore::view(Oid oid) const {
   return SlotView::parse(slot_span(index_.at(oid)));
 }

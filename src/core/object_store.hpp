@@ -113,6 +113,15 @@ class ObjectStore {
   void install_version(Oid oid, std::span<const std::byte> value, Tmp tmp,
                        bool serialized);
 
+  /// Removes a migrated-away object and poisons its slot: the size word
+  /// is overwritten with kRetiredSize so a stale fast reader (one-sided
+  /// READ against a cached {offset, size}) fails its size check and
+  /// falls back to the ordered path, which answers kStatusWrongEpoch.
+  /// The slot space itself is leaked — the region is a bump allocator
+  /// and reconfiguration is rare relative to region capacity.
+  void retire(Oid oid);
+  static constexpr std::uint32_t kRetiredSize = 0xFFFFFFFFu;
+
   /// Slot offset / size for the address-query protocol.
   [[nodiscard]] std::uint64_t offset_of(Oid oid) const;
   [[nodiscard]] std::uint32_t size_of(Oid oid) const;

@@ -44,6 +44,11 @@ constexpr std::uint32_t kChunkFlagFull = 1u << 0;
 constexpr std::uint32_t kRecObject = 0;
 constexpr std::uint32_t kRecSession = 1;
 constexpr std::uint32_t kRecTombstone = 2;
+/// Donor layout + seal knowledge (heron::reconfig): payload is a u64
+/// seal_epoch_seen_ followed by an encoded layout marker. Shipped with
+/// every transfer when reconfiguration is enabled, so a rejoining replica
+/// that missed epoch markers while down adopts the donor's layout.
+constexpr std::uint32_t kRecLayout = 3;
 
 /// Per-record header inside a chunk, followed by the record's bytes. For
 /// kRecObject: the current version (receiver installs it as the object's
@@ -150,6 +155,15 @@ Replica::Replica(System& system, GroupId group, int rank)
       reps * cfg.statesync_ring_slots *
       (sizeof(ChunkHeader) + cfg.statesync_chunk_bytes));
   fastread_mr_ = n.register_region(fastread_region_bytes(static_cast<int>(reps)));
+  if (cfg.reconfig_keys != 0) {
+    reconfig_mr_ = n.register_region(
+        reconfig::copy_region_bytes(cfg.reconfig, static_cast<int>(reps)));
+    layout_ = system.initial_layout();
+  }
+  app_->bind_layout(&layout_);
+  copy_seq_.assign(reps, 0);
+  pull_seen_.assign(reps, 0);
+  copy_next_.assign(reps, 0);
 
   exec_done_ = std::make_unique<sim::Notifier>(system.simulator());
   for (int t = 0; t < std::max(1, cfg.exec_threads); ++t) {
@@ -192,6 +206,12 @@ Replica::Replica(System& system, GroupId group, int rank)
   ctr_lease_grants_ = &m.counter("core", "lease_grants", label);
   ctr_gate_waits_ = &m.counter("core", "gate_waits", label);
   ctr_ordered_reads_ = &m.counter("core", "ordered_reads", label);
+  ctr_copy_chunks_ = &m.counter("reconfig", "copy_chunks", label);
+  ctr_copy_corrupt_ = &m.counter("reconfig", "copy_chunks_corrupt", label);
+  ctr_copy_deferred_ = &m.counter("reconfig", "copy_deferred", label);
+  ctr_copy_pulls_ = &m.counter("reconfig", "copy_pulls", label);
+  ctr_wrong_epoch_ = &m.counter("reconfig", "wrong_epoch_replies", label);
+  ctr_quiesce_ = &m.counter("reconfig", "quiesce_deferred", label);
   hist_exec_ = &m.histogram("core", "exec_ns", label);
   hist_coord_ = &m.histogram("core", "coord_ns", label);
   hist_gate_wait_ = &m.histogram("core", "gate_wait_ns", label);
@@ -214,6 +234,11 @@ void Replica::start() {
   sim.spawn(statesync_watch_loop());
   sim.spawn(staging_apply_loop());
   if (ckpt_ != nullptr) sim.spawn(checkpoint_loop());
+  if (reconfig_enabled()) {
+    publish_epoch_word();
+    sim.spawn(copy_recv_loop());
+    sim.spawn(pull_watch_loop());
+  }
 }
 
 void Replica::reset_stats() {
@@ -314,6 +339,21 @@ sim::Task<void> Replica::main_loop() {
         continue;
       }
 
+      // Layout-epoch marker (kWireFlagEpoch): ordered like a command but
+      // replica-internal, same shed discipline as lease grants. Every
+      // replica switches layouts at this exact stream position; the FLIP
+      // handoff (final delta + retirement) runs inline, so execution
+      // pauses for the marker — the paper-level "brief quiesce".
+      if (d.epoch) {
+        if (!r.shed) {
+          co_await apply_epoch_marker(r);
+          if (stale(inc)) co_return;
+        }
+        last_executed_ = std::max(last_executed_, r.tmp);
+        if (leases_enabled()) push_applied();
+        continue;
+      }
+
       // Shed by admission control: still totally ordered (so every replica
       // of every destination takes this exact branch for this uid), but
       // answered BUSY and never executed.
@@ -363,6 +403,50 @@ sim::Task<void> Replica::main_loop() {
         }
         continue;
       }
+      // Reconfiguration serving checks, ordered before session_mark so a
+      // re-routed retry still dedups at the new owner.
+      if (layout_.enabled()) {
+        const std::vector<Oid> roids = request_oids(r);
+        // (a) Quiesce: the request touches an inbound migration range
+        // whose copy stream has not sealed — defer until the SEAL lands
+        // (or a pull resend re-seals). Checked regardless of ownership so
+        // a pre-flip misroute defers here instead of ping-ponging
+        // kStatusWrongEpoch between source and destination.
+        if (touches_unsealed_inbound(roids)) {
+          ++quiesce_deferred_;
+          ctr_quiesce_->inc();
+          while (touches_unsealed_inbound(roids)) {
+            co_await system_->simulator().sleep(sim::us(20));
+            if (stale(inc)) co_return;
+          }
+        }
+        // (b) Foreign range: a single-partition command or core read whose
+        // keys this group no longer owns under the installed layout. The
+        // request is NOT executed; the reply re-seeds the client's layout
+        // and cache. Multi-partition requests are exempt — their read
+        // sets legitimately span foreign oids.
+        if (r.single_partition() || (r.header.flags & kReqFlagRead) != 0) {
+          Oid foreign = 0;
+          bool have_foreign = false;
+          for (const Oid oid : roids) {
+            if (layout_.owner_of(oid) != group_) {
+              foreign = oid;
+              have_foreign = true;
+              break;
+            }
+          }
+          if (have_foreign) {
+            ++wrong_epoch_replies_;
+            ctr_wrong_epoch_->inc();
+            last_executed_ = std::max(last_executed_, r.tmp);
+            if (leases_enabled()) push_applied();
+            co_await send_reply(r, make_wrong_epoch_reply(foreign));
+            if (stale(inc)) co_return;
+            continue;
+          }
+        }
+      }
+
       // Mark at dispatch, before execution completes: with exec_threads > 1
       // a duplicate can be delivered while the first copy is mid-execution.
       session_mark(r);
@@ -1162,10 +1246,586 @@ sim::Task<void> Replica::addr_query_loop() {
 }
 
 // ---------------------------------------------------------------------
+// heron::reconfig: epoch-versioned layouts, dual-epoch serving and the
+// throttled background copy machine (see DESIGN.md "Reconfiguration";
+// the copy machine is modeled on cortx-motr's cm/sns copy-packet pump).
+// ---------------------------------------------------------------------
+
+bool Replica::reconfig_enabled() const {
+  return system_->config().reconfig_keys != 0;
+}
+
+void Replica::publish_epoch_word() {
+  rdma::store_pod(node().region(fastread_mr_).bytes(), kFastReadEpochOffset,
+                  layout_.epoch);
+  node().region(fastread_mr_).on_write().notify_all();
+}
+
+std::vector<Oid> Replica::request_oids(const Request& r) const {
+  if ((r.header.flags & kReqFlagRead) != 0) {
+    if (r.payload.size() < sizeof(Oid)) return {};
+    Oid oid = 0;
+    std::memcpy(&oid, r.payload.data(), sizeof(oid));
+    return {oid};
+  }
+  if (system_->config().mode == Mode::kApp) return app_->read_set(r, group_);
+  return {};  // order-only payloads carry no parseable keys
+}
+
+bool Replica::touches_unsealed_inbound(const std::vector<Oid>& oids) const {
+  if (inbound_sealed()) return false;
+  for (const Oid oid : oids) {
+    if (inbound_.contains(oid)) return true;
+  }
+  return false;
+}
+
+Reply Replica::make_wrong_epoch_reply(Oid oid) const {
+  WrongEpochWire wire;
+  wire.epoch = layout_.epoch;
+  layout_.range_of(oid, wire.lo, wire.hi);
+  wire.owner = layout_.owner_of(oid);
+  Reply reply;
+  reply.status = kStatusWrongEpoch;
+  reply.payload.resize(sizeof(wire));
+  std::memcpy(reply.payload.data(), &wire, sizeof(wire));
+  return reply;
+}
+
+sim::Task<void> Replica::apply_epoch_marker(const Request& r) {
+  const std::uint64_t inc = incarnation_;
+  reconfig::Layout incoming;
+  std::uint32_t phase = 0;
+  if (!reconfig::decode_marker(r.payload, incoming, phase)) co_return;
+  if (incoming.epoch <= layout_.epoch) co_return;  // superseded/duplicate
+
+  if (phase == reconfig::kEpochPrepare) {
+    layout_ = incoming;
+    publish_epoch_word();
+    const reconfig::Migration& mig = layout_.migration;
+    if (!mig.active()) co_return;
+    if (mig.from == group_) {
+      outbound_active_ = true;
+      outbound_flipped_ = false;
+      outbound_ = mig;
+      outbound_epoch_ = layout_.epoch;
+      migration_dirty_.clear();
+      pass_pending_.clear();
+      copy_caught_up_ = false;
+      final_image_.clear();
+      system_->simulator().spawn(copy_machine(layout_.epoch));
+    }
+    if (mig.to == group_) {
+      inbound_epoch_ = layout_.epoch;
+      inbound_ = mig;
+      inbound_stream_dirty_ = false;
+      inbound_progress_at_ = system_->simulator().now();
+      system_->simulator().spawn(inbound_watch_loop(layout_.epoch));
+    }
+    co_return;
+  }
+
+  // FLIP: ownership moves at this exact stream position on every replica.
+  const bool was_source = outbound_active_ && !outbound_flipped_;
+  const reconfig::Migration mig = layout_.migration;
+  layout_ = incoming;  // ranges rewritten, migration cleared
+  publish_epoch_word();
+  if (!was_source || !mig.active() || mig.from != group_) co_return;
+
+  // (1) Fast-read cutoff FIRST, before any suspension: zero the lease
+  // word so no one-sided reader trusts this replica for the handed-off
+  // range between the destination's seal and the retirement below
+  // (satellite fix: lease words zeroed on ownership transfer, not only
+  // on restart()).
+  outbound_flipped_ = true;
+  copy_caught_up_ = true;
+  lease_epoch_ = 0;
+  lease_expiry_ = 0;
+  publish_lease_word();
+
+  // (2) Final image: full range snapshot + every session + tombstones,
+  // retained in memory to serve idempotent pull resends after the live
+  // slots are retired.
+  std::vector<Oid> range_oids;
+  store_->for_each_oid([&](Oid oid) {
+    if (mig.contains(oid)) range_oids.push_back(oid);
+  });
+  std::sort(range_oids.begin(), range_oids.end());
+  final_image_.clear();
+  for (const Oid oid : range_oids) {
+    const auto [tmp, val] = store_->get(oid);
+    reconfig::CopyRecord rec;
+    rec.oid = oid;
+    rec.tmp = tmp;
+    rec.size = static_cast<std::uint32_t>(val.size());
+    rec.serialized = store_->is_serialized(oid) ? 1u : 0u;
+    rec.kind = reconfig::kCopyObject;
+    final_image_.emplace_back(rec,
+                              std::vector<std::byte>(val.begin(), val.end()));
+  }
+  for (const auto& [client, s] : sessions_) {
+    std::vector<std::byte> blob = encode_session(s);
+    reconfig::CopyRecord rec;
+    rec.oid = client;
+    rec.tmp = s.last_tmp;
+    rec.size = static_cast<std::uint32_t>(blob.size());
+    rec.kind = reconfig::kCopySession;
+    final_image_.emplace_back(rec, std::move(blob));
+  }
+  for (const auto& [client, floor] : evicted_sessions_) {
+    reconfig::CopyRecord rec;
+    rec.oid = client;
+    rec.tmp = floor;
+    rec.kind = reconfig::kCopyTombstone;
+    final_image_.emplace_back(rec, std::vector<std::byte>{});
+  }
+
+  // (3) Final delta: objects written (or collected but not yet on the
+  // wire — pass_pending_) since the last drained pass, plus all session
+  // state, sealed. Unthrottled: this is the flip's quiesce window and
+  // should be as short as possible.
+  std::set<Oid> delta = migration_dirty_;
+  delta.insert(pass_pending_.begin(), pass_pending_.end());
+  migration_dirty_.clear();
+  pass_pending_.clear();
+  std::vector<CopyItem> items;
+  for (const CopyItem& it : final_image_) {
+    if (it.first.kind == reconfig::kCopyObject &&
+        !delta.contains(it.first.oid)) {
+      continue;
+    }
+    items.push_back(it);
+  }
+  co_await copy_send(std::move(items), outbound_epoch_, mig.to, rank_,
+                     /*seal=*/true, /*throttle=*/false, inc);
+  if (stale(inc)) co_return;
+
+  // (4) Retirement: normalize any odd seqlock (satellite fix — this sweep
+  // previously only ran on restart()), poison the size word so stale
+  // fast readers fail their size check, and purge the range from the
+  // update log so later delta checkpoints/transfers skip retired oids.
+  for (const Oid oid : range_oids) {
+    if (!store_->exists(oid)) continue;
+    if (store_->seqlock(oid) & 1) store_->end_write(oid);
+    store_->retire(oid);
+    ++migrated_out_;
+  }
+  std::erase_if(update_log_,
+                [&mig](const LogEntry& e) { return mig.contains(e.oid); });
+  outbound_active_ = false;  // outbound_/outbound_epoch_ kept for pulls
+}
+
+sim::Task<void> Replica::copy_machine(std::uint64_t mig_epoch) {
+  const std::uint64_t inc = incarnation_;
+  const reconfig::ReconfigConfig& rcfg = system_->config().reconfig;
+  auto& sim = system_->simulator();
+  const reconfig::Migration mig = outbound_;
+  int pass = 0;
+  while (true) {
+    if (stale(inc) || !outbound_active_ || outbound_flipped_ ||
+        outbound_epoch_ != mig_epoch) {
+      co_return;
+    }
+    // Pass 0 snapshots the whole range; later passes drain the objects
+    // foreground writes dirtied since. Collected oids sit in
+    // pass_pending_ until their chunk is on the wire, so a FLIP that
+    // interrupts a pass still covers them in its final delta.
+    std::vector<Oid> oids;
+    if (pass == 0) {
+      store_->for_each_oid([&](Oid oid) {
+        if (mig.contains(oid)) oids.push_back(oid);
+      });
+      std::sort(oids.begin(), oids.end());
+    } else {
+      oids.assign(migration_dirty_.begin(), migration_dirty_.end());
+      migration_dirty_.clear();
+    }
+    pass_pending_.insert(oids.begin(), oids.end());
+    std::vector<CopyItem> items;
+    items.reserve(oids.size());
+    for (const Oid oid : oids) {
+      if (!store_->exists(oid)) continue;
+      const auto [tmp, val] = store_->get(oid);
+      reconfig::CopyRecord rec;
+      rec.oid = oid;
+      rec.tmp = tmp;
+      rec.size = static_cast<std::uint32_t>(val.size());
+      rec.serialized = store_->is_serialized(oid) ? 1u : 0u;
+      rec.kind = reconfig::kCopyObject;
+      items.emplace_back(rec, std::vector<std::byte>(val.begin(), val.end()));
+    }
+    const bool ok = co_await copy_send(std::move(items), mig_epoch, mig.to,
+                                       rank_, /*seal=*/false,
+                                       /*throttle=*/true, inc);
+    if (!ok || stale(inc) || !outbound_active_ || outbound_flipped_) co_return;
+    ++pass;
+    copy_caught_up_ = migration_dirty_.size() + pass_pending_.size() <=
+                      rcfg.seal_dirty_threshold;
+    co_await sim.sleep(rcfg.delta_pass_interval);
+  }
+}
+
+sim::Task<bool> Replica::copy_send(std::vector<CopyItem> items,
+                                   std::uint64_t mig_epoch, GroupId dest_group,
+                                   int dest_rank, bool seal, bool throttle,
+                                   std::uint64_t inc) {
+  const HeronConfig& cfg = system_->config();
+  const reconfig::ReconfigConfig& rcfg = cfg.reconfig;
+  auto& sim = system_->simulator();
+  auto& ep = system_->amcast().endpoint(group_, rank_);
+  Replica& dest = system_->replica(dest_group, dest_rank);
+  std::vector<std::byte> chunk(reconfig::copy_slot_bytes(rcfg));
+  std::uint32_t fill = 0;
+  std::uint32_t count = 0;
+  std::vector<Oid> chunk_oids;
+
+  auto flush = [&](bool seal_flag) -> sim::Task<bool> {
+    if (count == 0 && !seal_flag) co_return true;
+    if (throttle) {
+      // Same backpressure discipline as the checkpoint writer: defer
+      // while the ordering propose queue is deep or the replica CPU has
+      // a backlog of queued foreground work.
+      while (ep.propose_backlog() > rcfg.throttle_queue_depth ||
+             node().cpu().free_at() > sim.now() + rcfg.throttle_cpu_backlog) {
+        ++copy_deferred_;
+        ctr_copy_deferred_->inc();
+        co_await sim.sleep(rcfg.throttle_backoff);
+        if (stale(inc)) co_return false;
+      }
+    }
+    if (fill > 0) {
+      co_await node().cpu().use(static_cast<sim::Nanos>(
+          static_cast<double>(fill) * cfg.memcpy_ns_per_byte));
+      if (stale(inc)) co_return false;
+    }
+    reconfig::CopyChunkHeader hdr;
+    hdr.seq = ++copy_seq_[static_cast<std::size_t>(dest_rank)];
+    hdr.epoch = mig_epoch;
+    hdr.record_count = count;
+    hdr.payload_bytes = fill;
+    hdr.flags = seal_flag ? reconfig::kCopyFlagSeal : 0u;
+    hdr.crc = reconfig::copy_crc(std::span<const std::byte>(chunk).subspan(
+        sizeof(reconfig::CopyChunkHeader), fill));
+    // Fault injection: corrupt one payload byte AFTER the CRC was
+    // computed — the receiver must detect the mismatch and recover
+    // through the pull path.
+    if (rcfg.chunk_corrupt_rate > 0 && fill > 0 &&
+        rng_.chance(rcfg.chunk_corrupt_rate)) {
+      chunk[sizeof(hdr) + rng_.bounded(fill)] ^= std::byte{0x40};
+    }
+    rdma::store_pod(std::span(chunk), 0, hdr);
+    // A failed write (dest down) is tolerated: the dest recovers through
+    // a pull resend once it rejoins.
+    co_await system_->fabric().write(
+        node().id(),
+        rdma::RAddr{dest.node().id(), dest.reconfig_mr(),
+                    reconfig::copy_slot_offset(rcfg, rank_, hdr.seq)},
+        std::span<const std::byte>(chunk).first(sizeof(hdr) + fill));
+    if (stale(inc)) co_return false;
+    ++copy_chunks_sent_;
+    ctr_copy_chunks_->inc();
+    for (const Oid oid : chunk_oids) pass_pending_.erase(oid);
+    chunk_oids.clear();
+    fill = 0;
+    count = 0;
+    co_return true;
+  };
+
+  for (CopyItem& item : items) {
+    const auto len = static_cast<std::uint32_t>(sizeof(reconfig::CopyRecord) +
+                                                item.second.size());
+    if (len > rcfg.copy_chunk_bytes) {
+      throw std::runtime_error("reconfig: record larger than copy chunk");
+    }
+    if (fill + len > rcfg.copy_chunk_bytes) {
+      if (!co_await flush(false)) co_return false;
+    }
+    const std::uint64_t off = sizeof(reconfig::CopyChunkHeader) + fill;
+    rdma::store_pod(std::span(chunk), off, item.first);
+    std::memcpy(chunk.data() + off + sizeof(reconfig::CopyRecord),
+                item.second.data(), item.second.size());
+    fill += len;
+    ++count;
+    if (item.first.kind == reconfig::kCopyObject) {
+      chunk_oids.push_back(item.first.oid);
+    }
+  }
+  co_return co_await flush(seal);
+}
+
+sim::Task<void> Replica::copy_recv_loop() {
+  const std::uint64_t inc = incarnation_;
+  auto& region = node().region(reconfig_mr_);
+  const HeronConfig& cfg = system_->config();
+  const reconfig::ReconfigConfig& rcfg = cfg.reconfig;
+  const int reps = system_->replicas_per_partition();
+
+  auto have_new = [this, &region, &rcfg, reps] {
+    for (int s = 0; s < reps; ++s) {
+      const auto next = copy_next_[static_cast<std::size_t>(s)] + 1;
+      const auto hdr = rdma::load_pod<reconfig::CopyChunkHeader>(
+          region.bytes(), reconfig::copy_slot_offset(rcfg, s, next));
+      if (hdr.seq >= next) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    co_await sim::wait_until(region.on_write(), have_new);
+    if (stale(inc)) co_return;
+    for (int s = 0; s < reps; ++s) {
+      while (true) {
+        const std::uint64_t next = copy_next_[static_cast<std::size_t>(s)] + 1;
+        const std::uint64_t base = reconfig::copy_slot_offset(rcfg, s, next);
+        const auto hdr =
+            rdma::load_pod<reconfig::CopyChunkHeader>(region.bytes(), base);
+        if (hdr.seq < next) break;
+        if (hdr.seq > next) {
+          // Ring overrun while this rank lagged (or was down): the slots
+          // between next and hdr.seq were overwritten and their records
+          // lost — taint the stream so no SEAL lands until a pull resend.
+          inbound_stream_dirty_ = true;
+          copy_next_[static_cast<std::size_t>(s)] = hdr.seq - 1;
+          continue;
+        }
+        const auto payload = region.bytes().subspan(
+            base + sizeof(reconfig::CopyChunkHeader), hdr.payload_bytes);
+        copy_next_[static_cast<std::size_t>(s)] = hdr.seq;
+        inbound_progress_at_ = system_->simulator().now();
+        if (reconfig::copy_crc(payload) != hdr.crc) {
+          ++copy_chunks_corrupt_;
+          ctr_copy_corrupt_->inc();
+          inbound_stream_dirty_ = true;
+          continue;
+        }
+        ++copy_chunks_received_;
+        sim::Nanos apply_cpu = 0;
+        std::uint64_t off = 0;
+        for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+          const auto rec = rdma::load_pod<reconfig::CopyRecord>(payload, off);
+          off += sizeof(reconfig::CopyRecord);
+          const auto value = payload.subspan(off, rec.size);
+          off += rec.size;
+          if (rec.kind == reconfig::kCopySession) {
+            merge_session(static_cast<std::uint32_t>(rec.oid),
+                          decode_session(value));
+            apply_cpu += static_cast<sim::Nanos>(
+                static_cast<double>(rec.size) * cfg.memcpy_ns_per_byte);
+            continue;
+          }
+          if (rec.kind == reconfig::kCopyTombstone) {
+            auto& floor =
+                evicted_sessions_[static_cast<std::uint32_t>(rec.oid)];
+            floor = std::max(floor, rec.tmp);
+            continue;
+          }
+          // Object record, newest-wins: later passes and idempotent pull
+          // resends may re-ship versions this rank already applied.
+          if (store_->exists(rec.oid)) {
+            if (store_->get(rec.oid).first >= rec.tmp) continue;
+          } else {
+            ++migrated_in_;
+          }
+          store_->install_version(rec.oid, value, rec.tmp,
+                                  rec.serialized != 0);
+          apply_cpu += static_cast<sim::Nanos>(
+              static_cast<double>(rec.size) *
+              (rec.serialized != 0 ? cfg.memcpy_ns_per_byte
+                                   : cfg.serialize_ns_per_byte));
+        }
+        if ((hdr.flags & reconfig::kCopyFlagSeal) != 0) {
+          if (!inbound_stream_dirty_) {
+            seal_epoch_seen_ = std::max(seal_epoch_seen_, hdr.epoch);
+          }
+          // A dirty stream drops the seal: the starvation watcher sees no
+          // further progress and pulls a full resend, which carries its
+          // own SEAL over a fresh clean stream.
+          inbound_stream_dirty_ = false;
+        }
+        if (apply_cpu > 0) {
+          co_await node().cpu().use(apply_cpu);
+          if (stale(inc)) co_return;
+        }
+      }
+    }
+  }
+}
+
+sim::Task<void> Replica::inbound_watch_loop(std::uint64_t mig_epoch) {
+  const std::uint64_t inc = incarnation_;
+  const reconfig::ReconfigConfig& rcfg = system_->config().reconfig;
+  auto& sim = system_->simulator();
+  const int reps = system_->replicas_per_partition();
+  while (true) {
+    co_await sim.sleep(rcfg.pull_timeout / 2);
+    if (stale(inc)) co_return;
+    if (inbound_epoch_ != mig_epoch) co_return;    // superseded migration
+    if (seal_epoch_seen_ >= mig_epoch) co_return;  // sealed: done
+    if (sim.now() - inbound_progress_at_ <= rcfg.pull_timeout) continue;
+    // Starved: ask the next source rank (pair rank first, then
+    // round-robin) for an idempotent full resend.
+    const int src = static_cast<int>(
+        (static_cast<std::uint64_t>(rank_) + pull_rr_++) %
+        static_cast<std::uint64_t>(reps));
+    Replica& donor = system_->replica(inbound_.from, src);
+    const reconfig::PullWord pw{++pull_serial_, rank_, 0};
+    system_->fabric().write_async(
+        node().id(),
+        rdma::RAddr{donor.node().id(), donor.reconfig_mr(),
+                    reconfig::copy_pull_offset(rcfg, reps, rank_)},
+        rdma::pod_bytes(pw));
+    ++copy_pulls_;
+    ctr_copy_pulls_->inc();
+    inbound_progress_at_ = sim.now();
+  }
+}
+
+sim::Task<void> Replica::pull_watch_loop() {
+  const std::uint64_t inc = incarnation_;
+  auto& region = node().region(reconfig_mr_);
+  const reconfig::ReconfigConfig& rcfg = system_->config().reconfig;
+  const int reps = system_->replicas_per_partition();
+  while (true) {
+    co_await region.on_write().wait();
+    if (stale(inc)) co_return;
+    for (int q = 0; q < reps; ++q) {
+      const auto pw = rdma::load_pod<reconfig::PullWord>(
+          region.bytes(), reconfig::copy_pull_offset(rcfg, reps, q));
+      if (pw.serial <= pull_seen_[static_cast<std::size_t>(q)] ||
+          pw.requester != q) {
+        continue;
+      }
+      pull_seen_[static_cast<std::size_t>(q)] = pw.serial;
+      // Serve only once flipped, from the retained final image. A
+      // restarted source whose image is gone marks the pull handled and
+      // stays silent; the starved destination round-robins to the next
+      // source rank. (Every source crashing after the FLIP but before
+      // any dest rank sealed is out of scope — see DESIGN.md.)
+      if (!outbound_flipped_ || final_image_.empty()) continue;
+      ++copy_pulls_served_;
+      std::vector<CopyItem> items = final_image_;
+      co_await copy_send(std::move(items), outbound_epoch_, outbound_.to, q,
+                         /*seal=*/true, /*throttle=*/false, inc);
+      if (stale(inc)) co_return;
+    }
+  }
+}
+
+void Replica::merge_session(std::uint32_t client, Session&& incoming) {
+  incoming.last_active = system_->simulator().now();
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    sessions_[client] = std::move(incoming);
+    return;
+  }
+  // Union-merge: both sides may have executed disjoint command sets (the
+  // source pre-flip, this group post-flip). The cached reply follows the
+  // higher cached_seq; a paged-out incoming payload stays paged out and
+  // degrades to kStatusStaleSession on retry (this group's device never
+  // persisted it).
+  Session& s = it->second;
+  if (incoming.cached_seq > s.cached_seq) {
+    s.cached_seq = incoming.cached_seq;
+    s.cached_reply = std::move(incoming.cached_reply);
+    s.reply_paged_out = incoming.reply_paged_out;
+  }
+  s.last_tmp = std::max(s.last_tmp, incoming.last_tmp);
+  s.last_active = incoming.last_active;
+  const std::uint64_t w = std::max(s.watermark, incoming.watermark);
+  s.above.insert(incoming.above.begin(), incoming.above.end());
+  s.watermark = w;
+  while (!s.above.empty() && *s.above.begin() <= w) {
+    s.above.erase(s.above.begin());
+  }
+  while (s.above.contains(s.watermark + 1)) {
+    s.above.erase(s.watermark + 1);
+    ++s.watermark;
+  }
+}
+
+void Replica::adopt_layout_record(std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(std::uint64_t)) return;
+  const auto donor_seal = rdma::load_pod<std::uint64_t>(payload, 0);
+  reconfig::Layout donor;
+  std::uint32_t phase = 0;
+  if (!reconfig::decode_marker(payload.subspan(sizeof(std::uint64_t)), donor,
+                               phase)) {
+    return;
+  }
+  if (donor.epoch > layout_.epoch) {
+    layout_ = donor;
+    publish_epoch_word();
+  }
+  // Donor seal knowledge is transplantable: the same transfer ships the
+  // donor's store, which already includes everything its sealed copy
+  // stream carried.
+  seal_epoch_seen_ = std::max(seal_epoch_seen_, donor_seal);
+}
+
+sim::Task<void> Replica::resume_migration_roles(std::uint64_t inc) {
+  if (!layout_.enabled() || !layout_.migration.active()) co_return;
+  const reconfig::Migration mig = layout_.migration;
+  const reconfig::ReconfigConfig& rcfg = system_->config().reconfig;
+  const int reps = system_->replicas_per_partition();
+  auto& sim = system_->simulator();
+
+  if (mig.from == group_) {
+    // Source crashed mid-copy: recover per-dest send counters from the
+    // surviving dest rings (a fresh stream restarting at seq 1 would be
+    // silently ignored by the dest's cursor), then restart the copier
+    // from a full pass.
+    for (int q = 0; q < reps; ++q) {
+      Replica& dest = system_->replica(mig.to, q);
+      std::uint64_t max_seq = copy_seq_[static_cast<std::size_t>(q)];
+      for (std::uint32_t i = 0; i < rcfg.copy_ring_slots; ++i) {
+        std::vector<std::byte> buf(sizeof(reconfig::CopyChunkHeader));
+        const auto cc = co_await system_->fabric().read(
+            node().id(),
+            rdma::RAddr{dest.node().id(), dest.reconfig_mr(),
+                        (static_cast<std::uint64_t>(rank_) *
+                             rcfg.copy_ring_slots +
+                         i) *
+                            reconfig::copy_slot_bytes(rcfg)},
+            buf);
+        if (stale(inc)) co_return;
+        if (!cc.ok()) break;  // dest down; counter stays, stream resumes
+        max_seq = std::max(
+            max_seq,
+            rdma::load_pod<reconfig::CopyChunkHeader>(std::span(buf), 0).seq);
+      }
+      copy_seq_[static_cast<std::size_t>(q)] = max_seq;
+    }
+    outbound_active_ = true;
+    outbound_flipped_ = false;
+    outbound_ = mig;
+    outbound_epoch_ = layout_.epoch;
+    migration_dirty_.clear();
+    pass_pending_.clear();
+    copy_caught_up_ = false;
+    sim.spawn(copy_machine(layout_.epoch));
+  }
+  if (mig.to == group_ && seal_epoch_seen_ < layout_.epoch) {
+    inbound_epoch_ = layout_.epoch;
+    inbound_ = mig;
+    // Chunks streamed while this rank was down are gone; force the first
+    // SEAL attempt to fail so a pull resend re-ships the whole range.
+    inbound_stream_dirty_ = true;
+    inbound_progress_at_ = sim.now();
+    sim.spawn(inbound_watch_loop(layout_.epoch));
+  }
+}
+
+// ---------------------------------------------------------------------
 // Algorithm 3: state transfer.
 // ---------------------------------------------------------------------
 
 void Replica::log_update(Tmp tmp, Oid oid) {
+  // Copy-machine dirty tracking: a foreground write into the outbound
+  // range re-marks the object for the next delta pass (or the FLIP's
+  // final delta).
+  if (outbound_active_ && !outbound_flipped_ && outbound_.contains(oid)) {
+    migration_dirty_.insert(oid);
+  }
   update_log_.push_back(LogEntry{tmp, oid});
   if (update_log_.size() > system_->config().update_log_capacity) {
     // A capacity pop loses dirty-tracking: remember the highest tmp ever
@@ -1380,6 +2040,7 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp,
   };
 
   for (Oid oid : oids) {
+    if (!store_->exists(oid)) continue;  // retired (migrated away)
     const auto [tmp, value] = store_->get(oid);
     const auto record_len =
         static_cast<std::uint32_t>(sizeof(ChunkRecord) + value.size());
@@ -1465,6 +2126,36 @@ sim::Task<void> Replica::perform_transfer(int lagger_rank, Tmp from_tmp,
     fill += record_len;
     ++count;
   }
+
+  // Donor layout + seal knowledge (heron::reconfig): a rejoining replica
+  // that missed epoch markers while down adopts the donor's installed
+  // layout, and may adopt its seal too — the donor's store (shipped in
+  // this very transfer) already contains everything its sealed copy
+  // stream carried.
+  if (layout_.enabled()) {
+    std::vector<std::byte> blob(sizeof(std::uint64_t));
+    rdma::store_pod(std::span(blob), 0, seal_epoch_seen_);
+    if (reconfig::encode_marker(layout_, 0, blob)) {
+      const auto payload_len = static_cast<std::uint32_t>(blob.size());
+      const auto record_len =
+          static_cast<std::uint32_t>(sizeof(ChunkRecord) + payload_len);
+      if (fill + record_len > chunk_capacity) {
+        co_await flush();
+        if (stale(inc)) co_return;
+      }
+      ChunkRecord rec;
+      rec.oid = 0;
+      rec.tmp = layout_.epoch;
+      rec.size = payload_len;
+      rec.kind = kRecLayout;
+      const std::uint64_t off = sizeof(ChunkHeader) + fill;
+      rdma::store_pod(std::span(chunk), off, rec);
+      std::memcpy(chunk.data() + off + sizeof(ChunkRecord), blob.data(),
+                  blob.size());
+      fill += record_len;
+      ++count;
+    }
+  }
   co_await flush();
   if (stale(inc)) co_return;
 
@@ -1539,6 +2230,11 @@ sim::Task<void> Replica::staging_apply_loop() {
             auto& floor =
                 evicted_sessions_[static_cast<std::uint32_t>(rec.oid)];
             floor = std::max(floor, rec.tmp);
+            off += rec.size;
+            continue;
+          }
+          if (rec.kind == kRecLayout) {
+            adopt_layout_record(value);
             off += rec.size;
             continue;
           }
@@ -1671,6 +2367,7 @@ sim::Task<void> Replica::write_checkpoint_once(std::uint64_t inc) {
         [](const LogEntry& e, Tmp t) { return e.tmp < t; });
     for (; it != update_log_.end(); ++it) dirty.insert(it->oid);
     for (const Oid oid : dirty) {
+      if (!store_->exists(oid)) continue;  // retired (migrated away)
       const auto [tmp, val] = store_->get(oid);
       add_object(oid, tmp, val, store_->is_serialized(oid));
     }
@@ -1710,7 +2407,7 @@ sim::Task<void> Replica::write_checkpoint_once(std::uint64_t inc) {
 
   const bool ok = co_await ckpt_->write_checkpoint(
       w, lease_epoch_, lease_expiry_, full, records,
-      [this, inc] { return stale(inc); });
+      [this, inc] { return stale(inc); }, layout_.epoch);
   if (stale(inc)) co_return;
   if (!ok) co_return;  // aborted or out of pages; previous commit intact
 
@@ -1857,6 +2554,24 @@ void Replica::restart() {
   restart_catchup_bytes_ = 0;
   rejoining_ = true;
 
+  // Reconfiguration role state is volatile (its coroutines died with the
+  // node); rejoin()'s resume_migration_roles re-arms whatever the adopted
+  // layout still shows active. Cursors and counters (copy_seq_,
+  // copy_next_, pull_seen_, pull_serial_, seal_epoch_seen_) survive with
+  // the registered region they describe. A flipped source loses its
+  // retained final image and can no longer serve pulls — destinations
+  // round-robin to a surviving source rank instead.
+  outbound_active_ = false;
+  outbound_flipped_ = false;
+  outbound_epoch_ = 0;
+  outbound_ = {};
+  migration_dirty_.clear();
+  pass_pending_.clear();
+  copy_caught_up_ = false;
+  final_image_.clear();
+  inbound_epoch_ = 0;
+  inbound_stream_dirty_ = false;
+
   // Fast-read lease state is volatile: a restarted replica must not serve
   // fast reads until a grant ordered after its rejoin transfer arrives.
   // Zero the published lease word first, then normalize any seqlock left
@@ -1922,6 +2637,10 @@ sim::Task<void> Replica::rejoin() {
   sim.spawn(addr_query_loop());
   sim.spawn(statesync_watch_loop());
   sim.spawn(staging_apply_loop());
+  if (reconfig_enabled()) {
+    sim.spawn(copy_recv_loop());
+    sim.spawn(pull_watch_loop());
+  }
 
   // Recover send-side counters by reading back the rings our past writes
   // landed in, so fresh sends continue the surviving sequence instead of
@@ -1972,8 +2691,40 @@ sim::Task<void> Replica::rejoin() {
   // legacy full transfer below.
   bool have_sessions = false;
   if (ckpt_ != nullptr) {
-    const auto img = co_await ckpt_->load_latest();
+    auto img = co_await ckpt_->load_latest();
     if (stale(inc)) co_return;
+    if (img.has_value() && reconfig_enabled()) {
+      // Reject checkpoints committed under a superseded layout: objects
+      // may have migrated away (or in) since, and replaying the image
+      // would resurrect retired state. Peers publish their installed
+      // epoch in the fast-read region; one one-sided READ per peer tells
+      // us whether the cluster moved on while we were down. Rejecting
+      // falls back to a full transfer, which ships the donor's layout.
+      std::uint64_t peer_epoch = layout_.epoch;
+      for (int q = 0; q < system_->replicas_per_partition(); ++q) {
+        if (q == rank_) continue;
+        Replica& peer = system_->replica(group_, q);
+        std::vector<std::byte> buf(sizeof(std::uint64_t));
+        const auto cc = co_await system_->fabric().read(
+            node().id(),
+            rdma::RAddr{peer.node().id(), peer.fastread_mr(),
+                        kFastReadEpochOffset},
+            buf);
+        if (stale(inc)) co_return;
+        if (!cc.ok()) continue;
+        peer_epoch = std::max(
+            peer_epoch, rdma::load_pod<std::uint64_t>(std::span(buf), 0));
+      }
+      if (peer_epoch > img->layout_epoch) {
+        ++ckpt_rejected_layout_;
+        HSIM_LOG(system_->simulator(), kInfo,
+                 "core g" << group_ << ".r" << rank_
+                          << " checkpoint rejected: layout_epoch="
+                          << img->layout_epoch << " < cluster epoch "
+                          << peer_epoch);
+        img.reset();
+      }
+    }
     if (img.has_value()) {
       co_await apply_checkpoint_image(*img);
       if (stale(inc)) co_return;
@@ -2005,6 +2756,28 @@ sim::Task<void> Replica::rejoin() {
       xfer_applied_full_bytes_ + xfer_applied_delta_bytes_ - applied_before;
   gauge_restart_delta_->set(
       static_cast<std::int64_t>(restart_catchup_bytes_));
+
+  if (layout_.enabled()) {
+    // Owner sweep: the store index survives the crash, so objects this
+    // group handed off under a layout adopted above (transfer kRecLayout
+    // record or surviving epoch word) may still be present. Retire them —
+    // except inbound migration state still being copied *to* us.
+    std::vector<Oid> foreign;
+    store_->for_each_oid([&](Oid oid) {
+      if (layout_.owner_of(oid) == group_) return;
+      if (layout_.migration.active() && layout_.migration.to == group_ &&
+          layout_.migration.contains(oid)) {
+        return;
+      }
+      foreign.push_back(oid);
+    });
+    for (const Oid oid : foreign) {
+      if (store_->seqlock(oid) & 1) store_->end_write(oid);
+      store_->retire(oid);
+    }
+    co_await resume_migration_roles(inc);
+    if (stale(inc)) co_return;
+  }
 
   HSIM_LOG(system_->simulator(), kInfo,
            "core g" << group_ << ".r" << rank_

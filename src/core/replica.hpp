@@ -18,6 +18,7 @@
 #include "core/object_store.hpp"
 #include "core/types.hpp"
 #include "durable/checkpoint.hpp"
+#include "reconfig/chunk.hpp"
 #include "sim/stats.hpp"
 #include "telemetry/hub.hpp"
 
@@ -183,6 +184,46 @@ class Replica {
   [[nodiscard]] std::uint64_t lease_grants() const { return lease_grants_; }
   [[nodiscard]] std::uint64_t gate_waits() const { return gate_waits_; }
 
+  // Reconfiguration state (heron::reconfig; tests / bench / controller).
+  [[nodiscard]] const reconfig::Layout& layout() const { return layout_; }
+  [[nodiscard]] rdma::MrId reconfig_mr() const { return reconfig_mr_; }
+  /// Source role: the background copier has drained the range down to the
+  /// seal_dirty_threshold — the controller may order the FLIP marker.
+  [[nodiscard]] bool copy_caught_up() const { return copy_caught_up_; }
+  /// Source role: FLIP processed; the range has been handed off and this
+  /// replica only serves idempotent pull resends from its final image.
+  [[nodiscard]] bool outbound_flipped() const { return outbound_flipped_; }
+  /// Destination role: no unsealed inbound copy stream (either none was
+  /// ever inbound, or the SEAL for the current migration epoch landed).
+  [[nodiscard]] bool inbound_sealed() const {
+    return inbound_epoch_ == 0 || seal_epoch_seen_ >= inbound_epoch_;
+  }
+  [[nodiscard]] std::uint64_t copy_chunks_sent() const {
+    return copy_chunks_sent_;
+  }
+  [[nodiscard]] std::uint64_t copy_chunks_received() const {
+    return copy_chunks_received_;
+  }
+  [[nodiscard]] std::uint64_t copy_chunks_corrupt() const {
+    return copy_chunks_corrupt_;
+  }
+  [[nodiscard]] std::uint64_t copy_deferred() const { return copy_deferred_; }
+  [[nodiscard]] std::uint64_t copy_pulls() const { return copy_pulls_; }
+  [[nodiscard]] std::uint64_t copy_pulls_served() const {
+    return copy_pulls_served_;
+  }
+  [[nodiscard]] std::uint64_t wrong_epoch_replies() const {
+    return wrong_epoch_replies_;
+  }
+  [[nodiscard]] std::uint64_t quiesce_deferred() const {
+    return quiesce_deferred_;
+  }
+  [[nodiscard]] std::uint64_t migrated_out() const { return migrated_out_; }
+  [[nodiscard]] std::uint64_t migrated_in() const { return migrated_in_; }
+  [[nodiscard]] std::uint64_t checkpoints_rejected_layout() const {
+    return ckpt_rejected_layout_;
+  }
+
   // Offset helpers shared with peer writers.
   [[nodiscard]] std::uint64_t coord_offset(GroupId h, int q) const;
   [[nodiscard]] std::uint64_t statesync_offset(int q) const;
@@ -273,6 +314,59 @@ class Replica {
   /// the persisted session record and answer from it.
   sim::Task<void> answer_paged_reply(const Request& r);
   [[nodiscard]] bool session_reply_paged_out(const Request& r) const;
+
+  // --- reconfiguration (heron::reconfig) --------------------------------
+  /// One copy-stream record plus its value bytes; the unit the copy
+  /// machine batches into CRC'd chunks and the retained final image.
+  using CopyItem = std::pair<reconfig::CopyRecord, std::vector<std::byte>>;
+
+  [[nodiscard]] bool reconfig_enabled() const;
+  /// Handles a layout-epoch marker (kWireFlagEpoch) from the ordered
+  /// stream: installs the new layout; on PREPARE arms the source/dest
+  /// roles, on FLIP performs the source-side handoff (lease cutoff, final
+  /// delta + SEAL, range retirement).
+  sim::Task<void> apply_epoch_marker(const Request& r);
+  /// Publishes layout_.epoch into the fast-read region (read one-sided by
+  /// rejoining peers to reject checkpoints from a superseded layout).
+  void publish_epoch_word();
+  /// Oids a request's routing is judged by: the read oid (kReqFlagRead)
+  /// or the app read_set. Empty when the request carries no parseable
+  /// keys (order-only payloads).
+  [[nodiscard]] std::vector<Oid> request_oids(const Request& r) const;
+  /// True while any of `oids` lies in an inbound migration range whose
+  /// copy stream has not sealed yet (dual-epoch quiesce window).
+  [[nodiscard]] bool touches_unsealed_inbound(
+      const std::vector<Oid>& oids) const;
+  [[nodiscard]] Reply make_wrong_epoch_reply(Oid oid) const;
+  /// Source-side background copier: pass 0 snapshots the whole range,
+  /// later passes drain the dirty set, throttled against foreground load.
+  sim::Task<void> copy_machine(std::uint64_t mig_epoch);
+  /// Streams `items` as CRC'd chunks into dest's per-source-rank ring.
+  /// `seal` flags the last chunk; `throttle` defers between chunks under
+  /// foreground load. Erases each landed object from pass_pending_.
+  /// Returns false when the sender went stale mid-stream.
+  sim::Task<bool> copy_send(std::vector<CopyItem> items,
+                            std::uint64_t mig_epoch, GroupId dest_group,
+                            int dest_rank, bool seal, bool throttle,
+                            std::uint64_t inc);
+  /// Destination-side consumer: drains chunk rings in seq order, verifies
+  /// CRCs, applies records newest-wins, tracks stream dirtiness and seals.
+  sim::Task<void> copy_recv_loop();
+  /// Destination-side starvation watcher: no inbound progress for
+  /// pull_timeout -> write a pull word to the next source rank.
+  sim::Task<void> inbound_watch_loop(std::uint64_t mig_epoch);
+  /// Source-side pull server: answers a dest rank's pull word with an
+  /// idempotent full resend of the retained final image (+ SEAL).
+  sim::Task<void> pull_watch_loop();
+  /// Union-merges a copy-streamed session into the local table.
+  void merge_session(std::uint32_t client, Session&& incoming);
+  /// State-transfer kRecLayout payload: adopts the donor's layout when
+  /// newer and max-merges its seal knowledge.
+  void adopt_layout_record(std::span<const std::byte> payload);
+  /// Rejoin tail: re-arms the copy machine (source) or inbound tracking
+  /// (dest) for a migration still active in the adopted layout, after
+  /// recovering send counters from the peer rings.
+  sim::Task<void> resume_migration_roles(std::uint64_t inc);
 
   /// True when a coroutine spawned under incarnation `inc` must exit (the
   /// node crashed, or restarted and fresh loops took over).
@@ -375,6 +469,46 @@ class Replica {
   std::vector<std::uint64_t> staging_next_;  // per sender rank
   std::vector<std::uint64_t> staging_sent_;  // per receiver rank (send side)
 
+  // --- reconfiguration state (heron::reconfig) ---------------------------
+  reconfig::Layout layout_;      // installed layout; epoch 0 = disabled
+  rdma::MrId reconfig_mr_{};     // copy rings + pull words (when enabled)
+  // Source role (outbound migration). outbound_epoch_/outbound_ survive
+  // the FLIP so the pull server knows which stream it re-seals.
+  bool outbound_active_ = false;   // PREPARE seen, FLIP not yet processed
+  bool outbound_flipped_ = false;  // FLIP processed; serving pulls only
+  std::uint64_t outbound_epoch_ = 0;  // PREPARE epoch of the migration
+  reconfig::Migration outbound_;
+  std::set<Oid> migration_dirty_;  // written since last drained pass
+  std::set<Oid> pass_pending_;     // collected for a pass, not yet on wire
+  bool copy_caught_up_ = false;
+  /// Snapshot of the handed-off range (+ all sessions/tombstones) taken
+  /// at FLIP, kept in memory to serve idempotent pull resends after the
+  /// live objects were retired.
+  std::vector<CopyItem> final_image_;
+  std::vector<std::uint64_t> copy_seq_;   // send counter per dest rank
+  std::vector<std::uint64_t> pull_seen_;  // handled pull serial per rank
+  // Destination role (inbound migration).
+  std::uint64_t inbound_epoch_ = 0;  // PREPARE epoch; 0 = none inbound
+  reconfig::Migration inbound_;
+  std::uint64_t seal_epoch_seen_ = 0;  // highest cleanly sealed epoch
+  bool inbound_stream_dirty_ = false;  // gap/CRC failure since last seal try
+  sim::Nanos inbound_progress_at_ = 0;
+  std::uint64_t pull_serial_ = 0;  // our outgoing pull-word serial
+  std::uint64_t pull_rr_ = 0;      // round-robin source pick for pulls
+  std::vector<std::uint64_t> copy_next_;  // consumer cursor per source rank
+  // Telemetry-backed counters.
+  std::uint64_t copy_chunks_sent_ = 0;
+  std::uint64_t copy_chunks_received_ = 0;
+  std::uint64_t copy_chunks_corrupt_ = 0;
+  std::uint64_t copy_deferred_ = 0;
+  std::uint64_t copy_pulls_ = 0;
+  std::uint64_t copy_pulls_served_ = 0;
+  std::uint64_t wrong_epoch_replies_ = 0;
+  std::uint64_t quiesce_deferred_ = 0;
+  std::uint64_t migrated_out_ = 0;
+  std::uint64_t migrated_in_ = 0;
+  std::uint64_t ckpt_rejected_layout_ = 0;
+
   // Multi-threaded execution state (exec_threads > 1).
   std::vector<std::unique_ptr<sim::Cpu>> exec_cpus_;
   std::vector<bool> slot_busy_;
@@ -413,6 +547,12 @@ class Replica {
   telemetry::Counter* ctr_lease_grants_;
   telemetry::Counter* ctr_gate_waits_;
   telemetry::Counter* ctr_ordered_reads_;
+  telemetry::Counter* ctr_copy_chunks_;
+  telemetry::Counter* ctr_copy_corrupt_;
+  telemetry::Counter* ctr_copy_deferred_;
+  telemetry::Counter* ctr_copy_pulls_;
+  telemetry::Counter* ctr_wrong_epoch_;
+  telemetry::Counter* ctr_quiesce_;
   telemetry::Histogram* hist_exec_;
   telemetry::Histogram* hist_coord_;
   telemetry::Histogram* hist_gate_wait_;

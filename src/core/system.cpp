@@ -7,6 +7,7 @@
 #include <string>
 
 #include "rdma/pod.hpp"
+#include "sim/log.hpp"
 #include "sim/notifier.hpp"
 
 namespace heron::core {
@@ -18,6 +19,12 @@ System::System(rdma::Fabric& fabric, int partitions, int replicas,
   amcast_ =
       std::make_unique<amcast::System>(fabric, partitions, replicas,
                                        amcast_config);
+  // The epoch-1 layout must exist before any Replica is constructed —
+  // the replica ctor copies it (heron::reconfig).
+  if (config_.reconfig_keys != 0) {
+    layout0_ = reconfig::Layout::uniform(partitions, config_.reconfig_keys);
+    layout_ = layout0_;
+  }
   for (GroupId g = 0; g < partitions; ++g) {
     for (int r = 0; r < replicas; ++r) {
       replicas_.push_back(std::make_unique<Replica>(*this, g, r));
@@ -61,6 +68,107 @@ sim::Task<void> System::lease_manager_loop(amcast::ClientEndpoint& ep,
   }
 }
 
+void System::schedule_migration(const reconfig::Plan& plan) {
+  if (config_.reconfig_keys == 0) {
+    throw std::logic_error(
+        "core::System::schedule_migration: reconfig_keys == 0 "
+        "(reconfiguration disabled)");
+  }
+  auto& ep = amcast_->add_client();
+  if (by_id_.size() <= ep.client_id()) {
+    by_id_.resize(ep.client_id() + 1, nullptr);
+  }
+  by_id_[ep.client_id()] = nullptr;  // internal: no reply slot
+  simulator().spawn(reconfig_controller_loop(ep, plan));
+}
+
+sim::Task<void> System::multicast_marker(amcast::ClientEndpoint& ep,
+                                         DstMask dst,
+                                         const reconfig::Layout& layout,
+                                         std::uint32_t phase) {
+  const RequestHeader header{simulator().now(), 0, 0, 0};
+  std::vector<std::byte> wire(sizeof(RequestHeader));
+  std::memcpy(wire.data(), &header, sizeof(header));
+  if (!reconfig::encode_marker(layout, phase, wire)) {
+    throw std::runtime_error(
+        "reconfig: layout has too many ranges for one marker payload");
+  }
+  co_await ep.multicast(dst, wire, amcast::kWireFlagEpoch);
+}
+
+sim::Task<void> System::reconfig_controller_loop(amcast::ClientEndpoint& ep,
+                                                 reconfig::Plan plan) {
+  auto& sim = simulator();
+  if (plan.at > sim.now()) co_await sim.sleep(plan.at - sim.now());
+
+  // Markers go to EVERY group, not just the two involved: the layout
+  // epoch is a cluster-wide version, and non-involved groups must install
+  // it at an ordered position too (their wrong-epoch replies and epoch
+  // words stay consistent, and a later move touching them starts from the
+  // same layout).
+  DstMask all = 0;
+  for (GroupId g = 0; g < partitions(); ++g) all |= amcast::dst_of(g);
+
+  MigrationTimes times;
+  times.plan = plan;
+
+  // PREPARE: ownership unchanged, migration armed, epoch bumped. Source
+  // ranks spawn their copy machines when the marker is delivered.
+  reconfig::Layout prep = layout_;
+  prep.epoch += 1;
+  prep.migration =
+      reconfig::Migration{plan.lo, plan.hi, plan.from, plan.to};
+  co_await multicast_marker(ep, all, prep, reconfig::kEpochPrepare);
+  layout_ = prep;
+  times.prepare = sim.now();
+  migration_times_.push_back(times);
+  const std::size_t slot = migration_times_.size() - 1;
+
+  // Wait until every alive source rank reports its copier caught up
+  // (dirty backlog below the seal threshold), so the flip's unthrottled
+  // final delta — the quiesce window — stays brief. Crashed ranks are
+  // skipped: they re-arm via resume_migration_roles on rejoin.
+  for (;;) {
+    bool ready = true;
+    for (int q = 0; q < replicas_per_partition(); ++q) {
+      Replica& src = replica(plan.from, q);
+      if (src.node().alive() && !src.copy_caught_up()) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) break;
+    co_await sim.sleep(sim::us(50));
+  }
+
+  // FLIP: rewrite ownership (migration cleared inside apply_move), epoch
+  // bumped again. Sources run their handoff inline at delivery.
+  reconfig::Layout flip = layout_;
+  flip.apply_move(plan.lo, plan.hi, plan.to, flip.epoch + 1);
+  co_await multicast_marker(ep, all, flip, reconfig::kEpochFlip);
+  layout_ = flip;
+  migration_times_[slot].flip = sim.now();
+
+  // Completion: every alive destination rank sealed its inbound stream
+  // (ranks down right now seal later through the pull path).
+  for (;;) {
+    bool sealed = true;
+    for (int q = 0; q < replicas_per_partition(); ++q) {
+      Replica& dst = replica(plan.to, q);
+      if (dst.node().alive() && !dst.inbound_sealed()) {
+        sealed = false;
+        break;
+      }
+    }
+    if (sealed) break;
+    co_await sim.sleep(sim::us(50));
+  }
+  migration_times_[slot].sealed = sim.now();
+  HSIM_LOG(sim, kInfo, "reconfig: migration [" << plan.lo << "," << plan.hi
+                                               << ") g" << plan.from << "->g"
+                                               << plan.to << " sealed");
+}
+
 void System::restart_replica(GroupId g, int rank) {
   // Order matters: the endpoint brings the node back up and re-enters the
   // multicast protocol; the replica's rejoin then relies on deliveries and
@@ -94,7 +202,8 @@ Client::Client(System& system, amcast::ClientEndpoint& ep)
     : system_(&system),
       ep_(&ep),
       rng_(system.fabric().seed() ^
-           (0x9e3779b97f4a7c15ULL * (ep.client_id() + 1))) {
+           (0x9e3779b97f4a7c15ULL * (ep.client_id() + 1))),
+      layout_(system.initial_layout()) {
   reply_mr_ = ep.node().register_region(
       static_cast<std::size_t>(system.partitions()) * sizeof(ReplySlot));
   auto& hub = system.fabric().telemetry();
@@ -108,6 +217,50 @@ Client::Client(System& system, amcast::ClientEndpoint& ep)
       &hub.metrics.counter("core", "fastread_fallbacks", label);
   ctr_fast_lease_rejects_ =
       &hub.metrics.counter("core", "fastread_lease_rejects", label);
+  ctr_wrong_epoch_ =
+      &hub.metrics.counter("reconfig", "client_wrong_epoch", label);
+}
+
+bool Client::apply_wrong_epoch(const Reply& reply) {
+  if (reply.payload.size() < sizeof(WrongEpochWire)) return false;
+  WrongEpochWire wire{};
+  std::memcpy(&wire, reply.payload.data(), sizeof(wire));
+  if (wire.epoch > layout_.epoch && wire.owner >= 0) {
+    layout_.apply_move(wire.lo, wire.hi, wire.owner, wire.epoch);
+  }
+  // One wrong-epoch reply invalidates EVERY cache entry seeded under an
+  // older layout (satellite fix): they all potentially point at replicas
+  // that handed their range off, and each would otherwise fail only
+  // after its own round trip.
+  std::erase_if(fastread_cache_, [this](const auto& kv) {
+    return kv.second.epoch < layout_.epoch;
+  });
+  return true;
+}
+
+sim::Task<Client::Result> Client::submit_routed(
+    Oid oid, GroupId fallback, std::uint32_t kind,
+    std::span<const std::byte> payload, std::uint32_t flags) {
+  constexpr int kMaxHops = 4;
+  Result result;
+  for (int hop = 0;; ++hop) {
+    const GroupId home = layout_.enabled() ? layout_.owner_of(oid) : fallback;
+    result = co_await submit(amcast::dst_of(home), kind, payload, flags);
+    if (result.status != SubmitStatus::kOk ||
+        result.reply.status != kStatusWrongEpoch || hop >= kMaxHops) {
+      co_return result;
+    }
+    // The rejecting replica neither executed nor session-marked the
+    // command, so replaying it under the SAME session_seq against the
+    // new owner preserves exactly-once (and dedups if the range's old
+    // owner executed it before the flip — the session migrated too).
+    // The bounced hop is not a completed command; undo submit's count.
+    --completed_;
+    apply_wrong_epoch(result.reply);
+    ++wrong_epoch_retries_;
+    ctr_wrong_epoch_->inc();
+    session_seq_ = result.session_seq - 1;
+  }
 }
 
 sim::Task<Client::Result> Client::submit(DstMask dst, std::uint32_t kind,
@@ -256,10 +409,22 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   const HeronConfig& cfg = system_->config();
   auto& sim = system_->simulator();
   const sim::Nanos start = sim.now();
+  constexpr int kMaxHops = 4;
+
+  for (int hop = 0;; ++hop) {
+  // Layout routing (heron::reconfig): the caller's home is overridden by
+  // the layout owner; a wrong-epoch reply below re-seeds the layout and
+  // loops to retry against the new owner.
+  if (layout_.enabled()) home = layout_.owner_of(oid);
 
   if (cfg.lease_duration > 0) {
     const auto it = fastread_cache_.find(oid);
-    if (it != fastread_cache_.end()) {
+    // Entries seeded under a superseded layout are skipped (satellite
+    // fix): the cached replica may have handed the range off, and its
+    // retired slot (or a live lease on unrelated ranges) must not serve
+    // this oid. The ordered fallback re-seeds under the current epoch.
+    if (it != fastread_cache_.end() &&
+        (!layout_.enabled() || it->second.epoch == layout_.epoch)) {
       const FastLoc loc = it->second;
       Replica& target = system_->replica(home, loc.rank);
       const auto target_node = target.node().id();
@@ -334,6 +499,16 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   res.submit_status = sub.status;
   res.latency = sim.now() - start;
   if (sub.status != SubmitStatus::kOk) co_return res;
+  if (sub.reply.status == kStatusWrongEpoch && hop < kMaxHops) {
+    // The targeted group no longer owns the oid: adopt the newer layout
+    // slice from the reply, rewind the session counter (the replica never
+    // executed or marked the read), and retry against the new owner.
+    apply_wrong_epoch(sub.reply);
+    ++wrong_epoch_retries_;
+    ctr_wrong_epoch_->inc();
+    session_seq_ = sub.session_seq - 1;
+    continue;
+  }
   res.status = sub.reply.status;
   if (sub.reply.status == kStatusReadNotFound ||
       sub.reply.payload.size() < sizeof(ReadAnswerWire)) {
@@ -348,10 +523,11 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   if (cfg.lease_duration > 0 &&
       wire.rank < static_cast<std::uint32_t>(
                       system_->replicas_per_partition())) {
-    fastread_cache_[oid] =
-        FastLoc{static_cast<int>(wire.rank), wire.offset, wire.size};
+    fastread_cache_[oid] = FastLoc{static_cast<int>(wire.rank), wire.offset,
+                                   wire.size, layout_.epoch};
   }
   co_return res;
+  }  // hop loop
 }
 
 }  // namespace heron::core

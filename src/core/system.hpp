@@ -64,6 +64,17 @@ class Client {
     sim::Nanos latency = 0;
   };
 
+  /// Layout-routed submit (heron::reconfig): the destination partition is
+  /// recomputed from the client's cached layout on every attempt, and a
+  /// kStatusWrongEpoch reply re-seeds the layout and retries the SAME
+  /// logical command (same session_seq — the rejecting replica never
+  /// executed or session-marked it) against the new owner. Falls back to
+  /// plain submit against `fallback` when reconfiguration is disabled.
+  sim::Task<Result> submit_routed(Oid oid, GroupId fallback,
+                                  std::uint32_t kind,
+                                  std::span<const std::byte> payload,
+                                  std::uint32_t flags = 0);
+
   /// Linearizable read of `oid` homed in partition `home`.
   ///
   /// Fast path (lease_duration > 0 and the per-oid address cache is warm):
@@ -113,6 +124,22 @@ class Client {
     return fastread_lease_rejects_;
   }
 
+  // Reconfiguration-side stats / hooks (heron::reconfig).
+  /// Layout this client routes by (seeded from the system's initial
+  /// layout, advanced by kStatusWrongEpoch replies).
+  [[nodiscard]] const reconfig::Layout& layout() const { return layout_; }
+  [[nodiscard]] std::uint64_t wrong_epoch_retries() const {
+    return wrong_epoch_retries_;
+  }
+  /// Test hook: the layout epoch a cached fast-read entry was seeded
+  /// under (nullopt when cold).
+  [[nodiscard]] std::optional<std::uint64_t> fastread_cached_epoch(
+      Oid oid) const {
+    const auto it = fastread_cache_.find(oid);
+    if (it == fastread_cache_.end()) return std::nullopt;
+    return it->second.epoch;
+  }
+
   void reset_stats() {
     completed_ = 0;
     retries_ = timeouts_ = overloaded_ = busy_replies_ = 0;
@@ -149,12 +176,24 @@ class Client {
     int rank = 0;
     std::uint64_t offset = 0;
     std::uint32_t size = 0;
+    /// Layout epoch the entry was seeded under (satellite fix): an entry
+    /// from a superseded layout may point at a replica that handed the
+    /// range off, so the fast path skips it and the next wrong-epoch
+    /// reply purges all such entries at once.
+    std::uint64_t epoch = 0;
   };
   std::unordered_map<Oid, FastLoc> fastread_cache_;
   std::uint64_t fastread_hits_ = 0;
   std::uint64_t fastread_torn_retries_ = 0;
   std::uint64_t fastread_fallbacks_ = 0;
   std::uint64_t fastread_lease_rejects_ = 0;
+
+  /// Applies a kStatusWrongEpoch reply: advances layout_ (when the wire
+  /// epoch is newer) and evicts every fast-read cache entry seeded under
+  /// an older layout. Returns false on a malformed payload.
+  bool apply_wrong_epoch(const Reply& reply);
+  reconfig::Layout layout_;
+  std::uint64_t wrong_epoch_retries_ = 0;
 
   telemetry::Counter* ctr_retries_;
   telemetry::Counter* ctr_timeouts_;
@@ -163,6 +202,7 @@ class Client {
   telemetry::Counter* ctr_fast_torn_;
   telemetry::Counter* ctr_fast_fallbacks_;
   telemetry::Counter* ctr_fast_lease_rejects_;
+  telemetry::Counter* ctr_wrong_epoch_;
 };
 
 class System {
@@ -222,6 +262,38 @@ class System {
   [[nodiscard]] std::uint64_t total_completed() const;
   void reset_stats();
 
+  // --- heron::reconfig: elastic repartitioning --------------------------
+
+  /// The epoch-1 layout built from `HeronConfig::reconfig_keys` before any
+  /// replica is constructed (replicas and clients seed their own copies
+  /// from it). Disabled (epoch 0) when reconfig_keys == 0.
+  [[nodiscard]] const reconfig::Layout& initial_layout() const {
+    return layout0_;
+  }
+  /// The controller's view of the current cluster layout (advances at
+  /// each marker it multicasts).
+  [[nodiscard]] const reconfig::Layout& cluster_layout() const {
+    return layout_;
+  }
+
+  /// Wall-clock milestones of one completed (or in-flight) migration.
+  struct MigrationTimes {
+    reconfig::Plan plan;
+    sim::Nanos prepare = 0;  // PREPARE marker multicast
+    sim::Nanos flip = 0;     // FLIP marker multicast (0 = not yet)
+    sim::Nanos sealed = 0;   // every alive dest rank sealed (0 = not yet)
+  };
+  [[nodiscard]] const std::vector<MigrationTimes>& migration_times() const {
+    return migration_times_;
+  }
+
+  /// Schedules one range move: at `plan.at` the controller multicasts a
+  /// PREPARE marker (kWireFlagEpoch) to every group, waits for the alive
+  /// source ranks to report their copy machines caught up, multicasts the
+  /// FLIP, and records milestones until every alive destination rank
+  /// seals. Requires reconfig_keys != 0. Call after start().
+  void schedule_migration(const reconfig::Plan& plan);
+
   // --- lifecycle observers (heron::faultlab's history recorder) -------
   // System-level so clients added after attach are covered. Must not
   // re-enter the system.
@@ -265,9 +337,21 @@ class System {
   /// never reads a reply.
   sim::Task<void> lease_manager_loop(amcast::ClientEndpoint& ep, GroupId g);
 
+  /// One per scheduled migration: drives the PREPARE / FLIP marker pair
+  /// through an internal multicast endpoint and records milestones.
+  sim::Task<void> reconfig_controller_loop(amcast::ClientEndpoint& ep,
+                                           reconfig::Plan plan);
+  /// Multicasts one epoch marker (layout + phase) to `dst`.
+  sim::Task<void> multicast_marker(amcast::ClientEndpoint& ep, DstMask dst,
+                                   const reconfig::Layout& layout,
+                                   std::uint32_t phase);
+
   std::unique_ptr<amcast::System> amcast_;
   HeronConfig config_;
   AppFactory factory_;
+  reconfig::Layout layout0_;  // immutable epoch-1 layout
+  reconfig::Layout layout_;   // controller's current layout
+  std::vector<MigrationTimes> migration_times_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<Client*> by_id_;  // amcast client id -> Client (or nullptr)

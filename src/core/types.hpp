@@ -9,6 +9,7 @@
 
 #include "amcast/types.hpp"
 #include "durable/config.hpp"
+#include "reconfig/layout.hpp"
 #include "sim/time.hpp"
 
 namespace heron::core {
@@ -81,6 +82,14 @@ constexpr std::uint32_t kStatusReadTruncated = 0xFFFFFF03u;
 /// (its original execution may or may not have happened before eviction);
 /// the client must treat the outcome as unknown, never as a fresh failure.
 constexpr std::uint32_t kStatusStaleSession = 0xFFFFFF04u;
+
+/// Reserved reply status: the request touches a key range this group no
+/// longer owns under the replica's installed layout epoch. The request
+/// was NOT executed. The payload is a WrongEpochWire describing the new
+/// owner of the faulting range; the client applies it to its layout,
+/// drops every fast-read cache entry seeded under an older epoch, and
+/// re-routes the same session_seq to the new owner.
+constexpr std::uint32_t kStatusWrongEpoch = 0xFFFFFF05u;
 
 /// Terminal outcome of Client::submit.
 enum class SubmitStatus : std::uint8_t {
@@ -169,8 +178,11 @@ struct AppliedWord {
 static_assert(std::is_trivially_copyable_v<AppliedWord>);
 
 /// Fast-read region layout: the lease word at offset 0 (own cache line),
-/// then one AppliedWord per peer rank.
+/// the replica's installed layout epoch at offset 32 (read by rejoining
+/// peers to reject checkpoints from a superseded layout), then one
+/// AppliedWord per peer rank.
 constexpr std::uint64_t kFastReadLeaseOffset = 0;
+constexpr std::uint64_t kFastReadEpochOffset = 32;
 constexpr std::uint64_t kFastReadAppliedBase = 64;
 constexpr std::uint64_t fastread_applied_offset(int rank) {
   return kFastReadAppliedBase +
@@ -194,6 +206,18 @@ static_assert(std::is_trivially_copyable_v<ReadAnswerWire>);
 
 /// Value bytes an ordered-read reply can carry inline.
 constexpr std::size_t kMaxReadInline = kMaxReplyPayload - sizeof(ReadAnswerWire);
+
+/// Payload of a kStatusWrongEpoch reply: the faulting range [lo, hi)
+/// (hi == 0 wraps to 2^64) and its owner under layout epoch `epoch`.
+struct WrongEpochWire {
+  std::uint64_t epoch = 0;
+  Oid lo = 0;
+  Oid hi = 0;
+  std::int32_t owner = -1;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<WrongEpochWire>);
+static_assert(sizeof(WrongEpochWire) <= kMaxReplyPayload);
 
 /// Runtime knobs for the Heron replica layer.
 struct HeronConfig {
@@ -277,6 +301,16 @@ struct HeronConfig {
   /// keeps the seed behaviour: no device, no checkpoints, restarts rejoin
   /// via a full state transfer without losing volatile watermarks.
   durable::DurableConfig durable;
+
+  // --- elastic repartitioning (heron::reconfig) ------------------------
+  /// Size of the layout-partitioned keyspace. 0 (default) keeps the seed
+  /// behaviour: no initial layout, no epoch markers, no copy rings. > 0
+  /// builds a uniform initial layout over [0, reconfig_keys) at epoch 1,
+  /// registers per-replica copy rings, and lets the System's controller
+  /// drive scheduled range migrations (System::schedule_migration).
+  Oid reconfig_keys = 0;
+  /// Copy-machine tuning + fault knobs (see reconfig/layout.hpp).
+  reconfig::ReconfigConfig reconfig;
 };
 
 /// Floor for the lease manager's renewal period. Renewing faster than the

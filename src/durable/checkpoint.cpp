@@ -43,6 +43,7 @@ struct ManifestHeader {
   std::uint64_t watermark = 0;
   std::uint64_t lease_epoch = 0;
   std::int64_t lease_expiry = 0;
+  std::uint64_t layout_epoch = 0;  // partition-layout epoch at commit
   std::uint64_t prev_page = 0;  // previous checkpoint's first manifest page
   std::uint32_t prev_crc = 0;
   std::uint32_t full = 0;
@@ -138,7 +139,7 @@ double CheckpointStore::utilization() const {
 sim::Task<bool> CheckpointStore::write_checkpoint(
     std::uint64_t watermark, std::uint64_t lease_epoch,
     std::int64_t lease_expiry, bool full, const std::vector<Record>& records,
-    std::function<bool()> abort) {
+    std::function<bool()> abort, std::uint64_t layout_epoch) {
   const auto aborted = [&abort] { return abort && abort(); };
   std::vector<std::uint64_t> fresh;
   const auto give_up = [&](bool count_abort) {
@@ -206,7 +207,7 @@ sim::Task<bool> CheckpointStore::write_checkpoint(
   std::vector<std::byte> blob;
   append_pod(blob, ManifestHeader{
                        kManifestMagic, super_seq_ + 1, watermark, lease_epoch,
-                       lease_expiry, full ? kNoPage : head_page_,
+                       lease_expiry, layout_epoch, full ? kNoPage : head_page_,
                        full ? 0u : head_crc_, full ? 1u : 0u,
                        static_cast<std::uint32_t>(entries.size()), 0});
   for (const PageEntry& e : entries) append_pod(blob, e);
@@ -356,6 +357,7 @@ sim::Task<std::optional<Image>> CheckpointStore::load_latest() {
         img.watermark = man.watermark;
         img.lease_epoch = man.lease_epoch;
         img.lease_expiry = man.lease_expiry;
+        img.layout_epoch = man.layout_epoch;
         first_manifest = false;
       }
       ++img.chain_length;

@@ -56,6 +56,10 @@ struct Image {
   std::uint64_t watermark = 0;
   std::uint64_t lease_epoch = 0;
   std::int64_t lease_expiry = 0;
+  /// Partition-layout epoch (heron::reconfig) the owner served under
+  /// when the checkpoint committed; a rejoining replica rejects images
+  /// from a superseded layout (objects may have migrated away since).
+  std::uint64_t layout_epoch = 0;
   std::vector<Record> records;  // deduped by (kind, id), newest wins
   std::uint64_t chain_length = 0;  // checkpoints walked (incl. the base)
   std::uint64_t pages_read = 0;
@@ -76,7 +80,8 @@ class CheckpointStore {
                                    std::uint64_t lease_epoch,
                                    std::int64_t lease_expiry, bool full,
                                    const std::vector<Record>& records,
-                                   std::function<bool()> abort = {});
+                                   std::function<bool()> abort = {},
+                                   std::uint64_t layout_epoch = 0);
 
   /// Re-reads the newest valid checkpoint chain from the device (restart
   /// path) and resets the in-memory commit state to it. nullopt when no

@@ -27,8 +27,9 @@ void HistoryRecorder::attach(core::System& sys) {
     for (int r = 0; r < sys.replicas_per_partition(); ++r) {
       sys.amcast().endpoint(g, r).set_delivery_observer(
           [this, g, r](const amcast::Delivery& d) {
-            deliveries_.push_back(DeliveryEvent{
-                g, r, d.uid, d.tmp, d.dst, d.lease, sys_->simulator().now()});
+            deliveries_.push_back(DeliveryEvent{g, r, d.uid, d.tmp, d.dst,
+                                                d.lease, d.epoch,
+                                                sys_->simulator().now()});
           });
     }
   }
@@ -81,7 +82,7 @@ std::vector<Violation> check_amcast_properties(const HistoryRecorder& history,
     // markers come from internal endpoints that fire no attempt observer,
     // so they are exempt from the uninvoked check (but not from the
     // order, timestamp and agreement checks below).
-    if (!d.lease && !invoked.empty() && !invoked.contains(d.uid)) {
+    if (!d.lease && !d.epoch && !invoked.empty() && !invoked.contains(d.uid)) {
       violation("integrity", "replica g" + std::to_string(d.group) + ".r" +
                                  std::to_string(d.rank) +
                                  " delivered uninvoked " + uid_str(d.uid));

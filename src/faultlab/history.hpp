@@ -54,6 +54,8 @@ struct DeliveryEvent {
   /// Lease-grant marker injected by an internal endpoint (no matching
   /// invoke event); still subject to order/timestamp/agreement checks.
   bool lease = false;
+  /// Layout-epoch marker (heron::reconfig), same exemption as lease.
+  bool epoch = false;
   sim::Nanos at = 0;
 };
 

@@ -1,0 +1,218 @@
+// Layout-partitioned counter store used by the reconfiguration tests and
+// reconfig_bench: one u64 cell per key in [0, keys), partitioned by the
+// epoch-versioned range layout (bind_layout) instead of a static modulo.
+// The only write is a non-idempotent increment, so a command executed
+// twice (e.g. once on each side of a range move) is visible both in the
+// exec-observer stream and in the final sum.
+//
+// Oracles layered on top of the generic faultlab checks:
+//   - ExecTracker:     no (client, seq) session-marked by two groups —
+//                      exactly-once across a split.
+//   - placement check: every key exists on exactly one group (no lost,
+//                      no duplicated objects) and on the owner under the
+//                      final layout (no misplaced objects).
+//   - sum check:       total of all cells == delta x distinct executed
+//                      increments (conservation under migration).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/app.hpp"
+#include "core/system.hpp"
+#include "faultlab/history.hpp"
+#include "reconfig/layout.hpp"
+#include "sim/random.hpp"
+
+namespace heron::faultlab {
+
+enum RangeKvKind : std::uint32_t { kKvAdd = 1 };
+
+struct KvAddReq {
+  std::uint64_t key;
+  std::int64_t delta;
+};
+struct KvCell {
+  std::int64_t value;
+};
+
+class RangeKv : public core::Application {
+ public:
+  explicit RangeKv(std::uint64_t keys) : keys_(keys) {}
+
+  void bind_layout(const reconfig::Layout* layout) override {
+    layout_ = layout;
+  }
+
+  [[nodiscard]] core::GroupId partition_of(core::Oid oid) const override {
+    return layout_->owner_of(oid);
+  }
+
+  [[nodiscard]] std::vector<core::Oid> read_set(
+      const core::Request& r, core::GroupId) const override {
+    if (r.header.kind == kKvAdd) return {decode<KvAddReq>(r).key};
+    return {};
+  }
+
+  core::Reply execute(const core::Request& r,
+                      core::ExecContext& ctx) override {
+    ctx.charge(sim::us(1));
+    if (r.header.kind != kKvAdd) return core::Reply{.status = 1};
+    const auto req = decode<KvAddReq>(r);
+    auto cell = ctx.value_as<KvCell>(req.key);
+    cell.value += req.delta;
+    ctx.write_as(req.key, cell);
+    core::Reply reply;
+    reply.payload.resize(sizeof(cell.value));
+    std::memcpy(reply.payload.data(), &cell.value, sizeof(cell.value));
+    return reply;
+  }
+
+  void bootstrap(core::GroupId partition, core::ObjectStore& store) override {
+    const KvCell zero{0};
+    for (std::uint64_t k = 0; k < keys_; ++k) {
+      if (layout_->owner_of(k) != partition) continue;
+      store.create(k, std::as_bytes(std::span(&zero, 1)));
+    }
+  }
+
+  template <typename T>
+  static T decode(const core::Request& r) {
+    T out;
+    std::memcpy(&out, r.payload.data(), sizeof(T));
+    return out;
+  }
+
+ private:
+  std::uint64_t keys_;
+  const reconfig::Layout* layout_ = nullptr;  // bound before bootstrap
+};
+
+/// Exactly-once-across-a-split oracle: records which groups session-mark
+/// each (client, seq). Every RangeKv command is single-partition, so a
+/// command marked by two distinct groups was executed on both sides of a
+/// range move — the client's same-seq WrongEpoch retry landed on a
+/// replica whose migrated session state failed to dedup it.
+class ExecTracker {
+ public:
+  /// Chains the system's existing exec observer (e.g. a HistoryRecorder's)
+  /// so both see every session mark, regardless of attach order.
+  void attach(core::System& sys) {
+    auto prev = sys.exec_observer();
+    sys.set_exec_observer([this, prev](core::GroupId g, int rank,
+                                       std::uint32_t client,
+                                       std::uint64_t seq, core::MsgUid uid,
+                                       core::Tmp tmp) {
+      if (prev) prev(g, rank, client, seq, uid, tmp);
+      groups_[{client, seq}].insert(g);
+    });
+  }
+
+  /// Distinct commands that executed somewhere (the sum oracle's count).
+  [[nodiscard]] std::uint64_t distinct_executed() const {
+    return groups_.size();
+  }
+
+  void check(std::vector<Violation>& out) const {
+    for (const auto& [key, groups] : groups_) {
+      if (groups.size() <= 1) continue;
+      std::ostringstream msg;
+      msg << "command (client " << key.first << ", seq " << key.second
+          << ") executed by " << groups.size() << " groups:";
+      for (auto g : groups) msg << " g" << g;
+      out.push_back(Violation{"kv-exactly-once-across-split", msg.str()});
+    }
+  }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::set<core::GroupId>>
+      groups_;
+};
+
+/// No-lost-object / no-duplicated-object / no-misplaced-object oracle:
+/// scans rank `rank` of every group for each key in [0, keys) and checks
+/// it exists on exactly one group — the owner under `layout` (the
+/// controller's final cluster layout).
+inline void check_kv_placement(core::System& sys, int rank,
+                               std::uint64_t keys,
+                               const reconfig::Layout& layout,
+                               std::vector<Violation>& out) {
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    int holders = 0;
+    core::GroupId holder = -1;
+    for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+      if (!sys.replica(g, rank).store().exists(k)) continue;
+      ++holders;
+      holder = g;
+    }
+    const auto owner = layout.owner_of(k);
+    if (holders == 0) {
+      out.push_back(Violation{"kv-no-lost-object",
+                              "key " + std::to_string(k) + " lost (owner g" +
+                                  std::to_string(owner) + ")"});
+    } else if (holders > 1) {
+      out.push_back(Violation{"kv-no-duplicated-object",
+                              "key " + std::to_string(k) + " held by " +
+                                  std::to_string(holders) + " groups"});
+    } else if (holder != owner) {
+      out.push_back(Violation{"kv-no-misplaced-object",
+                              "key " + std::to_string(k) + " held by g" +
+                                  std::to_string(holder) + ", owner is g" +
+                                  std::to_string(owner)});
+    }
+  }
+}
+
+/// Conservation oracle: with a fixed per-op delta, the total across all
+/// cells (read at rank `rank` of whichever single group holds each key)
+/// equals delta x distinct executed commands. A double-applied increment
+/// inflates the sum even when the duplicate landed on the same group.
+inline void check_kv_sum(core::System& sys, int rank, std::uint64_t keys,
+                         std::int64_t delta, std::uint64_t executed,
+                         std::vector<Violation>& out) {
+  std::int64_t total = 0;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    for (core::GroupId g = 0; g < sys.partitions(); ++g) {
+      auto& store = sys.replica(g, rank).store();
+      if (!store.exists(k)) continue;
+      auto [tmp, bytes] = store.get(k);
+      KvCell cell{};
+      std::memcpy(&cell, bytes.data(), sizeof(cell));
+      total += cell.value;
+      break;  // placement oracle reports duplicates
+    }
+  }
+  const auto expect = delta * static_cast<std::int64_t>(executed);
+  if (total != expect) {
+    out.push_back(Violation{
+        "kv-sum-conservation",
+        "sum " + std::to_string(total) + " != " + std::to_string(delta) +
+            " x " + std::to_string(executed) + " executed commands"});
+  }
+}
+
+/// Closed-loop layout-routed increment workload. Keys are drawn uniformly
+/// from [0, keys); the destination partition comes from the client's
+/// cached layout on every attempt (submit_routed), so the loop exercises
+/// WrongEpoch re-routing across epoch bumps without any test plumbing.
+inline sim::Task<void> rangekv_client_loop(core::System& sys,
+                                           core::Client& client,
+                                           std::uint64_t seed, int ops,
+                                           std::uint64_t keys,
+                                           std::int64_t delta = 1) {
+  sim::Rng rng(seed);
+  const auto partitions = static_cast<std::uint64_t>(sys.partitions());
+  for (int k = 0; k < ops; ++k) {
+    const core::Oid key = rng.bounded(keys);
+    KvAddReq req{key, delta};
+    const auto fallback = static_cast<core::GroupId>(key % partitions);
+    co_await client.submit_routed(key, fallback, kKvAdd,
+                                  std::as_bytes(std::span(&req, 1)));
+  }
+}
+
+}  // namespace heron::faultlab

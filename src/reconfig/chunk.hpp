@@ -1,0 +1,98 @@
+// Copy-machine wire framing: CRC'd chunks of object/session records
+// pushed over the fabric into a per-source-rank staging ring at the
+// destination, plus one pull word per destination rank through which a
+// starved receiver requests an idempotent full resend from a source.
+//
+// The machinery is modeled on the copy-machine/copy-packet design of
+// cortx-motr (cm/ + sns/): a source-side pump emits bounded "copy
+// packets" (chunks) under a throttle window, the destination applies
+// them out of a sliding ring, and a SEAL packet closes the stream once
+// the final delta has been shipped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "durable/page_device.hpp"  // durable::crc32
+#include "reconfig/layout.hpp"
+
+namespace heron::reconfig {
+
+/// Chunk header, written ahead of the payload in a ring slot. `seq` is a
+/// per (source rank -> dest rank) counter starting at 1; the receiver
+/// drains slots in seq order. `crc` covers the payload bytes only, so a
+/// torn fabric write is detected and the chunk discarded.
+struct CopyChunkHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;       // migration (PREPARE) epoch
+  std::uint32_t record_count = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Final chunk of a copy stream: the receiver may seal the migration
+/// once it lands, provided no earlier chunk in the stream was corrupt.
+constexpr std::uint32_t kCopyFlagSeal = 1u << 0;
+
+/// Per-record header inside a chunk payload, followed by `size` bytes.
+struct CopyRecord {
+  std::uint64_t oid = 0;   // object id, or client id for sessions
+  std::uint64_t tmp = 0;   // version timestamp (objects), floor (tombstones)
+  std::uint32_t size = 0;
+  std::uint32_t serialized = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t pad = 0;
+};
+
+constexpr std::uint32_t kCopyObject = 0;
+constexpr std::uint32_t kCopySession = 1;
+constexpr std::uint32_t kCopyTombstone = 2;
+
+/// Pull word a starved destination rank writes into a source replica's
+/// reconfig region. `serial` increases per request; the source answers
+/// any serial above the last one it handled with a full-range resend
+/// (objects + sessions + SEAL), which is idempotent at the receiver.
+struct PullWord {
+  std::uint64_t serial = 0;
+  std::int32_t requester = -1;  // dest rank to send to
+  std::uint32_t pad = 0;
+};
+
+/// Bytes per ring slot (header + payload budget).
+[[nodiscard]] inline std::size_t copy_slot_bytes(const ReconfigConfig& cfg) {
+  return sizeof(CopyChunkHeader) + cfg.copy_chunk_bytes;
+}
+
+/// Offset of sender rank `from_rank`'s slot for chunk `seq` inside the
+/// reconfig region (rings first, pull words after).
+[[nodiscard]] inline std::uint64_t copy_slot_offset(const ReconfigConfig& cfg,
+                                                    int from_rank,
+                                                    std::uint64_t seq) {
+  const auto slot = (seq - 1) % cfg.copy_ring_slots;
+  return (static_cast<std::uint64_t>(from_rank) * cfg.copy_ring_slots + slot) *
+         copy_slot_bytes(cfg);
+}
+
+/// Offset of the pull word for requester rank `rank`.
+[[nodiscard]] inline std::uint64_t copy_pull_offset(const ReconfigConfig& cfg,
+                                                    int replicas, int rank) {
+  return static_cast<std::uint64_t>(replicas) * cfg.copy_ring_slots *
+             copy_slot_bytes(cfg) +
+         static_cast<std::uint64_t>(rank) * sizeof(PullWord);
+}
+
+/// Total reconfig region size for a group of `replicas` ranks.
+[[nodiscard]] inline std::size_t copy_region_bytes(const ReconfigConfig& cfg,
+                                                   int replicas) {
+  return static_cast<std::size_t>(replicas) * cfg.copy_ring_slots *
+             copy_slot_bytes(cfg) +
+         static_cast<std::size_t>(replicas) * sizeof(PullWord);
+}
+
+/// CRC used for chunk payloads (shared with the durable page device).
+[[nodiscard]] inline std::uint32_t copy_crc(std::span<const std::byte> bytes) {
+  return durable::crc32(bytes);
+}
+
+}  // namespace heron::reconfig

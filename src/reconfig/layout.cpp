@@ -1,0 +1,147 @@
+#include "reconfig/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace heron::reconfig {
+
+namespace {
+
+// Fixed-width wire structs; serialized with memcpy field order below, so
+// in-memory padding never reaches the wire.
+struct MarkerHead {
+  std::uint64_t epoch = 0;
+  std::uint32_t phase = 0;
+  std::uint32_t range_count = 0;
+  std::uint64_t mig_lo = 0;
+  std::uint64_t mig_hi = 0;
+  std::int32_t mig_from = -1;
+  std::int32_t mig_to = -1;
+};
+constexpr std::size_t kHeadBytes = 8 + 4 + 4 + 8 + 8 + 4 + 4;   // 40
+constexpr std::size_t kRangeBytes = 8 + 4;                      // 12
+
+template <typename T>
+void put(std::vector<std::byte>& out, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool take(std::span<const std::byte>& in, T& v) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&v, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+GroupId Layout::owner_of(Oid oid) const {
+  assert(!ranges.empty());
+  // Last range with lo <= oid.
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), oid,
+      [](Oid o, const Range& r) { return o < r.lo; });
+  assert(it != ranges.begin());
+  return std::prev(it)->owner;
+}
+
+void Layout::range_of(Oid oid, Oid& lo, Oid& hi) const {
+  assert(!ranges.empty());
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), oid,
+      [](Oid o, const Range& r) { return o < r.lo; });
+  assert(it != ranges.begin());
+  lo = std::prev(it)->lo;
+  hi = it == ranges.end() ? 0 : it->lo;  // 0 == wraps to 2^64
+}
+
+void Layout::apply_move(Oid lo, Oid hi, GroupId to, std::uint64_t new_epoch) {
+  assert(!ranges.empty());
+  assert(hi == 0 || lo < hi);
+  // Owner of the keyspace just past the moved range, needed to restore
+  // the tail of a split source range.
+  const GroupId after = hi == 0 ? to : owner_of(hi);
+  std::vector<Range> next;
+  next.reserve(ranges.size() + 2);
+  for (const Range& r : ranges) {
+    if (r.lo < lo || (hi != 0 && r.lo >= hi)) next.push_back(r);
+  }
+  next.push_back(Range{lo, to});
+  if (hi != 0) next.push_back(Range{hi, after});
+  std::sort(next.begin(), next.end(),
+            [](const Range& a, const Range& b) { return a.lo < b.lo; });
+  // Merge adjacent ranges with the same owner.
+  std::vector<Range> merged;
+  for (const Range& r : next) {
+    if (!merged.empty() && merged.back().owner == r.owner) continue;
+    merged.push_back(r);
+  }
+  ranges = std::move(merged);
+  epoch = std::max(epoch, new_epoch);
+  migration = Migration{};
+}
+
+Layout Layout::uniform(int partitions, Oid keys) {
+  Layout l;
+  l.epoch = 1;
+  const auto p = static_cast<Oid>(partitions);
+  const Oid stride = keys / p == 0 ? 1 : keys / p;
+  for (Oid g = 0; g < p; ++g) {
+    l.ranges.push_back(Range{g * stride, static_cast<GroupId>(g)});
+  }
+  return l;
+}
+
+std::size_t marker_bytes(std::size_t ranges) {
+  return kHeadBytes + ranges * kRangeBytes;
+}
+
+bool encode_marker(const Layout& layout, std::uint32_t phase,
+                   std::vector<std::byte>& out) {
+  if (layout.ranges.empty() || layout.ranges.size() > kMaxWireRanges) {
+    return false;
+  }
+  put(out, layout.epoch);
+  put(out, phase);
+  put(out, static_cast<std::uint32_t>(layout.ranges.size()));
+  put(out, layout.migration.lo);
+  put(out, layout.migration.hi);
+  put(out, layout.migration.from);
+  put(out, layout.migration.to);
+  for (const Range& r : layout.ranges) {
+    put(out, r.lo);
+    put(out, r.owner);
+  }
+  return true;
+}
+
+bool decode_marker(std::span<const std::byte> in, Layout& layout,
+                   std::uint32_t& phase) {
+  MarkerHead h;
+  if (!take(in, h.epoch) || !take(in, h.phase) || !take(in, h.range_count) ||
+      !take(in, h.mig_lo) || !take(in, h.mig_hi) || !take(in, h.mig_from) ||
+      !take(in, h.mig_to)) {
+    return false;
+  }
+  if (h.range_count == 0 || h.range_count > kMaxWireRanges) return false;
+  if (in.size() < h.range_count * kRangeBytes) return false;
+  layout.epoch = h.epoch;
+  layout.migration = Migration{h.mig_lo, h.mig_hi, h.mig_from, h.mig_to};
+  layout.ranges.clear();
+  for (std::uint32_t i = 0; i < h.range_count; ++i) {
+    Range r;
+    if (!take(in, r.lo) || !take(in, r.owner)) return false;
+    layout.ranges.push_back(r);
+  }
+  if (layout.ranges.front().lo != 0) return false;
+  for (std::size_t i = 1; i < layout.ranges.size(); ++i) {
+    if (layout.ranges[i].lo <= layout.ranges[i - 1].lo) return false;
+  }
+  phase = h.phase;
+  return true;
+}
+
+}  // namespace heron::reconfig
