@@ -256,7 +256,13 @@ sim::Task<void> Endpoint::batch_loop() {
       p.proposals[group_] = p.local_clock;
       seen_.erase(uid);
       ctr_proposes_->inc();
-      if (window > 0 && backlog + i + 1 > window) {
+      // Layout-epoch markers are exempt from shedding: unlike lease
+      // grants, which the lease manager re-sends every renewal period, a
+      // PREPARE/FLIP marker is multicast exactly once, so shedding it
+      // would lose the layout switch cluster-wide while the reconfig
+      // controller waits forever for copy/seal progress.
+      if (window > 0 && backlog + i + 1 > window &&
+          (p.msg.flags & kWireFlagEpoch) == 0) {
         p.shed_groups |= dst_of(group_);
         ctr_shed_->inc();
       }

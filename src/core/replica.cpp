@@ -340,9 +340,12 @@ sim::Task<void> Replica::main_loop() {
       }
 
       // Layout-epoch marker (kWireFlagEpoch): ordered like a command but
-      // replica-internal, same shed discipline as lease grants. Every
-      // replica switches layouts at this exact stream position; the FLIP
-      // handoff (final delta + retirement) runs inline, so execution
+      // replica-internal. Unlike lease grants, a marker is multicast
+      // exactly once, so the ordering leader exempts kWireFlagEpoch from
+      // admission shedding (the !shed guard below is defense in depth —
+      // were a marker ever shed, it is shed identically everywhere).
+      // Every replica switches layouts at this exact stream position; the
+      // FLIP handoff (final delta + retirement) runs inline, so execution
       // pauses for the marker — the paper-level "brief quiesce".
       if (d.epoch) {
         if (!r.shed) {
@@ -1588,10 +1591,20 @@ sim::Task<void> Replica::copy_recv_loop() {
           copy_next_[static_cast<std::size_t>(s)] = hdr.seq - 1;
           continue;
         }
-        const auto payload = region.bytes().subspan(
-            base + sizeof(reconfig::CopyChunkHeader), hdr.payload_bytes);
         copy_next_[static_cast<std::size_t>(s)] = hdr.seq;
         inbound_progress_at_ = system_->simulator().now();
+        // A torn/garbage header must never size the payload view past the
+        // ring slot: treat an oversized payload_bytes as a corrupt chunk
+        // (cursor already advanced; the pull path re-ships it) instead of
+        // an out-of-range subspan.
+        if (hdr.payload_bytes > rcfg.copy_chunk_bytes) {
+          ++copy_chunks_corrupt_;
+          ctr_copy_corrupt_->inc();
+          inbound_stream_dirty_ = true;
+          continue;
+        }
+        const auto payload = region.bytes().subspan(
+            base + sizeof(reconfig::CopyChunkHeader), hdr.payload_bytes);
         if (reconfig::copy_crc(payload) != hdr.crc) {
           ++copy_chunks_corrupt_;
           ctr_copy_corrupt_->inc();
@@ -1601,9 +1614,18 @@ sim::Task<void> Replica::copy_recv_loop() {
         ++copy_chunks_received_;
         sim::Nanos apply_cpu = 0;
         std::uint64_t off = 0;
+        bool malformed = false;
         for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+          if (off + sizeof(reconfig::CopyRecord) > payload.size()) {
+            malformed = true;
+            break;
+          }
           const auto rec = rdma::load_pod<reconfig::CopyRecord>(payload, off);
           off += sizeof(reconfig::CopyRecord);
+          if (rec.size > payload.size() - off) {
+            malformed = true;
+            break;
+          }
           const auto value = payload.subspan(off, rec.size);
           off += rec.size;
           if (rec.kind == reconfig::kCopySession) {
@@ -1632,6 +1654,15 @@ sim::Task<void> Replica::copy_recv_loop() {
               static_cast<double>(rec.size) *
               (rec.serialized != 0 ? cfg.memcpy_ns_per_byte
                                    : cfg.serialize_ns_per_byte));
+        }
+        if (malformed) {
+          // A record overran the CRC'd payload: sender bug or a torn-write
+          // mode the CRC missed. Same recovery as a corrupt chunk — taint
+          // the stream so the seal is withheld until a pull resend.
+          ++copy_chunks_corrupt_;
+          ctr_copy_corrupt_->inc();
+          inbound_stream_dirty_ = true;
+          continue;
         }
         if ((hdr.flags & reconfig::kCopyFlagSeal) != 0) {
           if (!inbound_stream_dirty_) {

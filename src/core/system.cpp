@@ -79,7 +79,8 @@ void System::schedule_migration(const reconfig::Plan& plan) {
     by_id_.resize(ep.client_id() + 1, nullptr);
   }
   by_id_[ep.client_id()] = nullptr;  // internal: no reply slot
-  simulator().spawn(reconfig_controller_loop(ep, plan));
+  simulator().spawn(
+      reconfig_controller_loop(ep, plan, reconfig_tickets_issued_++));
 }
 
 sim::Task<void> System::multicast_marker(amcast::ClientEndpoint& ep,
@@ -97,9 +98,16 @@ sim::Task<void> System::multicast_marker(amcast::ClientEndpoint& ep,
 }
 
 sim::Task<void> System::reconfig_controller_loop(amcast::ClientEndpoint& ep,
-                                                 reconfig::Plan plan) {
+                                                 reconfig::Plan plan,
+                                                 std::uint64_t ticket) {
   auto& sim = simulator();
   if (plan.at > sim.now()) co_await sim.sleep(plan.at - sim.now());
+
+  // Serialize migrations in schedule order: Migration is a single slot
+  // (in the layout wire form and in the replicas' source/dest role
+  // state), so a controller whose window overlaps an in-flight move
+  // would copy layout_ mid-migration and clobber the first move's state.
+  while (reconfig_tickets_done_ != ticket) co_await sim.sleep(sim::us(50));
 
   // Markers go to EVERY group, not just the two involved: the layout
   // epoch is a cluster-wide version, and non-involved groups must install
@@ -164,6 +172,7 @@ sim::Task<void> System::reconfig_controller_loop(amcast::ClientEndpoint& ep,
     co_await sim.sleep(sim::us(50));
   }
   migration_times_[slot].sealed = sim.now();
+  ++reconfig_tickets_done_;
   HSIM_LOG(sim, kInfo, "reconfig: migration [" << plan.lo << "," << plan.hi
                                                << ") g" << plan.from << "->g"
                                                << plan.to << " sealed");
@@ -225,7 +234,14 @@ bool Client::apply_wrong_epoch(const Reply& reply) {
   if (reply.payload.size() < sizeof(WrongEpochWire)) return false;
   WrongEpochWire wire{};
   std::memcpy(&wire, reply.payload.data(), sizeof(wire));
-  if (wire.epoch > layout_.epoch && wire.owner >= 0) {
+  // >= , not >: a client that slept through several migrations jumps to
+  // the newest epoch on its FIRST wrong-epoch reply (for the range that
+  // faulted); replies for other stale ranges then arrive carrying that
+  // same — now current — epoch and must still patch their range, or the
+  // client keeps routing them to the old owner until the hop budget runs
+  // out. apply_move is idempotent and max-merges the epoch, so replaying
+  // a same-epoch slice is safe; only strictly older replies are dropped.
+  if (wire.epoch >= layout_.epoch && wire.owner >= 0) {
     layout_.apply_move(wire.lo, wire.hi, wire.owner, wire.epoch);
   }
   // One wrong-epoch reply invalidates EVERY cache entry seeded under an
@@ -499,10 +515,15 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   res.submit_status = sub.status;
   res.latency = sim.now() - start;
   if (sub.status != SubmitStatus::kOk) co_return res;
-  if (sub.reply.status == kStatusWrongEpoch && hop < kMaxHops) {
-    // The targeted group no longer owns the oid: adopt the newer layout
-    // slice from the reply, rewind the session counter (the replica never
-    // executed or marked the read), and retry against the new owner.
+  if (sub.reply.status == kStatusWrongEpoch) {
+    res.status = sub.reply.status;
+    if (hop >= kMaxHops) co_return res;
+    // Hops left: the targeted group no longer owns the oid. Adopt the
+    // newer layout slice from the reply, rewind the session counter (the
+    // replica never executed or marked the read), and retry against the
+    // new owner. On exhaustion we return above instead of falling
+    // through: the 32-byte WrongEpochWire would pass the ReadAnswerWire
+    // size check and seed a garbage FastLoc into the cache.
     apply_wrong_epoch(sub.reply);
     ++wrong_epoch_retries_;
     ctr_wrong_epoch_->inc();

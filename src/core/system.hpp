@@ -339,8 +339,12 @@ class System {
 
   /// One per scheduled migration: drives the PREPARE / FLIP marker pair
   /// through an internal multicast endpoint and records milestones.
+  /// Controllers are serialized by `ticket`: Migration is a single slot
+  /// in the layout and in replica role state, so an overlapping plan
+  /// would clobber the in-flight move.
   sim::Task<void> reconfig_controller_loop(amcast::ClientEndpoint& ep,
-                                           reconfig::Plan plan);
+                                           reconfig::Plan plan,
+                                           std::uint64_t ticket);
   /// Multicasts one epoch marker (layout + phase) to `dst`.
   sim::Task<void> multicast_marker(amcast::ClientEndpoint& ep, DstMask dst,
                                    const reconfig::Layout& layout,
@@ -351,6 +355,8 @@ class System {
   AppFactory factory_;
   reconfig::Layout layout0_;  // immutable epoch-1 layout
   reconfig::Layout layout_;   // controller's current layout
+  std::uint64_t reconfig_tickets_issued_ = 0;  // migration serialization
+  std::uint64_t reconfig_tickets_done_ = 0;
   std::vector<MigrationTimes> migration_times_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;

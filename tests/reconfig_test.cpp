@@ -461,6 +461,96 @@ TEST(Reconfig, StaleOwnerCannotServeFastReadsAfterFlip) {
   EXPECT_TRUE(done) << "script did not finish";
 }
 
+/// Review regression: a client that slept through TWO migrations learns
+/// the newest epoch from its first wrong-epoch bounce; the bounce for the
+/// OTHER stale range then arrives carrying that same (now-current) epoch
+/// and must still patch its range. Pre-fix, apply_wrong_epoch required
+/// wire.epoch > layout_.epoch, dropped the second fix, and the client
+/// looped to kMaxHops and failed for every oid in that range. The two
+/// overlapping schedule_migration calls also exercise the controller
+/// ticket serialization (the second plan fires before the first seals).
+sim::Task<void> two_move_stale_client_script(core::System& sys,
+                                             core::Client& client,
+                                             bool& done) {
+  auto& sim = sys.simulator();
+  co_await kv_add(client, 0, 1);
+  co_await kv_add(client, 16, 1);
+
+  // Two moves in opposite directions so the final layout keeps distinct
+  // ranges (same-direction moves would merge into one range and the
+  // first bounce alone would fix everything).
+  sys.schedule_migration(
+      reconfig::Plan{sim.now() + sim::us(50), 0, 8, 0, 1});
+  sys.schedule_migration(
+      reconfig::Plan{sim.now() + sim::us(60), 16, 24, 1, 0});
+  while (sys.migration_times().size() < 2 ||
+         sys.migration_times()[1].sealed == 0) {
+    co_await sim.sleep(sim::us(100));
+  }
+  EXPECT_EQ(client.layout().epoch, 1u);  // fully stale: missed both moves
+
+  // First bounce (for moved range [0,8)) jumps the client straight to
+  // the newest epoch and patches that one range...
+  co_await kv_add(client, 0, 1);
+  EXPECT_EQ(client.layout().epoch, 5u);
+  EXPECT_EQ(client.layout().owner_of(0), 1);
+  EXPECT_EQ(client.layout().owner_of(16), 1);  // other range still stale
+
+  // ...so the bounce for key 16 arrives with wire.epoch == layout_.epoch
+  // and must still be applied for the retry to reach the new owner.
+  KvAddReq req{16, 1};
+  const auto res = co_await client.submit_routed(
+      16, client.layout().owner_of(16), kKvAdd,
+      std::as_bytes(std::span(&req, 1)));
+  EXPECT_EQ(res.status, core::SubmitStatus::kOk);
+  EXPECT_EQ(res.reply.status, 0u) << "same-epoch range fix was dropped";
+  EXPECT_EQ(client.layout().owner_of(16), 0);
+  done = true;
+}
+
+TEST(Reconfig, StaleClientRecoversAcrossTwoMigrations) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, 79);
+  core::System sys(
+      fabric, 2, kReplicas, [] { return std::make_unique<RangeKv>(kKeys); },
+      kv_config());
+  sys.start();
+  auto& client = sys.add_client();
+  bool done = false;
+  sim.spawn(two_move_stale_client_script(sys, client, done));
+  for (int i = 0; i < 400 && !done; ++i) sim.run_for(sim::ms(1));
+  EXPECT_TRUE(done) << "script did not finish";
+}
+
+/// Review regression: PREPARE/FLIP markers are multicast exactly once, so
+/// the ordering leader must exempt kWireFlagEpoch from admission
+/// shedding. Pre-fix, a tiny admission window under client load shed the
+/// marker cluster-wide and the controller spun forever waiting for
+/// copy/seal progress that could never start.
+TEST(Reconfig, EpochMarkersAreExemptFromAdmissionShedding) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(sim, rdma::LatencyModel{}, 83);
+  amcast::Config acfg;
+  acfg.admission_window = 1;  // shed (almost) everything under load
+  core::System sys(
+      fabric, 2, kReplicas, [] { return std::make_unique<RangeKv>(kKeys); },
+      kv_config(), acfg);
+  sys.start();
+  for (int c = 0; c < 3; ++c) {
+    sim.spawn(rangekv_client_loop(sys, sys.add_client(),
+                                  83000 + static_cast<std::uint64_t>(c),
+                                  /*ops=*/60, kKeys));
+  }
+  sys.schedule_migration(reconfig::Plan{sim::ms(1), 0, 8, 0, 1});
+  auto sealed = [&sys] {
+    return !sys.migration_times().empty() &&
+           sys.migration_times().front().sealed != 0;
+  };
+  for (int i = 0; i < 400 && !sealed(); ++i) sim.run_for(sim::ms(1));
+  EXPECT_TRUE(sealed()) << "migration wedged: epoch marker lost to shedding";
+  EXPECT_EQ(sys.cluster_layout().epoch, 3u);
+}
+
 /// Checkpoints are stamped with the layout epoch they were taken under;
 /// a replica restarting with a checkpoint from a superseded layout must
 /// reject it (the image straddles ranges it no longer owns) and fall
