@@ -8,11 +8,15 @@
 //                  [--json <path>]          (default BENCH_chaos.json)
 //                  [--timeout-us <t>] [--retries <n>] [--backoff-us <b>]
 //                  [--deadline-us <d>] [--no-retry]
+//                  [--rack-size <n>] [--oversub <x>] [--credit-window <n>]
+//                  [--no-priority-lanes] [--adaptive-admission]
 //
 // Clients run the robust retry lifecycle by default (fresh-uid retries,
 // session dedup at the replicas); --no-retry restores the legacy
-// wait-forever client. The knobs are echoed in every cell's repro
-// command so a violating cell replays under identical client behaviour.
+// wait-forever client. The fabric flags select the congestion-capable
+// topology (two-level ToR with per-QP credit windows) instead of the
+// default flat fabric. All knobs are echoed in every cell's repro
+// command so a violating cell replays under identical behaviour.
 //
 // Exit code is non-zero when any oracle reported a violation.
 #include <cstdio>
@@ -76,12 +80,29 @@ struct Options {
   // batched proposals under faults.
   std::uint32_t max_batch = 1;
   std::uint64_t batch_timeout_us = 0;
+  // Fabric congestion knobs (see rdma::LatencyModel). rack_size 0 keeps
+  // the default flat fabric; > 0 builds the two-level ToR topology.
+  int rack_size = 0;
+  double oversub = 1.0;
+  std::uint32_t credit_window = 0;
+  bool priority_lanes = true;
+  bool adaptive_admission = false;
 };
+
+rdma::LatencyModel fabric_model(const Options& opt) {
+  rdma::LatencyModel m;
+  m.rack_size = opt.rack_size;
+  m.oversub_ratio = opt.oversub;
+  m.credit_window = opt.credit_window;
+  m.priority_lanes = opt.priority_lanes;
+  return m;
+}
 
 amcast::Config amcast_knobs(const Options& opt) {
   amcast::Config acfg;
   acfg.max_batch = opt.max_batch;
   acfg.batch_timeout = sim::us(static_cast<double>(opt.batch_timeout_us));
+  acfg.adaptive_admission = opt.adaptive_admission;
   return acfg;
 }
 
@@ -110,6 +131,15 @@ std::string retry_flags(const Options& opt) {
       flags += " --batch-timeout-us " + std::to_string(opt.batch_timeout_us);
     }
   }
+  if (opt.rack_size != 0) {
+    flags += " --rack-size " + std::to_string(opt.rack_size) + " --oversub " +
+             std::to_string(opt.oversub);
+  }
+  if (opt.credit_window != 0) {
+    flags += " --credit-window " + std::to_string(opt.credit_window);
+  }
+  if (!opt.priority_lanes) flags += " --no-priority-lanes";
+  if (opt.adaptive_admission) flags += " --adaptive-admission";
   return flags;
 }
 
@@ -129,7 +159,7 @@ CellOutcome run_bank_cell(Shape shape, const faultlab::FaultPlan& plan,
   constexpr int kOps = 40;
 
   sim::Simulator sim;
-  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  rdma::Fabric fabric(sim, fabric_model(opt), seed);
   core::HeronConfig cfg;
   cfg.object_region_bytes = 1u << 20;
   apply_client_knobs(cfg, opt);
@@ -196,7 +226,7 @@ CellOutcome run_tpcc_cell(Shape shape, const faultlab::FaultPlan& plan,
   const tpcc::TpccScale scale{.factor = 0.01, .initial_orders_per_district = 6};
 
   sim::Simulator sim;
-  rdma::Fabric fabric(sim, rdma::LatencyModel{}, seed);
+  rdma::Fabric fabric(sim, fabric_model(opt), seed);
   core::HeronConfig cfg;
   cfg.object_region_bytes = scale.region_bytes(1.4) + (8u << 20);
   apply_client_knobs(cfg, opt);
@@ -263,12 +293,25 @@ Options parse_args(int argc, char** argv) {
           std::strtoul(argv[++i], nullptr, 10));
     } else if (a == "--batch-timeout-us" && i + 1 < argc) {
       opt.batch_timeout_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--rack-size" && i + 1 < argc) {
+      opt.rack_size = std::atoi(argv[++i]);
+    } else if (a == "--oversub" && i + 1 < argc) {
+      opt.oversub = std::strtod(argv[++i], nullptr);
+    } else if (a == "--credit-window" && i + 1 < argc) {
+      opt.credit_window = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--no-priority-lanes") {
+      opt.priority_lanes = false;
+    } else if (a == "--adaptive-admission") {
+      opt.adaptive_admission = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--seed <s>] [--plan <name>] "
                    "[--json <path>] [--timeout-us <t>] [--retries <n>] "
                    "[--backoff-us <b>] [--deadline-us <d>] [--no-retry] "
-                   "[--max-batch <n>] [--batch-timeout-us <t>]\n",
+                   "[--max-batch <n>] [--batch-timeout-us <t>] "
+                   "[--rack-size <n>] [--oversub <x>] [--credit-window <n>] "
+                   "[--no-priority-lanes] [--adaptive-admission]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -90,6 +90,13 @@ echo "== recovery_bench (--chaos) =="
 "$build_dir/bench/recovery_bench" --chaos "${quick_flags[@]}" \
   "${seed_flags[@]}" --json "$out_dir/BENCH_recovery_chaos.json"
 
+# Congestion sweep: leader incast over an oversubscribed ToR uplink;
+# the adaptive-vs-fixed admission goodput gate and the full oracle suite
+# (including tail latency) gate the run.
+echo "== congestion_bench =="
+"$build_dir/bench/congestion_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_congestion.json"
+
 echo "== reconfig_bench =="
 "$build_dir/bench/reconfig_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_reconfig.json"

@@ -50,8 +50,15 @@ Endpoint::Endpoint(System& system, GroupId group, int rank, rdma::Node& node)
   ctr_takeovers_ = &hub_->metrics.counter("amcast", "takeovers", label);
   ctr_reproposals_ = &hub_->metrics.counter("amcast", "reproposals", label);
   ctr_shed_ = &hub_->metrics.counter("amcast", "shed", label);
+  ctr_admission_tightened_ =
+      &hub_->metrics.counter("amcast", "admission_tightened", label);
+  gauge_admission_window_ =
+      &hub_->metrics.gauge("amcast", "admission_window", label);
   hist_batch_ = &hub_->metrics.histogram("amcast", "batch_size", label,
                                          {1, 2, 4, 8, 16, 32, 64});
+
+  effective_window_ = cfg.admission_window;
+  admission_last_stalls_ = 0;
 
   update_status_page();
 }
@@ -240,8 +247,9 @@ sim::Task<void> Endpoint::batch_loop() {
     // max_batch = 1 this is exactly the per-message check). A shed
     // message still runs through ordering so every destination group
     // reaches the same verdict via the commit record; the application
-    // answers BUSY instead of executing.
-    const std::uint32_t window = cfg.admission_window;
+    // answers BUSY instead of executing. With adaptive admission the
+    // window itself follows the fabric backpressure signal.
+    const std::uint32_t window = sample_admission_window();
     const std::size_t backlog = ready_.size() + pending_.size();
 
     const std::uint64_t first_seq = append_seq_ + 1;
@@ -285,6 +293,48 @@ sim::Task<void> Endpoint::batch_loop() {
     system_->fabric().simulator().spawn(
         finish_batch(append_seq_, std::move(members)));
   }
+}
+
+std::uint32_t Endpoint::sample_admission_window() {
+  const Config& cfg = system_->config();
+  if (cfg.admission_window == 0) return 0;
+  if (!cfg.adaptive_admission) return cfg.admission_window;
+
+  auto& fabric = system_->fabric();
+  const sim::Nanos queue = fabric.uplink_backlog(node_->id());
+  const std::uint64_t stalls = fabric.credit_stalls(node_->id());
+  const std::uint64_t stall_delta = stalls - admission_last_stalls_;
+  admission_last_stalls_ = stalls;
+
+  const bool congested = queue > cfg.backpressure_queue_threshold ||
+                         stall_delta >= cfg.backpressure_stall_threshold;
+  const std::uint32_t floor_window =
+      std::min(std::max(cfg.admission_min_window, 1u), cfg.admission_window);
+  if (congested) {
+    const std::uint32_t tightened = std::max(floor_window,
+                                             effective_window_ / 2);
+    if (tightened < effective_window_) {
+      ctr_admission_tightened_->inc();
+      hub_->tracer.instant(
+          "amcast", "admission_tighten", node_->id(),
+          {{"window", static_cast<std::uint64_t>(tightened)},
+           {"uplink_ns", static_cast<std::uint64_t>(queue)},
+           {"stalls", stall_delta}});
+    }
+    effective_window_ = tightened;
+    admission_clean_streak_ = 0;
+  } else if (effective_window_ < cfg.admission_window &&
+             ++admission_clean_streak_ >= cfg.admission_recover_samples) {
+    // Multiplicative recovery after a hysteresis delay: grow ~1.5x per
+    // clean streak so a recovering leader re-opens in a few batches
+    // without flapping on the first calm sample.
+    effective_window_ = std::min(cfg.admission_window,
+                                 effective_window_ +
+                                     std::max(1u, effective_window_ / 2));
+    admission_clean_streak_ = 0;
+  }
+  gauge_admission_window_->set(effective_window_);
+  return effective_window_;
 }
 
 sim::Task<void> Endpoint::finish_batch(std::uint64_t last_seq,
@@ -748,8 +798,11 @@ sim::Task<void> Endpoint::heartbeat_loop() {
     Endpoint& leader = system_->endpoint(group_, leader_);
     std::uint64_t hb = 0;
     std::span<std::byte> buf(reinterpret_cast<std::byte*>(&hb), sizeof(hb));
+    // Failure-detector probes ride the control lane: a congested uplink
+    // must not turn queuing delay into a false suspicion.
     const auto completion = co_await fabric.read(
-        node_->id(), rdma::RAddr{leader.node().id(), leader.hb_mr(), 0}, buf);
+        node_->id(), rdma::RAddr{leader.node().id(), leader.hb_mr(), 0}, buf,
+        rdma::Lane::kControl);
     if (stale(inc)) co_return;
 
     bool suspect = false;
@@ -780,7 +833,8 @@ sim::Task<void> Endpoint::heartbeat_loop() {
       std::span<std::byte> cbuf(reinterpret_cast<std::byte*>(&cand_hb),
                                 sizeof(cand_hb));
       const auto cc = co_await fabric.read(
-          node_->id(), rdma::RAddr{c.node().id(), c.hb_mr(), 0}, cbuf);
+          node_->id(), rdma::RAddr{c.node().id(), c.hb_mr(), 0}, cbuf,
+          rdma::Lane::kControl);
       if (stale(inc)) co_return;
       if (cc.ok()) {
         first_alive = cand;
@@ -836,7 +890,8 @@ sim::Task<void> Endpoint::takeover() {
                                    sizeof(sp));
           const auto cc = co_await self.system_->fabric().read(
               self.node_->id(),
-              rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, buf);
+              rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, buf,
+              rdma::Lane::kControl);
           if (cc.ok()) g->responses.emplace_back(peer_rank, sp);
           ++g->resolved;
           done->notify_all();
@@ -898,7 +953,7 @@ sim::Task<void> Endpoint::takeover() {
     Endpoint& peer = system_->endpoint(group_, r);
     fabric.write_async(node_->id(),
                        rdma::RAddr{peer.node().id(), peer.control_mr(), 0},
-                       rdma::pod_bytes(ctl));
+                       rdma::pod_bytes(ctl), rdma::Lane::kControl);
   }
 
   // 4. Resend the recovered log tail (re-tagged with the new epoch) so
@@ -994,6 +1049,12 @@ void Endpoint::restart() {
 
   const Config& cfg = system_->config();
 
+  // A restarted leader sizes itself against the current fabric state, not
+  // a pre-crash stall count.
+  effective_window_ = cfg.admission_window;
+  admission_clean_streak_ = 0;
+  admission_last_stalls_ = system_->fabric().credit_stalls(node_->id());
+
   // Rebuild producer cursors from the surviving rings: the highest
   // ring_seq present per producer. Gaps (writes dropped while we were
   // down) are skipped by the `>=` cursor tolerance in the loops; the
@@ -1075,7 +1136,8 @@ sim::Task<void> Endpoint::rejoin() {
     StatusPage sp{};
     std::span<std::byte> sbuf(reinterpret_cast<std::byte*>(&sp), sizeof(sp));
     const auto sc = co_await fabric.read(
-        node_->id(), rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, sbuf);
+        node_->id(), rdma::RAddr{peer.node().id(), peer.status_mr(), 0}, sbuf,
+        rdma::Lane::kControl);
     if (stale(inc)) co_return;
     if (sc.ok()) {
       epoch_ = std::max(epoch_, sp.epoch);
@@ -1089,7 +1151,7 @@ sim::Task<void> Endpoint::rejoin() {
     std::span<std::byte> cbuf(reinterpret_cast<std::byte*>(&cm), sizeof(cm));
     const auto cc = co_await fabric.read(
         node_->id(), rdma::RAddr{peer.node().id(), peer.control_mr(), 0},
-        cbuf);
+        cbuf, rdma::Lane::kControl);
     if (stale(inc)) co_return;
     if (cc.ok() && cm.epoch > ctl_epoch) {
       ctl_epoch = cm.epoch;

@@ -114,6 +114,13 @@ class Endpoint {
     return propose_queue_.size();
   }
 
+  /// Current adaptive admission window (== Config::admission_window when
+  /// adaptation is off or the fabric is calm). Tests and benches observe
+  /// the tighten/recover cycle through this.
+  [[nodiscard]] std::uint32_t effective_admission_window() const {
+    return effective_window_;
+  }
+
   // Region handles (published via the System directory).
   [[nodiscard]] rdma::MrId inbox_mr() const { return inbox_mr_; }
   [[nodiscard]] rdma::MrId log_mr() const { return log_mr_; }
@@ -168,6 +175,10 @@ class Endpoint {
   }
 
   // --- helpers --------------------------------------------------------
+  /// Samples fabric backpressure (leader uplink queue depth + credit
+  /// stalls) and returns the admission window to apply to this batch;
+  /// see Config::adaptive_admission for the tighten/recover policy.
+  std::uint32_t sample_admission_window();
   void append_local(const LogRecord& rec);     // local ring + apply
   void replicate_span(std::uint64_t first_seq, std::uint64_t count);
   void apply_record(const LogRecord& rec);
@@ -204,6 +215,11 @@ class Endpoint {
   // exit when it no longer matches: a loop parked across a crash+restart
   // must not resume against the rebuilt state.
   std::uint64_t incarnation_ = 0;
+
+  // Adaptive admission state (leader only; see sample_admission_window).
+  std::uint32_t effective_window_ = 0;
+  std::uint32_t admission_clean_streak_ = 0;
+  std::uint64_t admission_last_stalls_ = 0;
 
   // Message state. Delivered messages are deduplicated exactly: a per-
   // client watermark plus the set of delivered sequences above it. With
@@ -268,6 +284,8 @@ class Endpoint {
   telemetry::Counter* ctr_takeovers_;
   telemetry::Counter* ctr_reproposals_;
   telemetry::Counter* ctr_shed_;
+  telemetry::Counter* ctr_admission_tightened_;
+  telemetry::Gauge* gauge_admission_window_;
   telemetry::Histogram* hist_batch_;  // PROPOSE batch sizes (messages)
 };
 

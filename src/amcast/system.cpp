@@ -68,6 +68,14 @@ sim::Task<MsgUid> ClientEndpoint::multicast(DstMask dst,
   msg.flags = flags;
   msg.set_payload(payload);
 
+  // Lease grants and layout-epoch markers are control traffic: their
+  // inbox writes ride the priority lane so renewal and reconfiguration
+  // never queue behind a congested data plane. Safe for RC ordering:
+  // marker senders are dedicated internal endpoints, so their inbox rings
+  // carry only control-lane writes.
+  const rdma::Lane lane = (flags & (kWireFlagLease | kWireFlagEpoch)) != 0
+                              ? rdma::Lane::kControl
+                              : rdma::Lane::kData;
   ring_seq_.resize(static_cast<std::size_t>(system_->group_count()), 0);
   for (GroupId g = 0; g < system_->group_count(); ++g) {
     if (!dst_contains(dst, g)) continue;
@@ -78,7 +86,7 @@ sim::Task<MsgUid> ClientEndpoint::multicast(DstMask dst,
           node_->id(),
           rdma::RAddr{ep.node().id(), ep.inbox_mr(),
                       ep.inbox_slot_offset(client_id_, msg.ring_seq)},
-          rdma::pod_bytes(msg));
+          rdma::pod_bytes(msg), lane);
     }
   }
   co_return uid;

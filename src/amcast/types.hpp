@@ -225,6 +225,26 @@ struct Config {
   /// max_batch = 1.
   std::uint32_t admission_window = 0;
 
+  /// Adaptive admission: when enabled (and admission_window > 0), each
+  /// leader samples the fabric backpressure signal once per batch — its
+  /// rack-uplink queue depth and the credit stalls charged to its node —
+  /// and halves its effective window (down to admission_min_window) while
+  /// either crosses its threshold. Overload then produces early BUSY
+  /// shedding instead of tail-latency collapse. Recovery is hysteretic:
+  /// only after admission_recover_samples consecutive clean samples does
+  /// the window grow again (multiplicatively, capped at
+  /// admission_window), so a flapping uplink cannot oscillate the window
+  /// every batch.
+  bool adaptive_admission = false;
+  std::uint32_t admission_min_window = 2;
+  /// Uplink queue depth (ns of queued transfer on the leader's rack
+  /// uplink) above which the leader tightens.
+  sim::Nanos backpressure_queue_threshold = sim::us(30);
+  /// Credit stalls accrued by the leader's node since the previous batch
+  /// sample at or above which the leader tightens.
+  std::uint64_t backpressure_stall_threshold = 4;
+  std::uint32_t admission_recover_samples = 8;
+
   /// Leader-side batching: the leader drains its propose queue and
   /// coalesces up to `max_batch` messages into one PROPOSE span, one
   /// follower replication + majority-ack round, and one COMMIT span.

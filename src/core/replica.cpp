@@ -1485,11 +1485,17 @@ sim::Task<bool> Replica::copy_send(std::vector<CopyItem> items,
   auto flush = [&](bool seal_flag) -> sim::Task<bool> {
     if (count == 0 && !seal_flag) co_return true;
     if (throttle) {
-      // Same backpressure discipline as the checkpoint writer: defer
+      // Same backpressure discipline as the checkpoint writer — defer
       // while the ordering propose queue is deep or the replica CPU has
-      // a backlog of queued foreground work.
+      // a backlog of queued foreground work — plus the fabric signal:
+      // copy chunks yield the congested rack uplink (and its credits) to
+      // foreground traffic.
+      auto& fabric = system_->fabric();
       while (ep.propose_backlog() > rcfg.throttle_queue_depth ||
-             node().cpu().free_at() > sim.now() + rcfg.throttle_cpu_backlog) {
+             node().cpu().free_at() > sim.now() + rcfg.throttle_cpu_backlog ||
+             (rcfg.throttle_uplink_backlog > 0 &&
+              fabric.uplink_backlog(node().id()) >
+                  rcfg.throttle_uplink_backlog)) {
         ++copy_deferred_;
         ctr_copy_deferred_->inc();
         co_await sim.sleep(rcfg.throttle_backoff);

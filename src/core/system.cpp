@@ -56,7 +56,28 @@ sim::Task<void> System::lease_manager_loop(amcast::ClientEndpoint& ep,
   // against pathological durations: see kMinLeaseRenewPeriod.
   const sim::Nanos period =
       std::max(kMinLeaseRenewPeriod, config_.lease_duration / 2);
+  auto* ctr_skipped = &fabric().telemetry().metrics.counter(
+      "core", "lease_renewals_skipped", "g" + std::to_string(g));
   for (;;) {
+    // Backpressure gate: while the partition's fabric neighborhood is
+    // congested, stop feeding it lease markers. The current lease rides
+    // out its remaining duration; fast reads then fall back to the
+    // ordered path until the fabric drains (see
+    // HeronConfig::lease_backpressure_threshold).
+    if (config_.lease_backpressure_threshold > 0) {
+      sim::Nanos worst = 0;
+      for (int r = 0; r < replicas_per_partition(); ++r) {
+        auto& node = amcast_->endpoint(g, r).node();
+        if (!node.alive()) continue;
+        worst = std::max(worst, fabric().uplink_backlog(node.id()));
+      }
+      if (worst > config_.lease_backpressure_threshold) {
+        ++lease_renewals_skipped_;
+        ctr_skipped->inc();
+        co_await sim.sleep(period);
+        continue;
+      }
+    }
     const RequestHeader header{sim.now(), 0, 0, 0};
     const LeaseGrantWire grant{sim.now() + config_.lease_duration};
     std::array<std::byte, sizeof(RequestHeader) + sizeof(LeaseGrantWire)>

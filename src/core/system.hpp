@@ -260,6 +260,11 @@ class System {
 
   /// Total completions across clients (throughput accounting).
   [[nodiscard]] std::uint64_t total_completed() const;
+  /// Lease renewal periods skipped by the backpressure gate (see
+  /// HeronConfig::lease_backpressure_threshold).
+  [[nodiscard]] std::uint64_t lease_renewals_skipped() const {
+    return lease_renewals_skipped_;
+  }
   void reset_stats();
 
   // --- heron::reconfig: elastic repartitioning --------------------------
@@ -357,6 +362,7 @@ class System {
   reconfig::Layout layout_;   // controller's current layout
   std::uint64_t reconfig_tickets_issued_ = 0;  // migration serialization
   std::uint64_t reconfig_tickets_done_ = 0;
+  std::uint64_t lease_renewals_skipped_ = 0;  // backpressure-gated renewals
   std::vector<MigrationTimes> migration_times_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;

@@ -295,6 +295,14 @@ struct HeronConfig {
   sim::Nanos lease_duration = 0;
   /// Torn-slot retries before a fast read falls back to the ordered path.
   int fastread_torn_retries = 3;
+  /// Fabric-backpressure gate for lease renewal: when > 0 and the rack
+  /// uplink of any alive replica of the partition has more than this many
+  /// nanoseconds of queued transfer, the lease manager skips that renewal
+  /// period instead of adding ordered traffic to a congested partition.
+  /// Fast reads then degrade to the ordered path when the current lease
+  /// expires and resume on the first post-congestion grant — graceful
+  /// degradation instead of marker pile-up. 0 disables the gate.
+  sim::Nanos lease_backpressure_threshold = 0;
 
   // --- durability (checkpointing + log compaction) ---------------------
   /// See durable/config.hpp. durable.checkpoint_interval == 0 (default)

@@ -207,6 +207,51 @@ void check_exactly_once(const HistoryRecorder& history,
   violations.insert(violations.end(), v.begin(), v.end());
 }
 
+std::vector<sim::Nanos> command_latencies(const HistoryRecorder& history) {
+  std::map<CommandKey, sim::Nanos> first_attempt;
+  for (const auto& inv : history.invokes()) {
+    auto [it, inserted] = first_attempt.try_emplace({inv.client, inv.seq},
+                                                    inv.at);
+    if (!inserted && inv.at < it->second) it->second = inv.at;
+  }
+  std::vector<sim::Nanos> out;
+  out.reserve(history.outcomes().size());
+  for (const auto& [key, outcome] : history.outcomes()) {
+    if (outcome.status != core::SubmitStatus::kOk) continue;
+    const auto it = first_attempt.find(key);
+    if (it == first_attempt.end()) continue;
+    out.push_back(outcome.at - it->second);
+  }
+  return out;
+}
+
+sim::Nanos latency_percentile(std::vector<sim::Nanos> sample, double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  auto rank = static_cast<std::size_t>(p / 100.0 * n);  // nearest-rank, 1-based
+  if (rank > 0) --rank;
+  if (rank >= sample.size()) rank = sample.size() - 1;
+  return sample[rank];
+}
+
+void check_tail_latency(const HistoryRecorder& history, sim::Nanos p99_bound,
+                        std::vector<Violation>& violations) {
+  const auto sample = command_latencies(history);
+  if (sample.empty()) {
+    violations.push_back(Violation{
+        "tail-latency", "no command completed successfully (goodput collapse)"});
+    return;
+  }
+  const sim::Nanos p99 = latency_percentile(sample, 99.0);
+  if (p99 > p99_bound) {
+    violations.push_back(Violation{
+        "tail-latency", "p99 latency " + std::to_string(p99) + "ns exceeds " +
+                            std::to_string(p99_bound) + "ns over " +
+                            std::to_string(sample.size()) + " commands"});
+  }
+}
+
 std::uint64_t store_digest(core::Replica& replica) {
   auto& store = replica.store();
   std::vector<core::Oid> oids;

@@ -151,6 +151,22 @@ std::uint64_t store_digest(core::Replica& replica);
 void check_store_convergence(core::System& sys,
                              std::vector<Violation>& violations);
 
+/// End-to-end latency of every successfully completed command: terminal
+/// outcome time minus the command's *first* attempt time (retries are
+/// inside the latency, as a real client would experience them).
+std::vector<sim::Nanos> command_latencies(const HistoryRecorder& history);
+
+/// Nearest-rank percentile of a latency sample (p in (0, 100]); the
+/// sample is taken by value because it is sorted in place. Empty -> 0.
+sim::Nanos latency_percentile(std::vector<sim::Nanos> sample, double p);
+
+/// Tail-latency oracle for congestion runs: appends a violation when the
+/// p99 end-to-end command latency exceeds `p99_bound`, or when no command
+/// completed at all (goodput collapse). Hung clients are caught by the
+/// validity oracle, so together these bound both tails of degradation.
+void check_tail_latency(const HistoryRecorder& history, sim::Nanos p99_bound,
+                        std::vector<Violation>& violations);
+
 /// FNV-1a digest over the replica's session-dedup state in client order:
 /// (client, watermark, above-set, cached_seq, last_tmp, cached status).
 /// The cached reply *payload* and the paged-out flag are excluded —

@@ -1,5 +1,6 @@
 #include "faultlab/injector.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/log.hpp"
@@ -95,7 +96,83 @@ void Injector::apply(const FaultEvent& ev) {
       sim.spawn(restore_jitter(ev.duration, old_prob, old_dur));
       break;
     }
+    case FaultKind::kIncast:
+    case FaultKind::kVictim: {
+      tracer.instant(
+          "faultlab", fault_kind_name(ev.kind),
+          sys_->amcast().endpoint(ev.target.group, ev.target.rank).node().id(),
+          {{"fanin", static_cast<std::uint64_t>(std::max(ev.fanin, 1))},
+           {"bytes", ev.bytes},
+           {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      HSIM_LOG(sim, kInfo, "faultlab: " << fault_kind_name(ev.kind) << " g"
+                                        << ev.target.group << ".r"
+                                        << ev.target.rank);
+      sim.spawn(run_inflow(ev));
+      break;
+    }
+    case FaultKind::kCreditBurst: {
+      tracer.instant(
+          "faultlab", "creditburst",
+          sys_->amcast().endpoint(ev.target.group, ev.target.rank).node().id(),
+          {{"count", static_cast<std::uint64_t>(ev.fanin)},
+           {"bytes", ev.bytes},
+           {"duration_ns", static_cast<std::uint64_t>(ev.duration)}});
+      HSIM_LOG(sim, kInfo, "faultlab: creditburst g" << ev.target.group
+                                                     << ".r" << ev.target.rank);
+      sim.spawn(run_credit_burst(ev));
+      break;
+    }
   }
+}
+
+std::vector<std::int32_t> Injector::phantom_senders(int count) {
+  auto& fabric = sys_->fabric();
+  while (phantoms_.size() < static_cast<std::size_t>(count)) {
+    auto& node = fabric.add_node();
+    fabric.telemetry().tracer.set_tid_name(
+        node.id(), "phantom" + std::to_string(phantoms_.size()));
+    phantoms_.push_back(node.id());
+  }
+  return {phantoms_.begin(), phantoms_.begin() + count};
+}
+
+sim::Task<void> Injector::run_inflow(FaultEvent ev) {
+  auto& sim = sys_->simulator();
+  auto& fabric = sys_->fabric();
+  const std::int32_t target =
+      sys_->amcast().endpoint(ev.target.group, ev.target.rank).node().id();
+  // Phantom senders land in fresh racks past the real cluster, so their
+  // flows converge on the target rack's shared link — a victim flow is
+  // just an incast of one bulk aggressor.
+  const auto senders = phantom_senders(std::max(ev.fanin, 1));
+  const sim::Nanos end = sim.now() + ev.duration;
+  while (sim.now() < end) {
+    for (const std::int32_t s : senders) {
+      fabric.inject_flow(s, target, ev.bytes);
+    }
+    co_await sim.sleep(ev.period);
+  }
+  fabric.telemetry().tracer.instant("faultlab", "inflow_done", target);
+}
+
+sim::Task<void> Injector::run_credit_burst(FaultEvent ev) {
+  auto& sim = sys_->simulator();
+  auto& fabric = sys_->fabric();
+  auto& ep = sys_->amcast().endpoint(ev.target.group, ev.target.rank);
+  const std::int32_t self = ep.node().id();
+  const sim::Nanos end = sim.now() + ev.duration;
+  while (sim.now() < end) {
+    for (int r = 0; r < sys_->replicas_per_partition(); ++r) {
+      if (r == ev.target.rank) continue;
+      const std::int32_t peer =
+          sys_->amcast().endpoint(ev.target.group, r).node().id();
+      for (int i = 0; i < ev.fanin; ++i) {
+        fabric.inject_flow(self, peer, ev.bytes);
+      }
+    }
+    co_await sim.sleep(ev.period);
+  }
+  fabric.telemetry().tracer.instant("faultlab", "creditburst_done", self);
 }
 
 sim::Task<void> Injector::restore_latency(sim::Nanos after) {

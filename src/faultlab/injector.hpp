@@ -34,10 +34,22 @@ class Injector {
   sim::Task<void> restore_bandwidth(sim::Nanos after);
   sim::Task<void> restore_jitter(sim::Nanos after, double prob,
                                  sim::Nanos duration);
+  /// Incast / victim-flow generator: every `period`, each of `fanin`
+  /// phantom senders injects a `bytes` flow at the target node until the
+  /// window closes.
+  sim::Task<void> run_inflow(FaultEvent ev);
+  /// Credit-starvation generator: every `period`, the target replica's
+  /// own node posts `fanin` small verbs to each group peer, exhausting
+  /// its per-QP credit windows.
+  sim::Task<void> run_credit_burst(FaultEvent ev);
+  /// Bare fabric nodes used as congestion traffic sources; grown on
+  /// demand, shared across scenarios of one injector.
+  std::vector<std::int32_t> phantom_senders(int count);
   void apply(const FaultEvent& ev);
 
   core::System* sys_;
   std::set<std::pair<std::int32_t, int>> crashed_;
+  std::vector<std::int32_t> phantoms_;
 };
 
 }  // namespace heron::faultlab

@@ -170,6 +170,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBandwidth: return "bandwidth";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kJitter: return "jitter";
+    case FaultKind::kIncast: return "incast";
+    case FaultKind::kVictim: return "victim";
+    case FaultKind::kCreditBurst: return "creditburst";
   }
   return "?";
 }
@@ -217,6 +220,51 @@ FaultPlan FaultPlan::parse(std::string name, std::string_view text) {
       ev.hiccup_prob = parse_double(stmt, toks[1].substr(1));
       ev.hiccup_duration = parse_time(stmt, toks[2]);
       if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else if (kw == "incast") {
+      ev.kind = FaultKind::kIncast;
+      if (head != 5 || toks[2].empty() || toks[2][0] != 'f' ||
+          toks[3].empty() || toks[3][0] != 'b' || toks[4].empty() ||
+          toks[4][0] != 'p') {
+        fail(stmt, "expected g<g>.r<r> f<fanin> b<bytes> p<period>");
+      }
+      ev.target = parse_ref(stmt, toks[1]);
+      if (ev.target.rank < 0) fail(stmt, "incast needs an .r<rank>");
+      ev.fanin = static_cast<int>(parse_double(stmt, toks[2].substr(1)));
+      if (ev.fanin <= 0) fail(stmt, "fanin must be positive");
+      ev.bytes =
+          static_cast<std::uint64_t>(parse_double(stmt, toks[3].substr(1)));
+      ev.period = parse_time(stmt, toks[4].substr(1));
+      if (ev.period <= 0) fail(stmt, "period must be positive");
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else if (kw == "victim") {
+      ev.kind = FaultKind::kVictim;
+      if (head != 4 || toks[2].empty() || toks[2][0] != 'b' ||
+          toks[3].empty() || toks[3][0] != 'p') {
+        fail(stmt, "expected g<g>.r<r> b<bytes> p<period>");
+      }
+      ev.target = parse_ref(stmt, toks[1]);
+      if (ev.target.rank < 0) fail(stmt, "victim needs an .r<rank>");
+      ev.bytes =
+          static_cast<std::uint64_t>(parse_double(stmt, toks[2].substr(1)));
+      ev.period = parse_time(stmt, toks[3].substr(1));
+      if (ev.period <= 0) fail(stmt, "period must be positive");
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
+    } else if (kw == "creditburst") {
+      ev.kind = FaultKind::kCreditBurst;
+      if (head != 5 || toks[2].empty() || toks[2][0] != 'n' ||
+          toks[3].empty() || toks[3][0] != 'b' || toks[4].empty() ||
+          toks[4][0] != 'p') {
+        fail(stmt, "expected g<g>.r<r> n<count> b<bytes> p<period>");
+      }
+      ev.target = parse_ref(stmt, toks[1]);
+      if (ev.target.rank < 0) fail(stmt, "creditburst needs an .r<rank>");
+      ev.fanin = static_cast<int>(parse_double(stmt, toks[2].substr(1)));
+      if (ev.fanin <= 0) fail(stmt, "count must be positive");
+      ev.bytes =
+          static_cast<std::uint64_t>(parse_double(stmt, toks[3].substr(1)));
+      ev.period = parse_time(stmt, toks[4].substr(1));
+      if (ev.period <= 0) fail(stmt, "period must be positive");
+      if (ev.duration <= 0) fail(stmt, "needs \"for <duration>\"");
     } else {
       fail(stmt, "unknown fault \"" + std::string(kw) + "\"");
     }
@@ -247,6 +295,18 @@ std::string FaultPlan::to_string() const {
       case FaultKind::kJitter:
         os << 'p' << ev.hiccup_prob << ' ' << time_str(ev.hiccup_duration)
            << ' ';
+        break;
+      case FaultKind::kIncast:
+        os << ref_str(ev.target) << " f" << ev.fanin << " b" << ev.bytes
+           << " p" << time_str(ev.period) << ' ';
+        break;
+      case FaultKind::kVictim:
+        os << ref_str(ev.target) << " b" << ev.bytes << " p"
+           << time_str(ev.period) << ' ';
+        break;
+      case FaultKind::kCreditBurst:
+        os << ref_str(ev.target) << " n" << ev.fanin << " b" << ev.bytes
+           << " p" << time_str(ev.period) << ' ';
         break;
     }
     os << "@ " << time_str(ev.at);

@@ -12,6 +12,20 @@
 //   partition g0.r2 @ 2ms for 150us # cut the named replicas off
 //   jitter p0.3 25us @ 4ms for 3ms  # service-time hiccup burst
 //
+// Congestion scenarios (meaningful with the fabric's ToR topology and/or
+// credit windows configured; see rdma::LatencyModel):
+//
+//   incast g0.r0 f8 b32768 p20us @ 2ms for 5ms
+//       # 8 phantom senders each blast a 32 KiB flow at g0.r0's node
+//       # every 20us — converging on its rack downlink (leader incast)
+//   victim g0.r1 b65536 p40us @ 2ms for 5ms
+//       # one bulk phantom flow into g0.r1's node: protocol traffic
+//       # sharing that rack's uplink becomes the victim flow
+//   creditburst g0.r0 n64 b64 p10us @ 2ms for 3ms
+//       # 64 tiny verbs from g0.r0's own node to each group peer per
+//       # period: exhausts the replica's per-QP credit windows so its
+//       # replication verbs queue (credit starvation)
+//
 // Statements are separated by ';' or newlines; '#' starts a comment.
 // Times accept ns / us / ms / s suffixes.
 #pragma once
@@ -32,6 +46,9 @@ enum class FaultKind : std::uint32_t {
   kBandwidth,  // scale transfer bandwidth by `factor` for `duration`
   kPartition,  // stall traffic crossing {targets | rest} for `duration`
   kJitter,     // service-time hiccup burst for `duration`
+  kIncast,       // fanin phantom flows converge on the target's node
+  kVictim,       // one bulk phantom flow shares the target's rack uplink
+  kCreditBurst,  // small-verb bursts from the target's node to its peers
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -51,6 +68,9 @@ struct FaultEvent {
   sim::Nanos duration = 0;            // window of the perturbation
   double hiccup_prob = 0.0;           // jitter burst
   sim::Nanos hiccup_duration = 0;     // jitter burst stall per hiccup
+  int fanin = 0;                      // incast: phantom senders; creditburst: verbs per burst
+  std::uint64_t bytes = 0;            // congestion: bytes per injected flow
+  sim::Nanos period = 0;              // congestion: interval between bursts
 };
 
 class FaultPlan {

@@ -15,6 +15,10 @@ bool in_bounds(const MemoryRegion& region, std::uint64_t offset,
   return offset + len <= region.size() && offset + len >= offset;
 }
 
+/// Wire footprint charged for the request half of a READ (header +
+/// addressing); the payload rides the response.
+constexpr std::uint64_t kVerbHeaderBytes = 64;
+
 }  // namespace
 
 Fabric::Fabric(sim::Simulator& sim, LatencyModel model, std::uint64_t seed)
@@ -31,12 +35,35 @@ Fabric::Fabric(sim::Simulator& sim, LatencyModel model, std::uint64_t seed)
   ctr_write_bytes_ = &m.counter("rdma", "write_bytes");
   ctr_errors_ = &m.counter("rdma", "completion_errors");
   ctr_bad_addr_ = &m.counter("rdma", "bad_address");
+  ctr_credit_stalls_ = &m.counter("rdma", "credit_stalls");
+  ctr_uplink_queued_ = &m.counter("rdma", "uplink_queued");
+  ctr_priority_ops_ = &m.counter("rdma", "priority_ops");
+  ctr_injected_ = &m.counter("rdma", "injected_ops");
   hist_queue_wait_ = &m.histogram("rdma", "nic_queue_wait_ns");
+  hist_credit_wait_ = &m.histogram("rdma", "credit_wait_ns");
+  hist_uplink_wait_ = &m.histogram("rdma", "uplink_wait_ns");
+}
+
+void Fabric::reset_stats() {
+  stats_ = {};
+  hist_queue_wait_->reset();
+  hist_credit_wait_->reset();
+  hist_uplink_wait_->reset();
+  for (RackLink& link : racks_) {
+    link.bytes = 0;
+    link.busy_ns = 0;
+  }
+  std::fill(credit_stalls_by_node_.begin(), credit_stalls_by_node_.end(),
+            std::uint64_t{0});
 }
 
 sim::Nanos Fabric::jitter(sim::Nanos base) {
   double scaled = static_cast<double>(base);
-  if (model_.oversub_nodes != 0 && nodes_.size() > model_.oversub_nodes) {
+  // The flat oversubscription scalar only applies when the structural
+  // topology is off: with racks configured, crossing traffic pays the
+  // shared-uplink FIFO instead.
+  if (model_.rack_size == 0 && model_.oversub_nodes != 0 &&
+      nodes_.size() > model_.oversub_nodes) {
     scaled *= model_.oversub_factor;
   }
   if (latency_factor_ != 1.0) scaled *= latency_factor_;
@@ -52,6 +79,16 @@ sim::Nanos Fabric::xfer_time(std::uint64_t bytes) const {
     t = static_cast<sim::Nanos>(static_cast<double>(t) / bandwidth_factor_);
   }
   return t;
+}
+
+sim::Nanos Fabric::uplink_time(std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  double bw = model_.uplink_bytes_per_ns();
+  if (bandwidth_factor_ > 0.0) bw *= bandwidth_factor_;
+  const double t = static_cast<double>(bytes) / bw;
+  const auto whole = static_cast<sim::Nanos>(t);
+  const sim::Nanos up = (static_cast<double>(whole) < t) ? whole + 1 : whole;
+  return up > 0 ? up : 1;
 }
 
 void Fabric::partition(std::vector<std::int32_t> nodes, sim::Nanos heal_at) {
@@ -79,22 +116,139 @@ sim::Nanos Fabric::depart(std::int32_t initiator) {
   return at;
 }
 
+Fabric::RackLink& Fabric::rack_link(int rack) {
+  if (racks_.size() <= static_cast<std::size_t>(rack)) {
+    racks_.resize(static_cast<std::size_t>(rack) + 1);
+  }
+  return racks_[static_cast<std::size_t>(rack)];
+}
+
+sim::Nanos Fabric::link_transit(std::int32_t initiator, std::int32_t target,
+                                std::uint64_t bytes, sim::Nanos ready,
+                                Lane lane) {
+  if (model_.rack_size == 0) return ready;
+  const int src = rack_of(initiator);
+  const int dst = rack_of(target);
+  if (src == dst) return ready;  // intra-rack: ToR not crossed
+  const sim::Nanos hop = jitter(model_.tor_hop);
+  if (model_.priority_lanes && lane == Lane::kControl) {
+    // QoS class: skips the FIFO, pays only the switch hop.
+    ++stats_.priority_ops;
+    ctr_priority_ops_->inc();
+    return ready + hop;
+  }
+  // Size the vector before taking both references: the second rack_link
+  // call would otherwise reallocate and dangle the first.
+  rack_link(std::max(src, dst));
+  RackLink& su = racks_[static_cast<std::size_t>(src)];
+  RackLink& du = racks_[static_cast<std::size_t>(dst)];
+  const sim::Nanos start = std::max({ready, su.free_at, du.free_at});
+  const sim::Nanos wait = start - ready;
+  if (wait > 0) {
+    ++stats_.uplink_queued;
+    ctr_uplink_queued_->inc();
+    hist_uplink_wait_->observe(wait);
+  }
+  const sim::Nanos occupy = uplink_time(bytes);
+  // The transfer crosses the source uplink and the destination downlink
+  // back-to-back; both rack links are held for its duration, so incast
+  // converging on one rack serializes there no matter where it started.
+  su.free_at = du.free_at = start + occupy;
+  su.bytes += bytes;
+  du.bytes += bytes;
+  su.busy_ns += static_cast<std::uint64_t>(occupy);
+  du.busy_ns += static_cast<std::uint64_t>(occupy);
+  return start + occupy + hop;
+}
+
 sim::Nanos Fabric::arrival_on_channel(std::int32_t initiator,
-                                      std::int32_t target,
+                                      std::int32_t target, Lane lane,
                                       sim::Nanos proposed) {
   // Traffic crossing an active partition stalls until the cut heals; the
   // channel's last_arrival then keeps the queued packets in order.
   if (partition_active() && crosses_partition(initiator, target)) {
     proposed = std::max(proposed, partition_heal_at_);
   }
-  Channel& ch = channels_[{initiator, target}];
-  const sim::Nanos at = std::max(proposed, ch.last_arrival);
-  ch.last_arrival = at;
+  Qp& qp = qp_for(initiator, target, lane);
+  const sim::Nanos at = std::max(proposed, qp.last_arrival);
+  qp.last_arrival = at;
   return at;
 }
 
+sim::Nanos Fabric::uplink_backlog(std::int32_t node_id) const {
+  const int rack = rack_of(node_id);
+  if (rack < 0 || racks_.size() <= static_cast<std::size_t>(rack)) return 0;
+  const sim::Nanos free_at = racks_[static_cast<std::size_t>(rack)].free_at;
+  const sim::Nanos now = sim_->now();
+  return free_at > now ? free_at - now : 0;
+}
+
+std::uint64_t Fabric::uplink_bytes(int rack) const {
+  if (rack < 0 || racks_.size() <= static_cast<std::size_t>(rack)) return 0;
+  return racks_[static_cast<std::size_t>(rack)].bytes;
+}
+
+std::uint64_t Fabric::uplink_busy_ns(int rack) const {
+  if (rack < 0 || racks_.size() <= static_cast<std::size_t>(rack)) return 0;
+  return racks_[static_cast<std::size_t>(rack)].busy_ns;
+}
+
+std::uint64_t Fabric::credit_stalls(std::int32_t node_id) const {
+  const auto i = static_cast<std::size_t>(node_id);
+  return i < credit_stalls_by_node_.size() ? credit_stalls_by_node_[i] : 0;
+}
+
+std::size_t Fabric::credit_queue_depth(std::int32_t node_id) const {
+  std::size_t depth = 0;
+  for (const auto& [key, qp] : qps_) {
+    if (std::get<0>(key) == node_id) depth += qp.waiters.size();
+  }
+  return depth;
+}
+
+void Fabric::note_credit_stall(std::int32_t initiator) {
+  ++stats_.credit_stalls;
+  ctr_credit_stalls_->inc();
+  const auto i = static_cast<std::size_t>(initiator);
+  if (credit_stalls_by_node_.size() <= i) {
+    credit_stalls_by_node_.resize(i + 1, 0);
+  }
+  ++credit_stalls_by_node_[i];
+}
+
+void Fabric::with_credit(Qp& qp, bool gated, std::int32_t initiator,
+                         std::function<void()> post) {
+  if (!gated) {
+    post();
+    return;
+  }
+  if (qp.waiters.empty() && qp.outstanding < model_.credit_window) {
+    ++qp.outstanding;
+    post();
+    return;
+  }
+  note_credit_stall(initiator);
+  qp.waiters.emplace_back(sim_->now(), std::move(post));
+}
+
+void Fabric::release_credit(Qp& qp, bool gated) {
+  if (!gated) return;
+  if (!qp.waiters.empty()) {
+    // Hand the credit straight to the head of the software queue;
+    // `outstanding` stays constant across the transfer. Resume as a fresh
+    // event so the releaser's frame never re-enters the waiter.
+    auto [queued_at, go] = std::move(qp.waiters.front());
+    qp.waiters.pop_front();
+    hist_credit_wait_->observe(sim_->now() - queued_at);
+    sim_->schedule(0, std::move(go));
+    return;
+  }
+  assert(qp.outstanding > 0);
+  if (qp.outstanding > 0) --qp.outstanding;
+}
+
 sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
-                                   std::span<std::byte> out) {
+                                   std::span<std::byte> out, Lane lane) {
   ++stats_.reads;
   stats_.read_bytes += out.size();
   ctr_reads_->inc();
@@ -111,13 +265,19 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
     co_return Completion{Status::kBadAddress};
   }
 
+  const bool gated = credit_gated(lane);
+  co_await CreditGate{this, &qp_for(initiator, addr.node, lane), initiator,
+                      gated};
+
   const sim::Nanos departed = depart(initiator);
   nic_free_at_[initiator] = departed;  // read request itself is tiny
   if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
 
   // Request propagates to the remote NIC; value is sampled there.
   const sim::Nanos arrive = arrival_on_channel(
-      initiator, addr.node, departed + jitter(model_.read_base / 2));
+      initiator, addr.node, lane,
+      link_transit(initiator, addr.node, kVerbHeaderBytes,
+                   departed + jitter(model_.read_base / 2), lane));
   if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
 
   if (!target.alive()) {
@@ -126,6 +286,7 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
     span.arg("wc_error", 1);
     const sim::Nanos err_at = departed + model_.failure_detect;
     if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
+    release_credit(qp_for(initiator, addr.node, lane), gated);
     co_return Completion{Status::kRemoteFailure};
   }
 
@@ -134,9 +295,11 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
   std::memcpy(out.data(), src.data(), out.size());
 
   // Response carries the payload back to the initiator.
-  const sim::Nanos done_at =
-      arrive + jitter(model_.read_base / 2) + xfer_time(out.size());
+  const sim::Nanos done_at = link_transit(
+      addr.node, initiator, out.size(),
+      arrive + jitter(model_.read_base / 2) + xfer_time(out.size()), lane);
   if (done_at > sim_->now()) co_await sim_->sleep(done_at - sim_->now());
+  release_credit(qp_for(initiator, addr.node, lane), gated);
   co_return Completion{Status::kOk};
 }
 
@@ -159,7 +322,8 @@ void Fabric::deliver_write(std::int32_t target_id, RAddr addr,
 }
 
 sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
-                                    std::span<const std::byte> data) {
+                                    std::span<const std::byte> data,
+                                    Lane lane) {
   ++stats_.writes;
   stats_.write_bytes += data.size();
   ctr_writes_->inc();
@@ -176,15 +340,23 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
     co_return Completion{Status::kBadAddress};
   }
 
+  const bool gated = credit_gated(lane);
+  co_await CreditGate{this, &qp_for(initiator, addr.node, lane), initiator,
+                      gated};
+
   const sim::Nanos departed = depart(initiator);
   // Large payloads occupy the send NIC for their transfer duration.
   nic_free_at_[initiator] = departed + xfer_time(data.size());
   if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
 
   const sim::Nanos arrive = arrival_on_channel(
-      initiator, addr.node, departed + jitter(model_.write_base) +
-                                xfer_time(data.size()));
+      initiator, addr.node, lane,
+      link_transit(initiator, addr.node, data.size(),
+                   departed + jitter(model_.write_base) +
+                       xfer_time(data.size()),
+                   lane));
   if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
+  release_credit(qp_for(initiator, addr.node, lane), gated);
 
   if (!target.alive()) {
     ++stats_.failures;
@@ -202,7 +374,7 @@ sim::Task<Completion> Fabric::write(std::int32_t initiator, RAddr addr,
 }
 
 void Fabric::write_async(std::int32_t initiator, RAddr addr,
-                         std::span<const std::byte> data) {
+                         std::span<const std::byte> data, Lane lane) {
   ++stats_.writes;
   stats_.write_bytes += data.size();
   ctr_writes_async_->inc();
@@ -219,26 +391,67 @@ void Fabric::write_async(std::int32_t initiator, RAddr addr,
     return;
   }
 
-  const sim::Nanos departed = depart(initiator);
-  nic_free_at_[initiator] = departed + xfer_time(data.size());
-  const sim::Nanos arrive = arrival_on_channel(
-      initiator, addr.node, departed + jitter(model_.write_base) +
-                                xfer_time(data.size()));
-
-  // The arrival instant is known synchronously, so the span covers the
-  // wire flight of the fire-and-forget write.
-  {
-    auto span = hub_->tracer.span("rdma", "write_async", initiator);
-    span.arg("target", static_cast<std::uint64_t>(addr.node));
-    span.arg("bytes", data.size());
-    span.finish_at(arrive);
-  }
-
+  const bool gated = credit_gated(lane);
   std::vector<std::byte> payload(data.begin(), data.end());
-  const std::int32_t target_id = addr.node;
-  sim_->schedule_at(arrive, [this, target_id, addr,
-                             payload = std::move(payload)]() mutable {
-    deliver_write(target_id, addr, std::move(payload));
+  // The post body runs when a credit is available — immediately when the
+  // QP is uncontended, otherwise later from the FIFO software queue (which
+  // preserves post order, and so RC in-order delivery).
+  with_credit(
+      qp_for(initiator, addr.node, lane), gated, initiator,
+      [this, initiator, addr, lane, gated,
+       payload = std::move(payload)]() mutable {
+        const sim::Nanos departed = depart(initiator);
+        nic_free_at_[initiator] = departed + xfer_time(payload.size());
+        const sim::Nanos arrive = arrival_on_channel(
+            initiator, addr.node, lane,
+            link_transit(initiator, addr.node, payload.size(),
+                         departed + jitter(model_.write_base) +
+                             xfer_time(payload.size()),
+                         lane));
+
+        // The arrival instant is known synchronously, so the span covers
+        // the wire flight of the fire-and-forget write.
+        {
+          auto span = hub_->tracer.span("rdma", "write_async", initiator);
+          span.arg("target", static_cast<std::uint64_t>(addr.node));
+          span.arg("bytes", payload.size());
+          span.finish_at(arrive);
+        }
+
+        const std::int32_t target_id = addr.node;
+        sim_->schedule_at(arrive, [this, initiator, target_id, addr, lane,
+                                   gated,
+                                   payload = std::move(payload)]() mutable {
+          release_credit(qp_for(initiator, target_id, lane), gated);
+          deliver_write(target_id, addr, std::move(payload));
+        });
+      });
+}
+
+void Fabric::inject_flow(std::int32_t initiator, std::int32_t target,
+                         std::uint64_t bytes, Lane lane) {
+  ++stats_.injected_ops;
+  stats_.injected_bytes += bytes;
+  ctr_injected_->inc();
+
+  const bool gated = credit_gated(lane);
+  with_credit(qp_for(initiator, target, lane), gated, initiator,
+              [this, initiator, target, bytes, lane, gated] {
+                post_flow(initiator, target, bytes, lane, gated);
+              });
+}
+
+void Fabric::post_flow(std::int32_t initiator, std::int32_t target,
+                       std::uint64_t bytes, Lane lane, bool gated) {
+  const sim::Nanos departed = depart(initiator);
+  nic_free_at_[initiator] = departed + xfer_time(bytes);
+  const sim::Nanos arrive = arrival_on_channel(
+      initiator, target, lane,
+      link_transit(initiator, target, bytes,
+                   departed + jitter(model_.write_base) + xfer_time(bytes),
+                   lane));
+  sim_->schedule_at(arrive, [this, initiator, target, lane, gated] {
+    release_credit(qp_for(initiator, target, lane), gated);
   });
 }
 

@@ -80,6 +80,11 @@ struct ReconfigConfig {
   std::uint32_t copy_ring_slots = 64;          // per source-rank ring
   std::uint32_t throttle_queue_depth = 16;     // defer above this backlog
   sim::Nanos throttle_cpu_backlog = sim::us(50);
+  /// Fabric-backpressure half of the throttle: defer copy chunks while
+  /// the source's rack uplink holds more than this many ns of queued
+  /// transfer, yielding the shared link (and its credits) to foreground
+  /// traffic. 0 on a flat fabric is never exceeded.
+  sim::Nanos throttle_uplink_backlog = sim::us(50);
   sim::Nanos throttle_backoff = sim::us(200);
   sim::Nanos delta_pass_interval = sim::us(100);  // sleep between passes
   std::uint32_t seal_dirty_threshold = 64;     // caught-up when dirty <=

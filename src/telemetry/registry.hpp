@@ -9,6 +9,7 @@
 // (std::map key order).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -67,6 +68,17 @@ class Histogram {
     sum_ += v;
     if (v < min_) min_ = v;
     if (v > max_) max_ = v;
+  }
+
+  /// Drops every recorded sample, keeping the bucket bounds. Benches call
+  /// this (via Fabric::reset_stats) between warmup and measurement so the
+  /// reported distribution covers only the measured window.
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = std::numeric_limits<std::int64_t>::min();
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
