@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -11,20 +12,71 @@
 
 namespace heron::sim {
 
-/// Collects latency samples (ns) and answers summary queries. Samples are
-/// kept verbatim; bench runs record at most a few million points.
+/// Collects latency samples (ns) and answers summary queries.
+///
+/// Two storage modes:
+///  - kVerbatim (default): every sample kept; percentiles are exact.
+///    Right for bench runs recording up to a few million points.
+///  - kHistogram: HDR-style log-bucket counters — 64 sub-buckets per
+///    octave, so any recorded value lands in a bucket whose width is at
+///    most 1/64 of its magnitude (<= ~1.6% relative error, halved by
+///    reporting bucket midpoints; values < 64 ns are exact). Memory is a
+///    fixed ~30 KB however many samples arrive, which is what lets 10^6
+///    open-loop clients record without holding 10^6-sample vectors.
+///    min/max/count/mean/stddev stay exact via side accumulators.
 class LatencyRecorder {
  public:
-  void record(Nanos v) {
-    samples_.push_back(v);
-    sorted_ = false;  // a prior percentile()/cdf() sort is now stale
-  }
-  void clear() { samples_.clear(); sorted_ = false; }
+  enum class Mode { kVerbatim, kHistogram };
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  LatencyRecorder() = default;
+  explicit LatencyRecorder(Mode mode) { set_mode(mode); }
+
+  /// Switches storage mode. Drops anything recorded so far.
+  void set_mode(Mode mode) {
+    mode_ = mode;
+    clear();
+    if (mode_ == Mode::kHistogram && buckets_.empty()) {
+      buckets_.resize(kBucketCount, 0);
+    }
+  }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  void record(Nanos v) {
+    if (mode_ == Mode::kVerbatim) {
+      samples_.push_back(v);
+      sorted_ = false;  // a prior percentile()/cdf() sort is now stale
+      return;
+    }
+    ++buckets_[bucket_of(v)];
+    ++hist_count_;
+    hist_sum_ += static_cast<double>(v);
+    hist_sumsq_ += static_cast<double>(v) * static_cast<double>(v);
+    hist_min_ = hist_count_ == 1 ? v : std::min(hist_min_, v);
+    hist_max_ = hist_count_ == 1 ? v : std::max(hist_max_, v);
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+    std::fill(buckets_.begin(), buckets_.end(), std::uint64_t{0});
+    hist_count_ = 0;
+    hist_sum_ = 0.0;
+    hist_sumsq_ = 0.0;
+    hist_min_ = 0;
+    hist_max_ = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    return mode_ == Mode::kVerbatim ? samples_.size()
+                                    : static_cast<std::size_t>(hist_count_);
+  }
+  [[nodiscard]] bool empty() const { return count() == 0; }
 
   [[nodiscard]] double mean() const {
+    if (mode_ == Mode::kHistogram) {
+      return hist_count_ == 0 ? 0.0
+                              : hist_sum_ / static_cast<double>(hist_count_);
+    }
     if (samples_.empty()) return 0.0;
     double sum = 0.0;
     for (Nanos v : samples_) sum += static_cast<double>(v);
@@ -32,6 +84,13 @@ class LatencyRecorder {
   }
 
   [[nodiscard]] double stddev() const {
+    if (mode_ == Mode::kHistogram) {
+      if (hist_count_ < 2) return 0.0;
+      const double n = static_cast<double>(hist_count_);
+      const double m = hist_sum_ / n;
+      const double var = (hist_sumsq_ - n * m * m) / (n - 1.0);
+      return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
     if (samples_.size() < 2) return 0.0;
     const double m = mean();
     double acc = 0.0;
@@ -43,23 +102,27 @@ class LatencyRecorder {
   }
 
   [[nodiscard]] Nanos min() const {
+    if (mode_ == Mode::kHistogram) return hist_min_;
     return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
   }
   [[nodiscard]] Nanos max() const {
+    if (mode_ == Mode::kHistogram) return hist_max_;
     return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
   }
 
   /// Percentile in [0, 100] by nearest-rank on the sorted samples.
   /// Out-of-range p is clamped: before the clamp, a negative p produced a
   /// negative rank whose size_t conversion wrapped past the clamp-to-last
-  /// guard and returned the *maximum* sample.
+  /// guard and returned the *maximum* sample. Histogram mode uses the same
+  /// nearest-rank rule over bucket counts and reports the bucket midpoint
+  /// clamped to the observed [min, max].
   [[nodiscard]] Nanos percentile(double p) const {
-    if (samples_.empty()) return 0;
-    sort_samples();
+    if (empty()) return 0;
     p = std::clamp(p, 0.0, 100.0);
-    const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const double rank =
+        (p / 100.0) * static_cast<double>(count() - 1);
     const auto idx = static_cast<std::size_t>(std::llround(rank));
-    return samples_[std::min(idx, samples_.size() - 1)];
+    return value_at_rank(std::min(idx, count() - 1));
   }
 
   /// Evenly spaced CDF points: `n` pairs of (latency_ns, cumulative_frac).
@@ -70,21 +133,64 @@ class LatencyRecorder {
   [[nodiscard]] std::vector<std::pair<Nanos, double>> cdf(
       std::size_t n = 100) const {
     std::vector<std::pair<Nanos, double>> out;
-    if (samples_.empty() || n == 0) return out;
-    sort_samples();
+    if (empty() || n == 0) return out;
     out.reserve(n);
     for (std::size_t i = 1; i <= n; ++i) {
       const double frac = static_cast<double>(i) / static_cast<double>(n);
-      const double rank = frac * static_cast<double>(samples_.size() - 1);
+      const double rank = frac * static_cast<double>(count() - 1);
       const auto idx = static_cast<std::size_t>(std::llround(rank));
-      out.emplace_back(samples_[std::min(idx, samples_.size() - 1)], frac);
+      out.emplace_back(value_at_rank(std::min(idx, count() - 1)), frac);
     }
     return out;
   }
 
+  /// Verbatim samples; empty in histogram mode (summaries only).
   [[nodiscard]] const std::vector<Nanos>& samples() const { return samples_; }
 
  private:
+  // 64 sub-buckets per octave: values < 64 map exactly; larger values use
+  // (octave, top-6-mantissa-bits). 58 octaves cover the full Nanos range.
+  static constexpr int kSubBits = 6;
+  static constexpr std::int64_t kSubCount = std::int64_t{1} << kSubBits;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>((64 - kSubBits) * kSubCount);
+
+  static std::size_t bucket_of(Nanos v) {
+    if (v < kSubCount) return v < 0 ? 0 : static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+    const int octave = msb - kSubBits + 1;  // 1-based; octave 0 is exact
+    const std::int64_t sub = (v >> (msb - kSubBits)) & (kSubCount - 1);
+    return static_cast<std::size_t>((octave << kSubBits) + sub);
+  }
+
+  /// Representative (midpoint) value for a bucket.
+  static Nanos bucket_value(std::size_t idx) {
+    if (idx < static_cast<std::size_t>(kSubCount)) {
+      return static_cast<Nanos>(idx);
+    }
+    const int octave = static_cast<int>(idx >> kSubBits);
+    const std::int64_t sub = static_cast<std::int64_t>(idx) & (kSubCount - 1);
+    const int msb = octave + kSubBits - 1;
+    const std::int64_t width = std::int64_t{1} << (msb - kSubBits);
+    const std::int64_t lower = (std::int64_t{1} << msb) + sub * width;
+    return lower + width / 2;
+  }
+
+  [[nodiscard]] Nanos value_at_rank(std::size_t rank) const {
+    if (mode_ == Mode::kVerbatim) {
+      sort_samples();
+      return samples_[rank];
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) {
+        return std::clamp(bucket_value(i), hist_min_, hist_max_);
+      }
+    }
+    return hist_max_;
+  }
+
   // Sorting is a caching detail; queries stay logically const.
   void sort_samples() const {
     if (!sorted_) {
@@ -93,8 +199,15 @@ class LatencyRecorder {
     }
   }
 
+  Mode mode_ = Mode::kVerbatim;
   mutable std::vector<Nanos> samples_;
   mutable bool sorted_ = false;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t hist_count_ = 0;
+  double hist_sum_ = 0.0;
+  double hist_sumsq_ = 0.0;
+  Nanos hist_min_ = 0;
+  Nanos hist_max_ = 0;
 };
 
 /// Throughput bookkeeping: completed operations over a virtual-time window.

@@ -39,9 +39,16 @@ struct FinalAwaiter {
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+  // When set (root tasks only), raised the instant an exception escapes the
+  // coroutine so the simulator can surface the failure at the next event
+  // boundary instead of waiting for a lazy reap.
+  bool* failure_flag = nullptr;
 
   std::suspend_always initial_suspend() const noexcept { return {}; }
-  void unhandled_exception() noexcept { exception = std::current_exception(); }
+  void unhandled_exception() noexcept {
+    exception = std::current_exception();
+    if (failure_flag != nullptr) *failure_flag = true;
+  }
 };
 
 }  // namespace detail
@@ -164,6 +171,21 @@ class [[nodiscard]] Task<void> {
     if (handle_ && handle_.done() && handle_.promise().exception) {
       std::rethrow_exception(handle_.promise().exception);
     }
+  }
+
+  /// Root-task bookkeeping: points the promise at a flag the owner polls,
+  /// set the moment an exception escapes the coroutine. Must be called
+  /// before start() to catch synchronous failures.
+  void set_failure_flag(bool* flag) {
+    if (handle_) handle_.promise().failure_flag = flag;
+  }
+
+  [[nodiscard]] bool failed() const {
+    return handle_ && handle_.done() && handle_.promise().exception;
+  }
+
+  [[nodiscard]] std::exception_ptr exception() const {
+    return handle_ ? handle_.promise().exception : nullptr;
   }
 
   auto operator co_await() && noexcept {

@@ -137,6 +137,26 @@ TEST(Faultlab, CrashRestartRejoinConverges) {
   EXPECT_EQ(res.digests[4], res.digests[5]);
 }
 
+TEST(Faultlab, RepeatedCrashesWithParkedWaitersStayClean) {
+  // Regression for the dangling-waiter bug: crashing a replica destroys
+  // coroutine frames parked in Notifier::wait() on its memory regions
+  // while remote writes (notify_all) are still landing — the pre-fix
+  // kernel had already queued wakeup callbacks holding the dead frames'
+  // coroutine handles, and resumed them (use-after-free; the ASan CI job
+  // runs this test). Three staggered crash/restart cycles, one of them a
+  // leader (failover path), with client traffic throughout.
+  const auto res = run_bank_cell(
+      23,
+      "crash g0.r1 @ 500us; restart g0.r1 @ 2ms; "
+      "crash g1.r2 @ 1ms; restart g1.r2 @ 4ms; "
+      "crash g0.r0 @ 6ms; restart g0.r0 @ 9ms");
+  EXPECT_EQ(res.completed, 3u * 40u);
+  for (const auto& v : res.violations) {
+    ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+  }
+  ASSERT_EQ(res.digests.size(), 6u);  // everyone restarted and rejoined
+}
+
 TEST(Faultlab, SameSeedSamePlanIsDeterministic) {
   const std::string plan = "crash g0.r2 @ 1ms; restart g0.r2 @ 5ms";
   const auto a = run_bank_cell(23, plan);

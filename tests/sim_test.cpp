@@ -2,8 +2,12 @@
 // ordering, coroutine tasks, notifiers, RNG determinism, and stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/notifier.hpp"
@@ -444,6 +448,374 @@ TEST(Stats, ThroughputWindow) {
   EXPECT_DOUBLE_EQ(w.per_second(), 2'500.0);
   ThroughputWindow empty{};
   EXPECT_DOUBLE_EQ(empty.per_second(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel event queue: ordering contract and pop-then-execute semantics.
+
+TEST(Simulator, ScheduleSameTimestampFromInsideEventRunsFifo) {
+  // Scheduling at the *current* timestamp from inside an executing event
+  // must land after every already-queued event at that instant (FIFO by
+  // seq). The old kernel moved out of priority_queue::top() via const_cast
+  // before pop; this exercises the new pop-then-execute path, including
+  // sorted insertion into the actively draining wheel slot.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] {
+      order.push_back(3);
+      sim.schedule(0, [&] { order.push_back(4); });
+    });
+  });
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RandomizedOrderMatchesStableSortBySchedule) {
+  // Gold determinism test: thousands of events across every queue regime
+  // (same-tick, in-slot, cross-wheel, far-bucket), many scheduled from
+  // inside executing events, must pop in exactly ascending (when, seq) --
+  // i.e. a stable sort of the schedule order by timestamp.
+  Simulator sim;
+  Rng rng(1234);
+  std::vector<int> fired;
+  std::vector<std::pair<Nanos, int>> scheduled;  // (when, id) in seq order
+  int next_id = 0;
+  std::function<void(int)> spawn_more = [&](int depth) {
+    const int id = next_id++;
+    const double pick = rng.uniform();
+    Nanos delay = 0;
+    if (pick < 0.3) {
+      delay = 0;  // same tick
+    } else if (pick < 0.6) {
+      delay = rng.uniform_int(1, 1000);  // within a few wheel slots
+    } else if (pick < 0.9) {
+      delay = rng.uniform_int(1000, 300'000);  // across the wheel horizon
+    } else {
+      delay = rng.uniform_int(300'000, 5'000'000);  // far buckets
+    }
+    scheduled.emplace_back(sim.now() + delay, id);
+    sim.schedule(delay, [&, id, depth] {
+      fired.push_back(id);
+      if (depth < 3) {
+        spawn_more(depth + 1);
+        spawn_more(depth + 1);
+      }
+    });
+  };
+  for (int i = 0; i < 200; ++i) spawn_more(0);
+  sim.run();
+
+  ASSERT_EQ(fired.size(), scheduled.size());
+  std::stable_sort(
+      scheduled.begin(), scheduled.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    ASSERT_EQ(fired[i], scheduled[i].second) << "divergence at pop " << i;
+  }
+}
+
+TEST(Simulator, RunUntilPeekThenEarlierScheduleStaysOrdered) {
+  // run_until peeks the head (a far-future event), declines to pop it,
+  // and the caller then schedules something earlier. Peeking must not
+  // advance the wheel base past the new event's slot.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(ms(1), [&] { order.push_back(2); });
+  sim.schedule_at(ms(5), [&] { order.push_back(3); });  // separate far bucket
+  sim.run_until(us(100));
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(sim.now(), us(100));
+  sim.schedule_at(us(200), [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ms(5));
+}
+
+TEST(Simulator, RootFailureSurfacesPromptly) {
+  // An exception escaping a root task must abort the run at that event
+  // boundary. Pre-fix, spawn() only reaped past 64 roots, so run() kept
+  // executing every queued event and only rethrew once the queue drained.
+  Simulator sim;
+  bool later_ran = false;
+  sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.sleep(us(1));
+    throw std::runtime_error("root failure");
+  }(sim));
+  sim.schedule(us(2), [&] { later_ran = true; });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  EXPECT_FALSE(later_ran) << "events after the failure boundary still ran";
+  // The failure was consumed; surviving events run on the next call.
+  sim.run();
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(Simulator, TimerPoolCancelReuseAndStaleTokens) {
+  Simulator sim;
+  int fired = 0;
+  auto t1 = sim.schedule_timer_at(us(10), [&] { fired += 1; });
+  auto t2 = sim.schedule_timer_at(us(20), [&] { fired += 10; });
+  EXPECT_TRUE(sim.cancel_timer(t1));
+  EXPECT_FALSE(sim.cancel_timer(t1));  // token cleared by cancel
+  sim.run();
+  EXPECT_EQ(fired, 10);                 // t1 canceled, t2 fired
+  EXPECT_EQ(sim.now(), us(20));         // canceled shell still drains at us(10)
+  EXPECT_FALSE(sim.cancel_timer(t2));   // already fired: stale generation
+  // A freed slot is recycled (t2's, freed last) with a bumped generation.
+  auto t3 = sim.schedule_timer_at(sim.now() + us(5), [&] { fired += 100; });
+  EXPECT_EQ(t3.slot, 1u);
+  sim.run();
+  EXPECT_EQ(fired, 110);
+}
+
+TEST(EventFn, InlineAndHeapTargetsInvokeAndDestroyOnce) {
+  auto token = std::make_shared<int>(0);
+  {
+    EventFn small([token] { *token += 1; });  // fits the inline buffer
+    std::array<std::uint64_t, 8> pad{};       // 64-byte capture: heap path
+    EventFn big([token, pad] { *token += static_cast<int>(pad[0]) + 10; });
+    EventFn moved = std::move(small);
+    moved();
+    big();
+    EXPECT_EQ(*token, 11);
+    // token + moved's capture + big's capture; the moved-from small
+    // relocated its capture rather than copying it.
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // every capture destroyed exactly once
+}
+
+// ---------------------------------------------------------------------------
+// Notifier liveness: destroying a parked coroutine frame must unlink its
+// waiter so no walker ever resumes a dead handle (use-after-free pre-fix).
+
+Task<void> flag_waiter(Notifier& n, bool& resumed) {
+  co_await n.wait();
+  resumed = true;
+}
+
+TEST(Notifier, ParkedWaiterDestroyedBeforeNotifyIsNotResumed) {
+  Simulator sim;
+  Notifier n(sim);
+  bool resumed = false;
+  auto waiter = flag_waiter(n, resumed);
+  waiter.start();
+  EXPECT_EQ(n.waiter_count(), 1u);
+  waiter = Task<void>{};  // crash-injection analogue: frame torn down parked
+  EXPECT_EQ(n.waiter_count(), 0u);
+  n.notify_all();
+  sim.run();
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Notifier, FiredWaiterDestroyedBeforeWalkerRunsIsSkipped) {
+  // The sharpest pre-fix case: notify_all() already queued the wakeup
+  // when the frame is destroyed; the old kernel's scheduled callback
+  // resumed a dead coroutine handle.
+  Simulator sim;
+  Notifier n(sim);
+  bool resumed = false;
+  bool other_resumed = false;
+  auto doomed = flag_waiter(n, resumed);
+  auto survivor = flag_waiter(n, other_resumed);
+  doomed.start();
+  survivor.start();
+  n.notify_all();
+  doomed = Task<void>{};  // destroyed between notify and the walker event
+  sim.run();
+  EXPECT_FALSE(resumed);
+  EXPECT_TRUE(other_resumed);
+}
+
+TEST(Notifier, WokenWaiterDestroyingSiblingWaiterIsSafe) {
+  Simulator sim;
+  Notifier n(sim);
+  bool r1 = false;
+  bool r2 = false;
+  auto sibling = std::make_unique<Task<void>>(flag_waiter(n, r2));
+  auto killer = [](Notifier& nn, std::unique_ptr<Task<void>>& sib,
+                   bool& r) -> Task<void> {
+    co_await nn.wait();
+    sib.reset();  // tears down the next frame in this very wakeup batch
+    r = true;
+  }(n, sibling, r1);
+  killer.start();
+  sibling->start();
+  n.notify_all();
+  sim.run();
+  EXPECT_TRUE(r1);
+  EXPECT_FALSE(r2);
+}
+
+TEST(Notifier, NotifierDestroyedByWokenWaiterStillWakesBatch) {
+  // Matches the old kernel's semantics: waiters already notified keep
+  // their wakeup even if the notifier dies before the walker reaches them.
+  Simulator sim;
+  auto n = std::make_unique<Notifier>(sim);
+  bool r1 = false;
+  bool r2 = false;
+  auto destroyer = [](std::unique_ptr<Notifier>& nn, bool& r) -> Task<void> {
+    co_await nn->wait();
+    nn.reset();
+    r = true;
+  }(n, r1);
+  auto second = flag_waiter(*n, r2);
+  destroyer.start();
+  second.start();
+  n->notify_all();
+  sim.run();
+  EXPECT_TRUE(r1);
+  EXPECT_TRUE(r2);
+}
+
+TEST(Notifier, TimedWaiterDestroyedMidWaitCancelsDeadlineResume) {
+  // A frame destroyed while suspended in wait_until_timeout must cancel
+  // its pool timer (frame locals run their destructors on destroy), so
+  // the deadline event finds a stale generation instead of a dead handle.
+  Simulator sim;
+  Notifier n(sim);
+  bool resumed = false;
+  auto w = [](Notifier& nn, bool& r) -> Task<void> {
+    (void)co_await wait_until_timeout(nn, [] { return false; }, us(100));
+    r = true;
+  }(n, resumed);
+  w.start();
+  sim.run_until(us(10));
+  w = Task<void>{};
+  sim.run();  // pre-fix: the deadline timer resumed the destroyed frame
+  EXPECT_FALSE(resumed);
+  EXPECT_EQ(sim.now(), us(100));  // the disarmed shell still drains
+}
+
+TEST(Notifier, NotifyHeavyTimedWaitKeepsEventQueueBounded) {
+  // Queue-bloat guard for the timer wheel + intrusive waiters: a timed
+  // wait bombarded by notifies must hold at most the deadline shell, one
+  // in-flight walker and the re-park -- not one event per notify.
+  Simulator sim;
+  Notifier n(sim);
+  bool result = true;
+  sim.spawn([](Notifier& nn, bool& r) -> Task<void> {
+    r = co_await wait_until_timeout(nn, [] { return false; }, ms(10));
+  }(n, result));
+  std::size_t max_pending = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.run_for(us(1));
+    n.notify_all();
+    max_pending = std::max(max_pending, sim.pending_events());
+  }
+  sim.run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(sim.now(), ms(10));
+  EXPECT_LE(max_pending, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder histogram mode.
+
+TEST(Stats, HistogramPercentileParityWithVerbatim) {
+  LatencyRecorder exact;
+  LatencyRecorder hist(LatencyRecorder::Mode::kHistogram);
+  Rng rng(99);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto v = static_cast<Nanos>(rng.lognormal_mean(30'000.0, 0.8));
+    exact.record(v);
+    hist.record(v);
+  }
+  EXPECT_EQ(hist.count(), exact.count());
+  EXPECT_EQ(hist.min(), exact.min());
+  EXPECT_EQ(hist.max(), exact.max());
+  EXPECT_NEAR(hist.mean(), exact.mean(), exact.mean() * 1e-9);
+  EXPECT_NEAR(hist.stddev(), exact.stddev(), exact.stddev() * 1e-6);
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const auto e = static_cast<double>(exact.percentile(p));
+    const auto h = static_cast<double>(hist.percentile(p));
+    // 64 sub-buckets per octave: bucket width <= 1/64 of the value.
+    EXPECT_NEAR(h, e, std::max(1.0, e / 64.0)) << "p" << p;
+  }
+}
+
+TEST(Stats, HistogramCdfParity) {
+  LatencyRecorder exact;
+  LatencyRecorder hist(LatencyRecorder::Mode::kHistogram);
+  Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<Nanos>(rng.exponential(10'000.0));
+    exact.record(v);
+    hist.record(v);
+  }
+  const auto ce = exact.cdf(20);
+  const auto ch = hist.cdf(20);
+  ASSERT_EQ(ce.size(), ch.size());
+  for (std::size_t i = 0; i < ce.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ch[i].second, ce[i].second);
+    const auto e = static_cast<double>(ce[i].first);
+    EXPECT_NEAR(static_cast<double>(ch[i].first), e,
+                std::max(1.0, e / 64.0));
+    if (i > 0) {
+      EXPECT_GE(ch[i].first, ch[i - 1].first);  // monotone
+    }
+  }
+}
+
+TEST(Stats, HistogramSmallValuesAreExact) {
+  LatencyRecorder hist(LatencyRecorder::Mode::kHistogram);
+  for (Nanos v = 0; v < 64; ++v) hist.record(v);
+  EXPECT_EQ(hist.percentile(0), 0);
+  EXPECT_EQ(hist.percentile(50), 32);  // nearest-rank over 0..63
+  EXPECT_EQ(hist.percentile(100), 63);
+}
+
+TEST(Stats, HistogramBoundedUnderTenMillionRecords) {
+  LatencyRecorder hist(LatencyRecorder::Mode::kHistogram);
+  Rng rng(3);
+  for (int i = 0; i < 10'000'000; ++i) {
+    hist.record(static_cast<Nanos>(rng.bounded(100'000'000)));
+  }
+  EXPECT_EQ(hist.count(), 10'000'000u);
+  // Structural bound: no per-sample storage, only fixed bucket counters.
+  EXPECT_TRUE(hist.samples().empty());
+  EXPECT_GT(hist.percentile(50), 0);
+  hist.clear();
+  EXPECT_TRUE(hist.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian skew generator.
+
+TEST(Rng, ZipfRanksWithinBoundsAndSkewed) {
+  Rng rng(7);
+  ZipfGen zipf(1'000'000, 0.99);
+  std::uint64_t top10 = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t rank = zipf.next(rng);
+    ASSERT_LT(rank, 1'000'000u);
+    top10 += rank < 10 ? 1 : 0;
+  }
+  // YCSB theta=0.99 over 10^6 keys puts ~19% of mass on the top 10.
+  EXPECT_GT(top10, kDraws / 10);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform) {
+  Rng rng(11);
+  ZipfGen zipf(1'000'000, 0.0);
+  std::uint64_t top10 = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    top10 += zipf.next(rng) < 10 ? 1 : 0;
+  }
+  EXPECT_LT(top10, 100u);  // expected ~1 hit
+}
+
+TEST(Rng, ZipfIsDeterministicPerSeed) {
+  ZipfGen zipf(4096, 0.99);
+  Rng a(21);
+  Rng b(21);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(zipf.next(a), zipf.next(b));
+  }
 }
 
 }  // namespace

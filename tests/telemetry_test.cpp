@@ -10,6 +10,7 @@
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/kernel.hpp"
 
 namespace heron {
 namespace {
@@ -310,6 +311,37 @@ TEST(TelemetryEndToEnd, DisabledTelemetryRecordsNothing) {
   auto& m = cluster.telemetry().metrics;
   EXPECT_EQ(m.counter("core", "executed", "g0.r0").value(), 0u);
   EXPECT_EQ(m.counter("rdma", "write_ops").value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// KernelStats: events/sec + queue-depth sampling of the sim kernel
+// ---------------------------------------------------------------------
+
+TEST(KernelStats, SamplesThroughputAndQueueDepth) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  metrics.enable();
+  telemetry::KernelStats kernel(sim, metrics, sim::us(10));
+  kernel.start();
+
+  // A self-rescheduling load: ~1 event per 1us for 1ms.
+  sim.spawn([](sim::Simulator& s) -> sim::Task<void> {
+    for (int i = 0; i < 1000; ++i) co_await s.sleep(sim::us(1));
+  }(sim));
+  sim.run_until(sim::ms(1));
+
+  const auto executed = metrics.counter("sim", "events_executed").value();
+  EXPECT_GT(executed, 900u);  // sampler saw nearly every event
+  EXPECT_GT(metrics.gauge("sim", "events_per_vsec").value(), 0);
+  EXPECT_GT(metrics.histogram("sim", "queue_depth").count(), 90u);
+
+  // stop() disarms the timer: the queue drains and sampling ceases.
+  kernel.stop();
+  sim.run();
+  const auto after = metrics.counter("sim", "events_executed").value();
+  sim.run_for(sim::ms(1));
+  EXPECT_EQ(metrics.counter("sim", "events_executed").value(), after);
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 }  // namespace
