@@ -80,6 +80,20 @@ echo "== read_sweep (--chaos) =="
 "$build_dir/bench/read_sweep" --chaos "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_reads_chaos.json"
 
+# Write sweep: leased one-sided fast writes vs the ordered stream; the
+# >= 2x throughput gate at >= 50% writes and the 10us fast p50 gate
+# fail the run on regression.
+echo "== write_sweep =="
+"$build_dir/bench/write_sweep" "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_writes.json"
+
+# Fast-write chaos smoke: leader crash + restart while one-sided writes
+# are in flight; linearizability, exactly-once, convergence and the
+# no-stranded-invalidation sweep gate the run.
+echo "== write_sweep (--chaos) =="
+"$build_dir/bench/write_sweep" --chaos "${quick_flags[@]}" "${seed_flags[@]}" \
+  --json "$out_dir/BENCH_writes_chaos.json"
+
 echo "== recovery_bench =="
 "$build_dir/bench/recovery_bench" "${quick_flags[@]}" "${seed_flags[@]}" \
   --json "$out_dir/BENCH_recovery.json"

@@ -679,6 +679,7 @@ void Endpoint::try_deliver() {
     d.shed = best->shed;
     d.lease = (best->msg.flags & kWireFlagLease) != 0;
     d.epoch = (best->msg.flags & kWireFlagEpoch) != 0;
+    d.fast_write = (best->msg.flags & kWireFlagFastWrite) != 0;
     mark_delivered(best_uid);
     pending_.erase(best_uid);
     seen_.erase(best_uid);

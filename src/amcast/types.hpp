@@ -113,6 +113,14 @@ constexpr std::uint32_t kWireFlagLease = 1u << 0;
 /// delivery mechanics as the lease marker; surfaces as Delivery::epoch.
 constexpr std::uint32_t kWireFlagEpoch = 1u << 1;
 
+/// Bit 2 marks a fast-write-armed lease grant (heron fast writes): the
+/// sender piggybacks on the lease marker that the partition's clients may
+/// use the one-sided invalidate/validate write path for the grant's
+/// duration. Replicas arm their reconciliation fence at this ordered
+/// position, so every member of the partition enables the machinery at
+/// the same stream point. Surfaces as Delivery::fast_write.
+constexpr std::uint32_t kWireFlagFastWrite = 1u << 2;
+
 /// A message as written by clients into replica inboxes.
 ///
 /// `ring_seq` is a per-(client, destination-group) counter used purely for
@@ -189,6 +197,9 @@ struct Delivery {
   /// Sender-marked layout-epoch marker (kWireFlagEpoch): a partition
   /// layout install/flip, handled by the replica instead of the app.
   bool epoch = false;
+  /// Sender-marked fast-write-armed lease grant (kWireFlagFastWrite):
+  /// only meaningful alongside `lease`.
+  bool fast_write = false;
 
   [[nodiscard]] std::span<const std::byte> payload_view() const {
     return {payload.data(), payload_len};

@@ -1,5 +1,6 @@
 #include "core/object_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -13,11 +14,16 @@ namespace {
 // outside any write-phase bracket and must not perturb the generation
 // count a fast reader may be validating against.
 void write_header(std::span<std::byte> slot, Tmp tmp_a, Tmp tmp_b,
-                  std::uint32_t size, std::uint32_t serialized) {
+                  std::uint32_t size, std::uint32_t serialized_word) {
   rdma::store_pod(slot, 8, tmp_a);
   rdma::store_pod(slot, 16, tmp_b);
   rdma::store_pod(slot, 24, size);
-  rdma::store_pod(slot, 28, serialized);
+  rdma::store_pod(slot, 28, serialized_word);
+}
+
+// Packed serialized word (see SlotView::serialized).
+std::uint32_t header_word(Oid oid, bool serialized) {
+  return (SlotView::oid_tag(oid) << 1) | (serialized ? 1u : 0u);
 }
 
 }  // namespace
@@ -65,7 +71,7 @@ std::uint64_t ObjectStore::create(Oid oid, std::span<const std::byte> init,
   Entry e{offset, size, serialized};
   auto slot = slot_span(e);
   rdma::store_pod(slot, 0, std::uint64_t{0});  // seqlock: even, generation 0
-  write_header(slot, 0, 0, size, serialized ? 1 : 0);
+  write_header(slot, 0, 0, size, header_word(oid, serialized));
   std::memcpy(slot.data() + SlotView::header_bytes(), init.data(), size);
   std::memcpy(slot.data() + SlotView::header_bytes() + size, init.data(),
               size);
@@ -127,6 +133,66 @@ std::uint64_t ObjectStore::seqlock(Oid oid) const {
   return rdma::load_pod<std::uint64_t>(slot_span(index_.at(oid)), 0);
 }
 
+bool ObjectStore::fast_pending(Oid oid) const {
+  const auto lock = seqlock(oid);
+  return (lock & kFastTmpBit) != 0 && (lock & 1) != 0;
+}
+
+bool ObjectStore::has_fast_trace(Oid oid) const {
+  const auto slot = slot_span(index_.at(oid));
+  const auto lock = rdma::load_pod<std::uint64_t>(slot, 0);
+  const auto tmp_a = rdma::load_pod<Tmp>(slot, 8);
+  const auto tmp_b = rdma::load_pod<Tmp>(slot, 16);
+  return ((lock | tmp_a | tmp_b) & kFastTmpBit) != 0;
+}
+
+void ObjectStore::discard_pending(Oid oid) {
+  auto slot = slot_span(index_.at(oid));
+  const auto lock = rdma::load_pod<std::uint64_t>(slot, 0);
+  if ((lock & kFastTmpBit) == 0 || (lock & 1) == 0) return;  // not pending
+  const Tmp pending = lock & ~std::uint64_t{1};
+  const auto tmp_a = rdma::load_pod<Tmp>(slot, 8);
+  const auto tmp_b = rdma::load_pod<Tmp>(slot, 16);
+  // The surviving version is the sibling of the pending one; when the
+  // pending body never landed (crash between the INVALIDATE and the value
+  // write), neither tmp matches and the slot still holds its pre-INV
+  // versions — keep a committed fast version if one is present, else fall
+  // back to a plain even lock that validates the ordered versions.
+  Tmp keep;
+  if (tmp_a == pending) {
+    keep = tmp_b;
+  } else if (tmp_b == pending) {
+    keep = tmp_a;
+  } else if (is_fast_tmp(tmp_a) || is_fast_tmp(tmp_b)) {
+    const Tmp fa = is_fast_tmp(tmp_a) ? tmp_a : 0;
+    const Tmp fb = is_fast_tmp(tmp_b) ? tmp_b : 0;
+    keep = std::max(fa, fb);
+  } else {
+    keep = 0;  // plain versions only
+  }
+  const std::uint64_t word =
+      is_fast_tmp(keep) ? keep : ((lock & ~kFastTmpBit) | 1) + 1;
+  rdma::store_pod(slot, 0, word);
+  node_->region(mr_).on_write().notify_all();
+}
+
+void ObjectStore::validate_fast(Oid oid, Tmp tmp) {
+  auto slot = slot_span(index_.at(oid));
+  rdma::store_pod(slot, 0, static_cast<std::uint64_t>(tmp));
+  node_->region(mr_).on_write().notify_all();
+}
+
+void ObjectStore::clear_fast_lock(Oid oid) {
+  auto slot = slot_span(index_.at(oid));
+  const auto lock = rdma::load_pod<std::uint64_t>(slot, 0);
+  if ((lock & kFastTmpBit) == 0) return;
+  // Plain generation 1 (odd) or 2 (even): the absolute count is
+  // meaningless to readers (a single atomic sample, no ABA window in the
+  // sim), only parity and the cleared tag matter.
+  rdma::store_pod(slot, 0, (lock & 1) | 2);
+  node_->region(mr_).on_write().notify_all();
+}
+
 void ObjectStore::install_slot(Oid oid, std::span<const std::byte> slot_bytes,
                                std::uint32_t size, bool serialized) {
   auto it = index_.find(oid);
@@ -157,7 +223,7 @@ void ObjectStore::install_version(Oid oid, std::span<const std::byte> value,
     throw std::logic_error("ObjectStore::install_version: size mismatch");
   }
   auto slot = slot_span(e);
-  write_header(slot, tmp, tmp, e.size, e.serialized ? 1 : 0);
+  write_header(slot, tmp, tmp, e.size, header_word(oid, e.serialized));
   std::memcpy(slot.data() + SlotView::header_bytes(), value.data(),
               value.size());
   std::memcpy(slot.data() + SlotView::header_bytes() + e.size, value.data(),

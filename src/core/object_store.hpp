@@ -40,13 +40,45 @@ struct SlotView {
   Tmp tmp_a = 0;
   Tmp tmp_b = 0;
   std::uint32_t size = 0;
+  /// Packed word: bit 0 = stored serialized; bits 1-31 = oid_tag() of the
+  /// owning object. The tag makes a slot self-describing to one-sided
+  /// readers: a fast writer whose cached offset diverged from a replica's
+  /// actual layout (possible after a lagger re-created objects during a
+  /// state transfer) fails the tag check instead of corrupting whatever
+  /// slot happens to live at that offset.
   std::uint32_t serialized = 0;
   std::span<const std::byte> val_a;
   std::span<const std::byte> val_b;
 
-  /// Odd seqlock word: a write phase is in flight; a fast reader must
-  /// retry or fall back.
+  [[nodiscard]] bool is_serialized_slot() const {
+    return (serialized & 1) != 0;
+  }
+  [[nodiscard]] std::uint32_t tag() const { return serialized >> 1; }
+  /// 31-bit identity tag. Exact for oids below 2^31 (every workload in
+  /// this repo); a fold keeps larger oids distinguishable in practice.
+  static constexpr std::uint32_t oid_tag(Oid oid) {
+    return static_cast<std::uint32_t>((oid ^ (oid >> 31)) & 0x7FFFFFFFu);
+  }
+
+  /// Odd seqlock word: a write phase (or a fast write's INVALIDATE) is in
+  /// flight; a fast reader must retry or fall back.
   [[nodiscard]] bool torn() const { return (lock & 1) != 0; }
+
+  /// A fast write's INVALIDATE is pending on this slot: the lock word is
+  /// odd AND carries the fast-tmp tag. The pending version's tmp is
+  /// `lock & ~1`; it commits when the writer's VALIDATE lands (lock
+  /// becomes that tmp, even) and is discarded otherwise.
+  [[nodiscard]] bool fast_pending() const {
+    return (lock & kFastTmpBit) != 0 && (lock & 1) != 0;
+  }
+
+  /// Version validity: a fast-tagged version only counts while the lock
+  /// word equals its tmp exactly (the writer's VALIDATE). Plain
+  /// (stream-ordered) versions are always valid. Remnants of aborted or
+  /// superseded fast writes fail this test and are skipped by current().
+  [[nodiscard]] bool valid(Tmp t) const {
+    return !is_fast_tmp(t) || lock == t;
+  }
 
   /// Version with the highest tmp strictly smaller than `before`
   /// (Algorithm 2 line 22). nullopt => the reader lags.
@@ -59,8 +91,30 @@ struct SlotView {
     return std::nullopt;
   }
 
-  /// Current version (higher tmp); used for local reads.
+  /// Current committed version; used for local reads. Among the valid()
+  /// versions the higher tmp wins. When exactly one version is valid (the
+  /// other is a pending/aborted fast remnant) that one is served
+  /// regardless of tmp order. When neither is valid — a checkpoint or
+  /// copy-stream install of a committed fast version under a plain lock
+  /// tags BOTH slots with the fast tmp — fall back to the higher tmp:
+  /// such installs hold one value in both slots, so the answer is right.
+  /// A pending INVALIDATE never counts as current: unfenced local readers
+  /// (checkpoint writer, copy machine) must keep serving the pre-image
+  /// until the writer's VALIDATE lands, even when the pre-image is itself
+  /// a committed fast version (both tmps fail valid() in that window, so
+  /// the plain max-tmp fallback would leak the uncommitted value).
   [[nodiscard]] std::pair<Tmp, std::span<const std::byte>> current() const {
+    if (fast_pending()) {
+      const Tmp pend = lock & ~std::uint64_t{1};
+      if (tmp_a == pend) return {tmp_b, val_b};
+      if (tmp_b == pend) return {tmp_a, val_a};
+      // Pending body never landed: the slot still holds its pre-INV
+      // versions; fall through.
+    }
+    const bool a_ok = valid(tmp_a);
+    if (a_ok != valid(tmp_b)) {
+      return a_ok ? std::pair{tmp_a, val_a} : std::pair{tmp_b, val_b};
+    }
     return tmp_a >= tmp_b ? std::pair{tmp_a, val_a} : std::pair{tmp_b, val_b};
   }
 
@@ -102,6 +156,26 @@ class ObjectStore {
   void begin_write(Oid oid);
   void end_write(Oid oid);
   [[nodiscard]] std::uint64_t seqlock(Oid oid) const;
+
+  // --- fast-write state machine (see SlotView::fast_pending) -----------
+  /// An INVALIDATE is pending on the slot (lock odd + fast-tagged).
+  [[nodiscard]] bool fast_pending(Oid oid) const;
+  /// Any fast-write residue on the slot: a fast-tagged lock word OR a
+  /// fast-tagged version tmp. The ordered write path wipes such slots via
+  /// install_version instead of set() so every replica converges on the
+  /// same current version whether or not the one-sided traffic reached it.
+  [[nodiscard]] bool has_fast_trace(Oid oid) const;
+  /// Resolves a pending INVALIDATE as aborted: restores the lock word so
+  /// the slot's surviving version (the pre-image, or an earlier committed
+  /// fast version) is valid again. No-op if the slot is not pending.
+  void discard_pending(Oid oid);
+  /// Resolves a pending INVALIDATE as committed (rejoin reconciliation:
+  /// a peer proves the writer validated): lock <- tmp, even.
+  void validate_fast(Oid oid, Tmp tmp);
+  /// Strips the fast tag from the lock word, preserving bracket parity
+  /// (odd stays odd). Used by the ordered wipe, which runs inside a
+  /// begin_write/end_write bracket.
+  void clear_fast_lock(Oid oid);
 
   /// Raw in-place slot overwrite (both versions + tags).
   void install_slot(Oid oid, std::span<const std::byte> slot_bytes,

@@ -206,6 +206,9 @@ Replica::Replica(System& system, GroupId group, int rank)
   ctr_lease_grants_ = &m.counter("core", "lease_grants", label);
   ctr_gate_waits_ = &m.counter("core", "gate_waits", label);
   ctr_ordered_reads_ = &m.counter("core", "ordered_reads", label);
+  ctr_fast_fence_ = &m.counter("core", "fastwrite_fence_waits", label);
+  ctr_fast_discards_ = &m.counter("core", "fastwrite_discards", label);
+  ctr_fast_repairs_ = &m.counter("core", "fastwrite_repairs", label);
   ctr_copy_chunks_ = &m.counter("reconfig", "copy_chunks", label);
   ctr_copy_corrupt_ = &m.counter("reconfig", "copy_chunks_corrupt", label);
   ctr_copy_deferred_ = &m.counter("reconfig", "copy_deferred", label);
@@ -246,6 +249,38 @@ void Replica::reset_stats() {
   ordering_lat_.clear();
   coord_lat_.clear();
   exec_lat_.clear();
+  // Satellite audit (PR 10): every counter added since PR 5 must reset
+  // here too, or post-warmup bench reports carry warmup-inflated values.
+  // Only counters are cleared — watermarks, sessions, lease/layout state
+  // and cursors are runtime state, not statistics.
+  dedup_hits_ = 0;
+  shed_replies_ = 0;
+  executed_ = 0;
+  skipped_ = 0;
+  state_transfers_ = 0;
+  transfers_served_ = 0;
+  lease_grants_ = 0;
+  gate_waits_ = 0;
+  checkpoints_ = 0;
+  ckpt_deferred_ = 0;
+  sessions_evicted_ = 0;
+  stale_session_replies_ = 0;
+  copy_chunks_sent_ = 0;
+  copy_chunks_received_ = 0;
+  copy_chunks_corrupt_ = 0;
+  copy_deferred_ = 0;
+  copy_pulls_ = 0;
+  copy_pulls_served_ = 0;
+  wrong_epoch_replies_ = 0;
+  quiesce_deferred_ = 0;
+  migrated_out_ = 0;
+  migrated_in_ = 0;
+  ckpt_rejected_layout_ = 0;
+  fast_fence_waits_ = 0;
+  fast_discards_ = 0;
+  fast_repairs_ = 0;
+  fast_adopted_ = 0;
+  fast_rediscarded_ = 0;
 }
 
 std::uint64_t Replica::coord_offset(GroupId h, int q) const {
@@ -333,7 +368,15 @@ sim::Task<void> Replica::main_loop() {
       // ordering leader before delivery, so no replica installs a grant
       // the others skipped.
       if (d.lease) {
-        if (!r.shed) apply_lease_grant(r);
+        if (!r.shed) {
+          // Fast-write arming rides on the grant marker, so every replica
+          // of the partition arms at the same stream position: a client
+          // can only hold a fast-write-capable lease whose grant armed the
+          // whole partition. Set BEFORE apply_lease_grant so the lease
+          // word it publishes advertises the new arming state.
+          fast_write_armed_ = d.fast_write;
+          apply_lease_grant(r);
+        }
         last_executed_ = std::max(last_executed_, r.tmp);
         if (leases_enabled()) push_applied();
         continue;
@@ -637,6 +680,13 @@ sim::Task<void> Replica::handle_request(Request r) {
   if ((r.header.flags & kReqFlagRead) != 0 && cfg.mode == Mode::kApp) {
     co_await node().cpu().use(cfg.exec_dispatch_proc);
     if (stale(inc)) co_return;
+    if (fast_writes_enabled()) {
+      // Resolve any pending one-sided INVALIDATE before answering: an
+      // ordered read must never serve the pre-image of a fast write that
+      // some fast reader elsewhere has already observed committed.
+      co_await fast_write_fence(r);
+      if (stale(inc)) co_return;
+    }
     Reply reply = make_read_reply(r);
     ++executed_;
     ctr_executed_->inc();
@@ -850,6 +900,13 @@ sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
   for (Oid oid : app_->read_set(r, group_)) {
     const GroupId h = app_->partition_of(oid);
     if (h == group_) {
+      if (fast_writes_enabled() && store_->exists(oid) &&
+          store_->fast_pending(oid)) {
+        // Fence right at the read: no suspension separates the check from
+        // the get() below, so a validated-elsewhere fast write cannot slip
+        // past this replica's ordered read (read inversion).
+        co_await fence_slot(oid);
+      }
       // Lines 4-7: local read of the current version.
       const auto [tmp, value] = store_->get(oid);
       ctx.mutable_values()[oid].assign(value.begin(), value.end());
@@ -902,6 +959,7 @@ sim::Task<Replica::ExecOutcome> Replica::execute_on(const Request& r,
         return;
       }
       store_->begin_write(oid);
+      open_brackets_.insert(oid);
       out.locked.push_back(oid);
     };
     for (const auto& c : ctx.creates()) lock_for_write(c.oid);
@@ -948,7 +1006,23 @@ void Replica::apply_writes(const Request& r, ExecContext& ctx) {
     final_value[oid] = bytes;
   }
   for (const auto& [oid, bytes] : final_value) {
-    store_->set(oid, bytes, r.tmp);
+    if (system_->config().fast_writes && store_->has_fast_trace(oid)) {
+      // Ordered wipe: the slot carries fast-write residue (a committed
+      // fast version, or the headers of an aborted one). set() would keep
+      // that residue in the sibling slot, and replicas that missed the
+      // one-sided traffic would diverge from those that saw it. Install
+      // r.tmp as the object's entire state instead and strip the lock tag
+      // (parity preserved — we are inside this request's seqlock bracket),
+      // so every replica converges on {r.tmp, r.tmp} regardless of which
+      // fast-write bytes reached it. This doubles as the repair path for
+      // the fast writer's own ordered fallback.
+      store_->install_version(oid, bytes, r.tmp, store_->is_serialized(oid));
+      store_->clear_fast_lock(oid);
+      ++fast_repairs_;
+      ctr_fast_repairs_->inc();
+    } else {
+      store_->set(oid, bytes, r.tmp);
+    }
     log_update(r.tmp, oid);
   }
 }
@@ -963,7 +1037,16 @@ bool Replica::leases_enabled() const {
 }
 
 void Replica::publish_lease_word() {
-  const LeaseWord w{lease_epoch_, lease_expiry_};
+  std::uint64_t epoch_word = lease_epoch_;
+  // Fast-write disarm advertisement (kLeaseFastWriteDisarmedBit): probes
+  // must fall back while the arming marker hasn't been delivered or an
+  // outbound migration's copy machine is live — one-sided commits bypass
+  // its dirty tracking and would be lost at the destination after FLIP.
+  if (epoch_word != 0 && system_->config().fast_writes &&
+      (!fast_write_armed_ || outbound_active_)) {
+    epoch_word |= kLeaseFastWriteDisarmedBit;
+  }
+  const LeaseWord w{epoch_word, lease_expiry_};
   rdma::store_pod(node().region(fastread_mr_).bytes(), kFastReadLeaseOffset, w);
   node().region(fastread_mr_).on_write().notify_all();
 }
@@ -1031,11 +1114,72 @@ sim::Task<void> Replica::write_gate(const Request& r,
       // miss r's writes even if a crashed peer never catches up.
       co_await sim::wait_until_timeout(node().region(fastread_mr_).on_write(),
                                        all_applied, lease_expiry_ - now);
-      if (stale(inc)) co_return;
-      hist_gate_wait_->observe(system_->simulator().now() - now);
+      if (!stale(inc)) {
+        hist_gate_wait_->observe(system_->simulator().now() - now);
+      }
     }
   }
-  for (Oid oid : locked) store_->end_write(oid);
+  // Release the brackets even when the incarnation went stale mid-wait: a
+  // takeover (incarnation bump without a node restart) that early-returned
+  // here used to strand the seqlocks permanently odd, walling every future
+  // fast read off these slots. release_bracket only ends brackets this
+  // incarnation still owns — restart() clears open_brackets_ and runs its
+  // own sweep, so a crash+restart cannot double-release a slot the new
+  // incarnation re-bracketed.
+  for (Oid oid : locked) release_bracket(oid);
+}
+
+void Replica::release_bracket(Oid oid) {
+  const auto it = open_brackets_.find(oid);
+  if (it == open_brackets_.end()) return;  // swept by restart or epoch flip
+  open_brackets_.erase(it);
+  if (store_->exists(oid)) store_->end_write(oid);
+}
+
+// ---------------------------------------------------------------------
+// Fast writes: the replica-side fence and restart reconciliation.
+// ---------------------------------------------------------------------
+
+bool Replica::fast_writes_enabled() const {
+  return leases_enabled() && system_->config().fast_writes;
+}
+
+sim::Task<void> Replica::fast_write_fence(const Request& r) {
+  for (const Oid oid : request_oids(r)) {
+    if (!store_->exists(oid) || !store_->fast_pending(oid)) continue;
+    co_await fence_slot(oid);
+    if (stale(incarnation_)) co_return;
+  }
+}
+
+sim::Task<void> Replica::fence_slot(Oid oid) {
+  const std::uint64_t inc = incarnation_;
+  ++fast_fence_waits_;
+  ctr_fast_fence_->inc();
+  while (store_->fast_pending(oid)) {
+    const sim::Nanos now = system_->simulator().now();
+    if (lease_expiry_ <= now) {
+      // The lease (including any renewal) has run out and the slot is
+      // still pending: the writer never posted its VALIDATE — clients
+      // only validate while more than fast_write_val_margin of lease
+      // remains, and the margin dwarfs the fabric's delivery latency, so
+      // a posted VALIDATE would have landed by now. Every replica reaches
+      // this same verdict at its own expiry; discard restores the
+      // surviving version.
+      store_->discard_pending(oid);
+      ++fast_discards_;
+      ctr_fast_discards_->inc();
+      co_return;
+    }
+    // Wake on any write into the object region (the VALIDATE/discard
+    // paths notify it); re-check the expiry each round — a renewal grant
+    // can extend it while we wait.
+    co_await sim::wait_until_timeout(
+        node().region(store_->mr()).on_write(),
+        [this, oid] { return !store_->fast_pending(oid); },
+        lease_expiry_ - now);
+    if (stale(inc)) co_return;
+  }
 }
 
 Reply Replica::make_read_reply(const Request& r) const {
@@ -1045,8 +1189,14 @@ Reply Replica::make_read_reply(const Request& r) const {
   std::memcpy(&oid, r.payload.data(), sizeof(oid));
   if (!store_->exists(oid)) return Reply{kStatusReadNotFound, {}};
   const auto [tmp, value] = store_->get(oid);
+  // The rank field's high bit flags serialized rows: fast writers must
+  // skip them (a one-sided value write cannot re-serialize), and the
+  // client records the flag alongside the cached address.
   ReadAnswerWire wire{tmp, store_->offset_of(oid), store_->size_of(oid),
-                      static_cast<std::uint32_t>(rank_)};
+                      static_cast<std::uint32_t>(rank_) |
+                          (store_->is_serialized(oid)
+                               ? kReadAnswerSerializedBit
+                               : 0u)};
   Reply reply;
   const std::size_t inline_len = std::min(value.size(), kMaxReadInline);
   if (value.size() > kMaxReadInline) reply.status = kStatusReadTruncated;
@@ -1118,7 +1268,7 @@ sim::Task<Replica::RemoteRead> Replica::read_remote(const Request& r, Oid oid,
     RemoteRead out;
     out.ok = true;
     out.value.assign(version->second.begin(), version->second.end());
-    if (view.serialized != 0) {
+    if (view.is_serialized_slot()) {
       co_await node().cpu().use(static_cast<sim::Nanos>(
           static_cast<double>(view.size) *
           system_->config().serialize_ns_per_byte));
@@ -1316,6 +1466,11 @@ sim::Task<void> Replica::apply_epoch_marker(const Request& r) {
       pass_pending_.clear();
       copy_caught_up_ = false;
       final_image_.clear();
+      // Disarm fast writes for the whole partition before the copy
+      // machine's first pass: re-publish the lease word with
+      // kLeaseFastWriteDisarmedBit so in-flight probes/verifies abort
+      // (one-sided commits bypass migration_dirty_).
+      if (leases_enabled()) publish_lease_word();
       system_->simulator().spawn(copy_machine(layout_.epoch));
     }
     if (mig.to == group_) {
@@ -1356,6 +1511,11 @@ sim::Task<void> Replica::apply_epoch_marker(const Request& r) {
   std::sort(range_oids.begin(), range_oids.end());
   final_image_.clear();
   for (const Oid oid : range_oids) {
+    // A slot still fast-pending here snapshots as its pre-image
+    // (SlotView::current skips the pending version). That is the right
+    // value: the PREPARE disarm stopped new fast commits long before this
+    // FLIP, so a pending that lingered this long was abandoned by its
+    // writer — no VALIDATE is coming — and step (4) discards it below.
     const auto [tmp, val] = store_->get(oid);
     reconfig::CopyRecord rec;
     rec.oid = oid;
@@ -1409,6 +1569,11 @@ sim::Task<void> Replica::apply_epoch_marker(const Request& r) {
   // update log so later delta checkpoints/transfers skip retired oids.
   for (const Oid oid : range_oids) {
     if (!store_->exists(oid)) continue;
+    // A pending INVALIDATE on a migrating-away slot resolves as aborted:
+    // the final delta above shipped the committed version, and the writer's
+    // VERIFY against this retired slot (poisoned size) fails, sending it
+    // down the ordered fallback — which the new owner answers.
+    if (store_->fast_pending(oid)) store_->discard_pending(oid);
     if (store_->seqlock(oid) & 1) store_->end_write(oid);
     store_->retire(oid);
     ++migrated_out_;
@@ -1448,6 +1613,18 @@ sim::Task<void> Replica::copy_machine(std::uint64_t mig_epoch) {
     items.reserve(oids.size());
     for (const Oid oid : oids) {
       if (!store_->exists(oid)) continue;
+      if (store_->fast_pending(oid)) {
+        // A pending invalidation may still receive its VALIDATE (posted
+        // before the PREPARE disarm propagated to the writer); shipping
+        // the pre-image now would miss that commit, and one-sided traffic
+        // never touches migration_dirty_. Defer the oid to a later pass —
+        // by then the slot has validated or been discarded.
+        migration_dirty_.insert(oid);
+        pass_pending_.erase(oid);
+        ++copy_deferred_;
+        ctr_copy_deferred_->inc();
+        continue;
+      }
       const auto [tmp, val] = store_->get(oid);
       reconfig::CopyRecord rec;
       rec.oid = oid;
@@ -2616,8 +2793,22 @@ void Replica::restart() {
   // these slots while the lease word reads "no lease".
   lease_epoch_ = 0;
   lease_expiry_ = 0;
+  fast_write_armed_ = false;
+  open_brackets_.clear();
   publish_lease_word();
+  fast_pending_at_restart_.clear();
   store_->for_each_oid([this](Oid oid) {
+    if (store_->fast_pending(oid)) {
+      // A one-sided fast write was in flight at crash time. Its outcome
+      // was decided at the peers (the writer may have validated there
+      // after our ack): blindly evening the lock here could resurrect an
+      // uncommitted value or orphan a committed one. Leave the slot
+      // pending — no fast reader acts on it while the lease word reads
+      // "no lease", and rejoin() reconciles against live peers before
+      // execution resumes.
+      fast_pending_at_restart_.push_back(oid);
+      return;
+    }
     if (store_->seqlock(oid) & 1) store_->end_write(oid);
   });
 
@@ -2809,10 +3000,20 @@ sim::Task<void> Replica::rejoin() {
       foreign.push_back(oid);
     });
     for (const Oid oid : foreign) {
+      if (store_->fast_pending(oid)) store_->discard_pending(oid);
       if (store_->seqlock(oid) & 1) store_->end_write(oid);
       store_->retire(oid);
     }
     co_await resume_migration_roles(inc);
+    if (stale(inc)) co_return;
+  }
+
+  // Resolve fast writes left pending at crash time against the surviving
+  // peers' slots — before execution (and with it the fence and fast reads)
+  // resumes. Safe to run here: the lease word is still zeroed and the main
+  // loop is not running, so nothing serves these slots concurrently.
+  if (system_->config().fast_writes) {
+    co_await reconcile_fast_slots(inc);
     if (stale(inc)) co_return;
   }
 
@@ -2827,6 +3028,73 @@ sim::Task<void> Replica::rejoin() {
   rejoining_ = false;
   sim.spawn(main_loop());
   if (ckpt_ != nullptr) sim.spawn(checkpoint_loop());
+}
+
+sim::Task<void> Replica::reconcile_fast_slots(std::uint64_t inc) {
+  if (fast_pending_at_restart_.empty()) co_return;
+  const int reps = system_->replicas_per_partition();
+  for (const Oid oid : fast_pending_at_restart_) {
+    if (stale(inc)) co_return;
+    // The rejoin transfer (or an epoch sweep) may already have rewritten
+    // or retired the slot; only still-pending slots need a verdict.
+    if (!store_->exists(oid) || !store_->fast_pending(oid)) continue;
+    const Tmp pending = store_->seqlock(oid) & ~std::uint64_t{1};
+    bool resolved = false;
+    // Replicas of one partition build their stores in the same order, so
+    // the slot offset is identical at every rank — the same symmetry the
+    // fast-write client leans on.
+    const std::uint64_t off = store_->offset_of(oid);
+    const sim::Nanos deadline = system_->simulator().now() + sim::ms(2);
+    while (!resolved) {
+      bool peer_pending = false;
+      for (int q = 0; q < reps && !resolved; ++q) {
+        if (q == rank_) continue;
+        Replica& peer = system_->replica(group_, q);
+        if (!peer.node().alive()) continue;
+        std::vector<std::byte> buf(sizeof(std::uint64_t));
+        const auto cc = co_await system_->fabric().read(
+            node().id(),
+            rdma::RAddr{peer.node().id(), peer.store().mr(), off}, buf);
+        if (stale(inc)) co_return;
+        if (!cc.ok()) continue;
+        const auto peer_lock =
+            rdma::load_pod<std::uint64_t>(std::span(buf), 0);
+        if (peer_lock == pending) {
+          // The peer holds the validated tmp: the writer committed. Our
+          // own copy of the value landed before the crash — the writer
+          // only validates after its verify READ observed our completed
+          // phase-A traffic — so validating locally adopts the same
+          // version, not a torn one.
+          store_->validate_fast(oid, pending);
+          ++fast_adopted_;
+          resolved = true;
+        } else if (peer_lock == (pending | 1)) {
+          peer_pending = true;  // undecided there too — ask again later
+        } else {
+          // The peer moved past this write (discarded it at lease expiry,
+          // wiped it with an ordered write, or committed a later fast
+          // write): our pending version is dead either way.
+          store_->discard_pending(oid);
+          ++fast_rediscarded_;
+          resolved = true;
+        }
+      }
+      if (resolved) break;
+      if (!peer_pending || system_->simulator().now() >= deadline) {
+        // No live peer carries evidence for this write (all discarded
+        // windows closed, or the whole partition is reconciling). Discard:
+        // if every replica is in this state the writer cannot have
+        // validated — a VALIDATE requires a verify round against ALL
+        // replicas, and its trace would survive as a validated lock.
+        store_->discard_pending(oid);
+        ++fast_rediscarded_;
+        break;
+      }
+      co_await system_->simulator().sleep(sim::us(50));
+      if (stale(inc)) co_return;
+    }
+  }
+  fast_pending_at_restart_.clear();
 }
 
 }  // namespace heron::core

@@ -184,6 +184,37 @@ class Replica {
   [[nodiscard]] std::uint64_t lease_grants() const { return lease_grants_; }
   [[nodiscard]] std::uint64_t gate_waits() const { return gate_waits_; }
 
+  // Fast-write state (tests / diagnostics).
+  /// A fast-write-armed lease grant (kWireFlagFastWrite) has been applied
+  /// since the last restart.
+  [[nodiscard]] bool fast_write_armed() const { return fast_write_armed_; }
+  /// Ordered requests that suspended on a pending INVALIDATE.
+  [[nodiscard]] std::uint64_t fast_fence_waits() const {
+    return fast_fence_waits_;
+  }
+  /// Pending INVALIDATEs resolved as aborted (lease expiry / restart).
+  [[nodiscard]] std::uint64_t fast_discards() const { return fast_discards_; }
+  /// Ordered writes that wiped fast-write residue off a slot.
+  [[nodiscard]] std::uint64_t fast_repairs() const { return fast_repairs_; }
+  /// Rejoin reconciliation outcomes for slots left pending by a crash.
+  [[nodiscard]] std::uint64_t fast_reconciled_adopted() const {
+    return fast_adopted_;
+  }
+  [[nodiscard]] std::uint64_t fast_reconciled_discarded() const {
+    return fast_rediscarded_;
+  }
+
+  /// Test hook (write-gate takeover regression): bumps the incarnation
+  /// WITHOUT restarting, as a failover-driven takeover does, so staleness
+  /// checks in in-flight coroutines fire while the store and runtime state
+  /// survive untouched.
+  void debug_bump_incarnation() { ++incarnation_; }
+  /// Test hook: oids currently held seqlock-odd by an in-flight write
+  /// phase or write gate of THIS incarnation.
+  [[nodiscard]] std::size_t open_bracket_count() const {
+    return open_brackets_.size();
+  }
+
   // Reconfiguration state (heron::reconfig; tests / bench / controller).
   [[nodiscard]] const reconfig::Layout& layout() const { return layout_; }
   [[nodiscard]] rdma::MrId reconfig_mr() const { return reconfig_mr_; }
@@ -288,9 +319,32 @@ class Replica {
   /// active at execution time has expired). Releases the seqlock brackets
   /// taken in execute_on.
   sim::Task<void> write_gate(const Request& r, const std::vector<Oid>& locked);
+  /// Releases a write-phase seqlock bracket if it is still owned by this
+  /// incarnation (see open_brackets_); the only path allowed to end_write.
+  void release_bracket(Oid oid);
   /// Answers a core-level ordered read (kReqFlagRead) from the store.
   [[nodiscard]] Reply make_read_reply(const Request& r) const;
   void publish_lease_word();
+
+  // --- fast writes (leased one-sided invalidate/validate) ---------------
+  [[nodiscard]] bool fast_writes_enabled() const;
+  /// Hermes-style reader fence: before an ordered request touches an oid
+  /// whose slot carries a pending INVALIDATE, wait for the writer's
+  /// VALIDATE (a one-sided write into the object region), bounded by the
+  /// lease expiry; a still-pending slot at expiry is discarded. The
+  /// validate-margin rule (HeronConfig::fast_write_val_margin) makes the
+  /// outcome identical at every replica.
+  sim::Task<void> fast_write_fence(const Request& r);
+  /// Single-slot fence, called immediately before each local store read so
+  /// no suspension point separates the pending check from the read (the
+  /// whole-request fence alone would leave a window where an INVALIDATE
+  /// lands and validates elsewhere mid-execution — read inversion).
+  sim::Task<void> fence_slot(Oid oid);
+  /// Rejoin step: resolves slots left fast-pending across a restart by
+  /// sampling live peers — a peer whose lock equals the pending tmp proves
+  /// the writer validated (adopt); any other resolved peer state proves it
+  /// aborted (discard). Runs before main_loop resumes.
+  sim::Task<void> reconcile_fast_slots(std::uint64_t inc);
 
   // --- state transfer (Algorithm 3) ------------------------------------
   /// `have_sessions` marks the request as a delta (StateSyncEntry status
@@ -414,6 +468,23 @@ class Replica {
   sim::Nanos lease_expiry_ = 0;       // absolute; monotone across grants
   std::uint64_t lease_grants_ = 0;
   std::uint64_t gate_waits_ = 0;      // gates that actually suspended
+
+  // --- fast-write state --------------------------------------------------
+  bool fast_write_armed_ = false;  // armed lease grant applied (sticky)
+  /// Seqlock brackets opened by THIS incarnation's write phases and not
+  /// yet released. A takeover (incarnation bump without restart) must not
+  /// let the stale gate's release path touch brackets a fresh incarnation
+  /// opened, and conversely the bump itself must not strand the stale
+  /// gate's brackets odd — release_bracket() keys off this set.
+  std::set<Oid> open_brackets_;
+  /// Slots found fast-pending by restart(); rejoin() reconciles them with
+  /// peers before the main loop resumes.
+  std::vector<Oid> fast_pending_at_restart_;
+  std::uint64_t fast_fence_waits_ = 0;
+  std::uint64_t fast_discards_ = 0;
+  std::uint64_t fast_repairs_ = 0;
+  std::uint64_t fast_adopted_ = 0;
+  std::uint64_t fast_rediscarded_ = 0;
 
   Tmp last_req_ = 0;       // Algorithm 1: tmp of the last request (delivered)
   Tmp last_executed_ = 0;  // highest tmp whose writes are applied locally
@@ -547,6 +618,9 @@ class Replica {
   telemetry::Counter* ctr_lease_grants_;
   telemetry::Counter* ctr_gate_waits_;
   telemetry::Counter* ctr_ordered_reads_;
+  telemetry::Counter* ctr_fast_fence_;
+  telemetry::Counter* ctr_fast_discards_;
+  telemetry::Counter* ctr_fast_repairs_;
   telemetry::Counter* ctr_copy_chunks_;
   telemetry::Counter* ctr_copy_corrupt_;
   telemetry::Counter* ctr_copy_deferred_;

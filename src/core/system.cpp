@@ -84,7 +84,12 @@ sim::Task<void> System::lease_manager_loop(amcast::ClientEndpoint& ep,
         wire{};
     std::memcpy(wire.data(), &header, sizeof(header));
     std::memcpy(wire.data() + sizeof(header), &grant, sizeof(grant));
-    co_await ep.multicast(amcast::dst_of(g), wire, amcast::kWireFlagLease);
+    // With fast writes on, every grant also (re-)arms the partition's
+    // invalidate/validate machinery at an ordered stream position.
+    co_await ep.multicast(amcast::dst_of(g), wire,
+                          amcast::kWireFlagLease |
+                              (config_.fast_writes ? amcast::kWireFlagFastWrite
+                                                   : 0u));
     co_await sim.sleep(period);
   }
 }
@@ -226,6 +231,10 @@ std::uint64_t System::total_completed() const {
 void System::reset_stats() {
   for (auto& r : replicas_) r->reset_stats();
   for (auto& c : clients_) c->reset_stats();
+  // System-level accumulators are part of the same warm-up window as the
+  // per-replica/per-client stats (missing this one skewed every
+  // backpressure report that reset after a warm-up phase).
+  lease_renewals_skipped_ = 0;
 }
 
 Client::Client(System& system, amcast::ClientEndpoint& ep)
@@ -247,6 +256,13 @@ Client::Client(System& system, amcast::ClientEndpoint& ep)
       &hub.metrics.counter("core", "fastread_fallbacks", label);
   ctr_fast_lease_rejects_ =
       &hub.metrics.counter("core", "fastread_lease_rejects", label);
+  ctr_fastw_commits_ = &hub.metrics.counter("core", "fastwrite_commits", label);
+  ctr_fastw_conflicts_ =
+      &hub.metrics.counter("core", "fastwrite_conflicts", label);
+  ctr_fastw_fallbacks_ =
+      &hub.metrics.counter("core", "fastwrite_fallbacks", label);
+  ctr_fastw_lease_rejects_ =
+      &hub.metrics.counter("core", "fastwrite_lease_rejects", label);
   ctr_wrong_epoch_ =
       &hub.metrics.counter("reconfig", "client_wrong_epoch", label);
 }
@@ -447,6 +463,7 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   auto& sim = system_->simulator();
   const sim::Nanos start = sim.now();
   constexpr int kMaxHops = 4;
+  bool truncated_retry = false;
 
   for (int hop = 0;; ++hop) {
   // Layout routing (heron::reconfig): the caller's home is overridden by
@@ -562,14 +579,386 @@ sim::Task<Client::ReadResult> Client::read(GroupId home, Oid oid) {
   res.value.assign(sub.reply.payload.begin() +
                        static_cast<std::ptrdiff_t>(sizeof(wire)),
                    sub.reply.payload.end());
+  const bool serialized = (wire.rank & kReadAnswerSerializedBit) != 0;
+  const std::uint32_t rank = wire.rank & ~kReadAnswerSerializedBit;
+  bool seeded = false;
   if (cfg.lease_duration > 0 &&
-      wire.rank < static_cast<std::uint32_t>(
-                      system_->replicas_per_partition())) {
-    fastread_cache_[oid] = FastLoc{static_cast<int>(wire.rank), wire.offset,
-                                   wire.size, layout_.epoch};
+      rank < static_cast<std::uint32_t>(system_->replicas_per_partition())) {
+    fastread_cache_[oid] = FastLoc{static_cast<int>(rank), wire.offset,
+                                   wire.size, layout_.epoch, serialized};
+    seeded = true;
+  }
+  if (res.status == kStatusReadTruncated && seeded && !truncated_retry) {
+    // The ordered reply clipped the value to the reply-slot budget, but it
+    // just seeded the address cache — loop back into the fast path once,
+    // whose slot READ has no such cap and returns the whole value. Before
+    // this, the FIRST read of a large object handed the caller a
+    // truncated value despite leases being on. One retry only: if the
+    // fast path can't serve it either (lease churn), the truncated reply
+    // is still an honest, correctly-flagged answer.
+    truncated_retry = true;
+    continue;
   }
   co_return res;
   }  // hop loop
+}
+
+// ---------------------------------------------------------------------
+// Client::write — the leased one-sided fast write (Hermes-style
+// invalidate/validate; see the declaration for the state machine).
+// ---------------------------------------------------------------------
+
+/// Shared state of one attempt's per-replica fan-out. Lives on write()'s
+/// frame; helpers hold a raw pointer, which stays valid because write()
+/// stays suspended on `done` until every helper finished.
+struct Client::FastWriteRound {
+  struct PerRank {
+    std::uint64_t lock = 0;       // sampled even seqlock word (CAS expected)
+    Tmp base = 0;                 // current version tmp at this replica
+    int overwrite_idx = 0;        // version slot the new value goes into
+    sim::Nanos lease_expiry = 0;  // freshest sampled lease expiry
+  };
+  explicit FastWriteRound(sim::Simulator& s) : done(s) {}
+
+  std::vector<PerRank> ranks;
+  int pending = 0;
+  bool failed = false;
+  std::uint32_t reason = kFastWriteNone;  // first failure's reason wins
+  sim::Notifier done;
+
+  void fail(std::uint32_t why) {
+    failed = true;
+    if (reason == kFastWriteNone) reason = why;
+  }
+  void finish_one() {
+    if (--pending == 0) done.notify_all();
+  }
+};
+
+namespace {
+
+/// A lease word that authorizes fast WRITES: live, and not carrying the
+/// migration/arming disarm bit (fast reads only need "live").
+bool fast_write_lease_ok(const LeaseWord& lease, sim::Nanos now) {
+  return lease.epoch != 0 &&
+         (lease.epoch & kLeaseFastWriteDisarmedBit) == 0 && lease.expiry > now;
+}
+
+}  // namespace
+
+sim::Task<void> Client::fast_write_probe(GroupId home, int rank, Oid oid,
+                                         FastLoc loc, FastWriteRound* st) {
+  auto& sim = system_->simulator();
+  Replica& target = system_->replica(home, rank);
+  const auto target_node = target.node().id();
+
+  // Lease word first: the in-order channel makes this sample strictly
+  // older than the header sample, so a lease live here covers it.
+  std::vector<std::byte> lease_buf(sizeof(LeaseWord));
+  const auto cc1 = co_await system_->fabric().read(
+      node().id(),
+      rdma::RAddr{target_node, target.fastread_mr(), kFastReadLeaseOffset},
+      lease_buf);
+  if (!cc1.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  const auto lease =
+      rdma::load_pod<LeaseWord>(std::span<const std::byte>(lease_buf), 0);
+  if (!fast_write_lease_ok(lease, sim.now())) {
+    st->fail(kFastWriteNoLease);
+    st->finish_one();
+    co_return;
+  }
+
+  std::vector<std::byte> hdr(SlotView::header_bytes());
+  const auto cc2 = co_await system_->fabric().read(
+      node().id(), rdma::RAddr{target_node, target.store().mr(), loc.offset},
+      hdr);
+  if (!cc2.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  const auto raw = std::span<const std::byte>(hdr);
+  const auto lock = rdma::load_pod<std::uint64_t>(raw, 0);
+  const auto tmp_a = rdma::load_pod<Tmp>(raw, 8);
+  const auto tmp_b = rdma::load_pod<Tmp>(raw, 16);
+  const auto size = rdma::load_pod<std::uint32_t>(raw, 24);
+  const auto word = rdma::load_pod<std::uint32_t>(raw, 28);
+  // Identity and eligibility: the slot must be THIS oid (offsets can
+  // diverge across replicas after a lagger re-created objects; a retire
+  // also poisons the size), the row must be raw, and the lock must be
+  // even — not an ordered write phase, not someone else's invalidation.
+  if (size != loc.size || (word >> 1) != SlotView::oid_tag(oid) ||
+      (word & 1) != 0 || (lock & 1) != 0) {
+    st->fail(kFastWriteConflict);
+    st->finish_one();
+    co_return;
+  }
+  // SlotView::current() on the header words alone (values not needed):
+  // among valid versions the higher tmp wins; the loser is overwritten.
+  const bool va = !is_fast_tmp(tmp_a) || lock == tmp_a;
+  const bool vb = !is_fast_tmp(tmp_b) || lock == tmp_b;
+  const bool a_current = va != vb ? va : tmp_a >= tmp_b;
+  auto& pr = st->ranks[static_cast<std::size_t>(rank)];
+  pr.lock = lock;
+  pr.base = a_current ? tmp_a : tmp_b;
+  pr.overwrite_idx = a_current ? 1 : 0;
+  pr.lease_expiry = lease.expiry;
+  st->finish_one();
+}
+
+sim::Task<void> Client::fast_write_install(GroupId home, int rank,
+                                           FastLoc loc, Tmp fast_tmp,
+                                           std::span<const std::byte> value,
+                                           FastWriteRound* st) {
+  Replica& target = system_->replica(home, rank);
+  const auto target_node = target.node().id();
+  const auto mr = target.store().mr();
+  const auto& pr = st->ranks[static_cast<std::size_t>(rank)];
+
+  // INVALIDATE: take the slot's lock word with a CAS against the probed
+  // even value. A miss means the slot moved under us — an ordered write
+  // phase opened, another fast writer invalidated first, or a wipe
+  // resolved the generation — and the attempt aborts WITHOUT having
+  // disturbed the replica (a blind write here could clobber an open
+  // seqlock bracket).
+  std::uint64_t observed = 0;
+  const auto cc = co_await system_->fabric().cas(
+      node().id(), rdma::RAddr{target_node, mr, loc.offset}, pr.lock,
+      static_cast<std::uint64_t>(fast_tmp) | 1, &observed);
+  if (!cc.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  if (observed != pr.lock) {
+    st->fail(kFastWriteConflict);
+    st->finish_one();
+    co_return;
+  }
+
+  // New version into the non-current slot: tag, then body. The
+  // per-(initiator, target) FIFO channel keeps CAS -> tag -> body ordered
+  // at the replica, so the blocking body write's completion acks all
+  // three.
+  const std::uint64_t tmp_off =
+      loc.offset + 8 + 8ull * static_cast<std::uint64_t>(pr.overwrite_idx);
+  system_->fabric().write_async(node().id(),
+                                rdma::RAddr{target_node, mr, tmp_off},
+                                rdma::pod_bytes(fast_tmp));
+  const std::uint64_t val_off =
+      loc.offset + SlotView::header_bytes() +
+      static_cast<std::uint64_t>(pr.overwrite_idx) * loc.size;
+  const auto cc2 = co_await system_->fabric().write(
+      node().id(), rdma::RAddr{target_node, mr, val_off}, value);
+  if (!cc2.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  st->finish_one();
+}
+
+sim::Task<void> Client::fast_write_verify(GroupId home, int rank, Oid oid,
+                                          FastLoc loc, Tmp fast_tmp, Tmp base,
+                                          FastWriteRound* st) {
+  auto& sim = system_->simulator();
+  Replica& target = system_->replica(home, rank);
+  const auto target_node = target.node().id();
+
+  std::vector<std::byte> hdr(SlotView::header_bytes());
+  const auto cc = co_await system_->fabric().read(
+      node().id(), rdma::RAddr{target_node, target.store().mr(), loc.offset},
+      hdr);
+  if (!cc.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  const auto raw = std::span<const std::byte>(hdr);
+  const auto lock = rdma::load_pod<std::uint64_t>(raw, 0);
+  const auto tmp_a = rdma::load_pod<Tmp>(raw, 8);
+  const auto tmp_b = rdma::load_pod<Tmp>(raw, 16);
+  const auto size = rdma::load_pod<std::uint32_t>(raw, 24);
+  const auto word = rdma::load_pod<std::uint32_t>(raw, 28);
+  // The slot must hold exactly our pending invalidation over the agreed
+  // base: lock still fast_tmp|1 (nothing resolved or clobbered it) and
+  // the version pair exactly {fast_tmp, base}. Anything else — an
+  // ordered wipe, a retire, an ABA'd lock generation — aborts before
+  // VALIDATE, so the pending version dies unobserved.
+  const bool pair_ok = (tmp_a == fast_tmp && tmp_b == base) ||
+                       (tmp_a == base && tmp_b == fast_tmp);
+  if (lock != (static_cast<std::uint64_t>(fast_tmp) | 1) || !pair_ok ||
+      size != loc.size || (word >> 1) != SlotView::oid_tag(oid)) {
+    st->fail(kFastWriteConflict);
+    st->finish_one();
+    co_return;
+  }
+  // Fresh lease sample: the VALIDATE margin check runs against the
+  // tightest expiry across replicas as of this phase, and a disarm that
+  // landed since the probe (a PREPARE marker) must abort the commit.
+  std::vector<std::byte> lease_buf(sizeof(LeaseWord));
+  const auto cc2 = co_await system_->fabric().read(
+      node().id(),
+      rdma::RAddr{target_node, target.fastread_mr(), kFastReadLeaseOffset},
+      lease_buf);
+  if (!cc2.ok()) {
+    st->fail(kFastWriteReplicaFail);
+    st->finish_one();
+    co_return;
+  }
+  const auto lease =
+      rdma::load_pod<LeaseWord>(std::span<const std::byte>(lease_buf), 0);
+  if (!fast_write_lease_ok(lease, sim.now())) {
+    st->fail(kFastWriteNoLease);
+    st->finish_one();
+    co_return;
+  }
+  st->ranks[static_cast<std::size_t>(rank)].lease_expiry = lease.expiry;
+  st->finish_one();
+}
+
+sim::Task<Client::WriteResult> Client::write(
+    GroupId home, Oid oid, std::span<const std::byte> value,
+    std::uint32_t kind, std::span<const std::byte> ordered_payload) {
+  const HeronConfig& cfg = system_->config();
+  auto& sim = system_->simulator();
+  const sim::Nanos start = sim.now();
+  const int nreplicas = system_->replicas_per_partition();
+
+  WriteResult res;
+  std::uint32_t reason = kFastWriteNone;
+  FastLoc loc{};
+  if (!cfg.fast_writes || cfg.lease_duration <= 0) {
+    reason = kFastWriteDisabled;
+  } else {
+    if (layout_.enabled()) home = layout_.owner_of(oid);
+    const auto it = fastread_cache_.find(oid);
+    if (it == fastread_cache_.end() ||
+        (layout_.enabled() && it->second.epoch != layout_.epoch)) {
+      reason = kFastWriteColdCache;
+    } else if (it->second.serialized) {
+      reason = kFastWriteSerialized;
+    } else if (value.size() != it->second.size) {
+      reason = kFastWriteSizeMismatch;
+    } else {
+      loc = it->second;
+    }
+  }
+
+  do {  // single pass; `break` = abort the attempt to the ordered fallback
+    if (reason != kFastWriteNone) break;
+    FastWriteRound st(sim);
+    st.ranks.resize(static_cast<std::size_t>(nreplicas));
+
+    // PROBE every replica of the partition in parallel.
+    st.pending = nreplicas;
+    for (int r = 0; r < nreplicas; ++r) {
+      sim.spawn(fast_write_probe(home, r, oid, loc, &st));
+    }
+    co_await sim::wait_until(st.done, [&st] { return st.pending == 0; });
+    if (st.failed) {
+      reason = st.reason;
+      break;
+    }
+
+    // Client-side join: the partition must agree on one current version
+    // (the base this write chains on) and leave enough lease runway.
+    const Tmp base = st.ranks[0].base;
+    sim::Nanos min_expiry = st.ranks[0].lease_expiry;
+    bool agree = true;
+    for (const auto& pr : st.ranks) {
+      agree = agree && pr.base == base;
+      min_expiry = std::min(min_expiry, pr.lease_expiry);
+    }
+    if (!agree) {
+      reason = kFastWriteConflict;
+      break;
+    }
+    if (min_expiry - sim.now() <= cfg.fast_write_val_margin) {
+      reason = kFastWriteNoLease;
+      break;
+    }
+    const Tmp fast_tmp = next_fast_tmp(base, id());
+
+    // INVALIDATE + install the new version at every replica.
+    st.pending = nreplicas;
+    for (int r = 0; r < nreplicas; ++r) {
+      sim.spawn(fast_write_install(home, r, loc, fast_tmp, value, &st));
+    }
+    co_await sim::wait_until(st.done, [&st] { return st.pending == 0; });
+    if (st.failed) {
+      reason = st.reason;
+      break;
+    }
+
+    // VERIFY at every replica.
+    st.pending = nreplicas;
+    for (int r = 0; r < nreplicas; ++r) {
+      sim.spawn(fast_write_verify(home, r, oid, loc, fast_tmp, base, &st));
+    }
+    co_await sim::wait_until(st.done, [&st] { return st.pending == 0; });
+    if (st.failed) {
+      reason = st.reason;
+      break;
+    }
+
+    // VALIDATE. Replicas discard a still-pending invalidation at lease
+    // expiry, so the VALIDATEs may only be posted while every sampled
+    // lease outlives the margin: then the writes land long before any
+    // expiry (margin >> fabric latency), and had we NOT posted, every
+    // replica would discard. Either way the outcome is uniform. No
+    // suspension between this check and the posts.
+    min_expiry = st.ranks[0].lease_expiry;
+    for (const auto& pr : st.ranks) {
+      min_expiry = std::min(min_expiry, pr.lease_expiry);
+    }
+    if (min_expiry - sim.now() <= cfg.fast_write_val_margin) {
+      reason = kFastWriteNoLease;
+      break;
+    }
+    for (int r = 0; r < nreplicas; ++r) {
+      Replica& target = system_->replica(home, r);
+      system_->fabric().write_async(
+          node().id(),
+          rdma::RAddr{target.node().id(), target.store().mr(), loc.offset},
+          rdma::pod_bytes(static_cast<std::uint64_t>(fast_tmp)));
+    }
+
+    ++fastwrite_commits_;
+    ctr_fastw_commits_->inc();
+    ++completed_;
+    res.fast = true;
+    res.tmp = fast_tmp;
+    res.base_tmp = base;
+    res.latency = sim.now() - start;
+    latencies_.record(res.latency);
+    co_return res;
+  } while (false);
+
+  // Ordered fallback. The stream's apply-side wipe (install_version +
+  // clear_fast_lock on slots with fast residue) converges every replica —
+  // including any this attempt's partial one-sided traffic reached —
+  // before the new value commits.
+  res.fallback_reason = reason;
+  ++fastwrite_fallbacks_;
+  ctr_fastw_fallbacks_->inc();
+  if (reason == kFastWriteConflict) {
+    ++fastwrite_conflicts_;
+    ctr_fastw_conflicts_->inc();
+  } else if (reason == kFastWriteNoLease) {
+    ++fastwrite_lease_rejects_;
+    ctr_fastw_lease_rejects_->inc();
+  }
+  const Result sub = co_await submit_routed(oid, home, kind, ordered_payload);
+  res.status = sub.status;
+  res.reply_status = sub.reply.status;
+  res.session_seq = sub.session_seq;
+  res.latency = sim.now() - start;
+  co_return res;
 }
 
 }  // namespace heron::core

@@ -91,6 +91,57 @@ class Client {
   /// fallback's reply carries the slot address and re-seeds the cache.
   sim::Task<ReadResult> read(GroupId home, Oid oid);
 
+  /// Outcome of a single-object blind write (Client::write).
+  struct WriteResult {
+    /// Transport verdict of the ordered fallback; kOk for fast commits.
+    SubmitStatus status = SubmitStatus::kOk;
+    /// Replica reply status of the ordered fallback; 0 for fast commits.
+    std::uint32_t reply_status = 0;
+    bool fast = false;      // committed on the leased one-sided path
+    Tmp tmp = 0;            // fast: the committed fast tmp (0 otherwise)
+    Tmp base_tmp = 0;       // fast: the version tmp the write chained on
+    /// kFastWriteNone on a fast commit; otherwise why the ordered stream
+    /// was taken (kFastWrite* in types.hpp).
+    std::uint32_t fallback_reason = kFastWriteNone;
+    /// Session sequence number of the ordered fallback submit (0 for fast
+    /// commits), so callers can resolve the executed version through a
+    /// HistoryRecorder just like a plain submit().
+    std::uint64_t session_seq = 0;
+    sim::Nanos latency = 0;
+  };
+
+  /// Blind (absolute-value) write of `oid` homed in partition `home`.
+  ///
+  /// Fast path (fast_writes + leases on, warm current-epoch address
+  /// cache): Hermes-style leased invalidate/validate, all one-sided.
+  ///   PROBE      per replica: READ the lease word, then the 32-byte slot
+  ///              header; require a live lease, an even untorn lock, the
+  ///              oid's identity tag, and the cached size. All replicas
+  ///              must agree on the current version tmp (the base).
+  ///   INVALIDATE per replica: CAS the seqlock word from the sampled even
+  ///              value to fast_tmp|1 (odd: readers see a torn slot and
+  ///              fence), then write the new version tagged
+  ///              next_fast_tmp(base, id()) over the non-current slot.
+  ///   VERIFY     per replica: re-READ the header (lock still fast_tmp|1,
+  ///              versions exactly {fast_tmp, base}) and the lease word.
+  ///   VALIDATE   posted only while every sampled lease still has more
+  ///              than fast_write_val_margin left: one-sided writes set
+  ///              each lock word to fast_tmp (even — the version is now
+  ///              valid everywhere). Replicas discard a still-pending
+  ///              invalidation at lease expiry, so the margin makes the
+  ///              outcome uniform: all replicas commit or all discard.
+  ///
+  /// Any probe/CAS/verify/lease failure aborts the attempt and submits
+  /// `ordered_payload` with `kind` on the ordered stream (submit_routed),
+  /// whose apply-side wipe clears one-sided residue on every replica.
+  /// `value` must be the full slot value (size() == the object's size);
+  /// RMW ops must use the ordered stream — a blind overwrite is the only
+  /// op whose outcome is independent of the base it clobbers.
+  sim::Task<WriteResult> write(GroupId home, Oid oid,
+                               std::span<const std::byte> value,
+                               std::uint32_t kind,
+                               std::span<const std::byte> ordered_payload);
+
   [[nodiscard]] std::uint32_t id() const { return ep_->client_id(); }
   [[nodiscard]] rdma::Node& node() { return ep_->node(); }
   [[nodiscard]] rdma::MrId reply_mr() const { return reply_mr_; }
@@ -124,6 +175,20 @@ class Client {
     return fastread_lease_rejects_;
   }
 
+  // Fast-write path stats.
+  [[nodiscard]] std::uint64_t fastwrite_commits() const {
+    return fastwrite_commits_;
+  }
+  [[nodiscard]] std::uint64_t fastwrite_conflicts() const {
+    return fastwrite_conflicts_;
+  }
+  [[nodiscard]] std::uint64_t fastwrite_fallbacks() const {
+    return fastwrite_fallbacks_;
+  }
+  [[nodiscard]] std::uint64_t fastwrite_lease_rejects() const {
+    return fastwrite_lease_rejects_;
+  }
+
   // Reconfiguration-side stats / hooks (heron::reconfig).
   /// Layout this client routes by (seeded from the system's initial
   /// layout, advanced by kStatusWrongEpoch replies).
@@ -140,11 +205,17 @@ class Client {
     return it->second.epoch;
   }
 
+  /// Clears every accumulated statistic; configuration-like state (the
+  /// cached layout, the fast-read address cache, session_seq_) survives —
+  /// resetting those would change behaviour, not accounting.
   void reset_stats() {
     completed_ = 0;
     retries_ = timeouts_ = overloaded_ = busy_replies_ = 0;
     fastread_hits_ = fastread_torn_retries_ = fastread_fallbacks_ =
         fastread_lease_rejects_ = 0;
+    fastwrite_commits_ = fastwrite_conflicts_ = fastwrite_fallbacks_ =
+        fastwrite_lease_rejects_ = 0;
+    wrong_epoch_retries_ = 0;
     latencies_.clear();
   }
 
@@ -181,12 +252,33 @@ class Client {
     /// range off, so the fast path skips it and the next wrong-epoch
     /// reply purges all such entries at once.
     std::uint64_t epoch = 0;
+    /// The object is stored serialized (ReadAnswerWire rank bit 31): the
+    /// fast-write path skips it — a one-sided overwrite of the raw value
+    /// cannot re-serialize. Fast reads are unaffected.
+    bool serialized = false;
   };
   std::unordered_map<Oid, FastLoc> fastread_cache_;
   std::uint64_t fastread_hits_ = 0;
   std::uint64_t fastread_torn_retries_ = 0;
   std::uint64_t fastread_fallbacks_ = 0;
   std::uint64_t fastread_lease_rejects_ = 0;
+
+  /// Shared state of one fast-write attempt's per-replica fan-out
+  /// (defined in system.cpp; the helpers below each own one replica).
+  struct FastWriteRound;
+  sim::Task<void> fast_write_probe(GroupId home, int rank, Oid oid,
+                                   FastLoc loc, FastWriteRound* st);
+  sim::Task<void> fast_write_install(GroupId home, int rank, FastLoc loc,
+                                     Tmp fast_tmp,
+                                     std::span<const std::byte> value,
+                                     FastWriteRound* st);
+  sim::Task<void> fast_write_verify(GroupId home, int rank, Oid oid,
+                                    FastLoc loc, Tmp fast_tmp, Tmp base,
+                                    FastWriteRound* st);
+  std::uint64_t fastwrite_commits_ = 0;
+  std::uint64_t fastwrite_conflicts_ = 0;
+  std::uint64_t fastwrite_fallbacks_ = 0;
+  std::uint64_t fastwrite_lease_rejects_ = 0;
 
   /// Applies a kStatusWrongEpoch reply: advances layout_ (when the wire
   /// epoch is newer) and evicts every fast-read cache entry seeded under
@@ -202,6 +294,10 @@ class Client {
   telemetry::Counter* ctr_fast_torn_;
   telemetry::Counter* ctr_fast_fallbacks_;
   telemetry::Counter* ctr_fast_lease_rejects_;
+  telemetry::Counter* ctr_fastw_commits_;
+  telemetry::Counter* ctr_fastw_conflicts_;
+  telemetry::Counter* ctr_fastw_fallbacks_;
+  telemetry::Counter* ctr_fastw_lease_rejects_;
   telemetry::Counter* ctr_wrong_epoch_;
 };
 

@@ -169,6 +169,16 @@ struct LeaseWord {
 };
 static_assert(std::is_trivially_copyable_v<LeaseWord>);
 
+/// LeaseWord::epoch bit 63: the lease (and fast READs) stays live, but
+/// one-sided fast WRITES are disarmed at this replica — the grant's
+/// arming marker has not been delivered yet, or an outbound migration's
+/// copy machine is running (a one-sided commit would bypass its dirty
+/// tracking and be lost at the destination). Fast-write probes and
+/// verifies must treat the bit as "no lease"; fast readers ignore it.
+/// Only set when HeronConfig::fast_writes is on, so the published word is
+/// byte-identical to older builds otherwise.
+constexpr std::uint64_t kLeaseFastWriteDisarmedBit = 1ull << 63;
+
 /// Applied watermark replica q pushes into slot q of each peer's
 /// fast-read region after every execution; the write gate waits on it.
 struct AppliedWord {
@@ -206,6 +216,62 @@ static_assert(std::is_trivially_copyable_v<ReadAnswerWire>);
 
 /// Value bytes an ordered-read reply can carry inline.
 constexpr std::size_t kMaxReadInline = kMaxReplyPayload - sizeof(ReadAnswerWire);
+
+/// ReadAnswerWire::rank bit 31: the object is stored serialized. Fast
+/// writes only apply to raw (non-serialized) objects — a one-sided value
+/// overwrite cannot re-serialize — so the client needs the flag to decide
+/// eligibility without another round trip. Clients must mask the bit off
+/// before using the rank.
+constexpr std::uint32_t kReadAnswerSerializedBit = 1u << 31;
+
+// --- fast-write path (leased, one-sided invalidate/validate) -----------
+
+/// Version-timestamp tag for fast writes. Ordered timestamps are packed
+/// amcast clocks — small, dense integers — so a fast write cannot squeeze
+/// a new timestamp numerically *between* ordered ones. Instead a fast
+/// write tags its version with bit 63 set, which makes it compare above
+/// every ordered tmp (correct: the fast write happened after the ordered
+/// write it sampled as its base) and lets every layer recognize the
+/// version as lease-scoped rather than stream-ordered.
+///
+/// Seqlock-word protocol (Hermes-style invalidate/validate): the writer
+/// one-sidedly sets the slot's lock word to `fast_tmp | 1` (odd:
+/// INVALIDATE — readers treat the slot as torn), installs the version
+/// tagged `fast_tmp` over the older dual-version slot, and, once every
+/// replica acked + re-verified, sets the lock to `fast_tmp` (even:
+/// VALIDATE). A fast-tagged version is only *valid* while the lock word
+/// equals its tmp exactly; anything else (a later bracket, a wipe by an
+/// ordered write, a discarded invalidation) makes it an inert remnant
+/// that SlotView::current() skips.
+constexpr Tmp kFastTmpBit = Tmp{1} << 63;
+constexpr bool is_fast_tmp(Tmp t) { return (t & kFastTmpBit) != 0; }
+
+/// Next fast tmp for `client_id` chained on `base` (the current version
+/// tmp the writer sampled). Layout: bit 63 | 40-bit chain counter << 23 |
+/// 22-bit client tag << 1 | 0. Always even (it doubles as the VALIDATE
+/// lock value), strictly greater than `base` when base is itself a fast
+/// tmp (counter + 1), and distinct across clients within a chain round,
+/// so two concurrent fast writes racing on the same base can never forge
+/// each other's INVALIDATE/VALIDATE words.
+constexpr Tmp next_fast_tmp(Tmp base, std::uint32_t client_id) {
+  const Tmp ctr = is_fast_tmp(base) ? ((base & ~kFastTmpBit) >> 23) : 0;
+  return kFastTmpBit | ((ctr + 1) << 23) |
+         (((Tmp{client_id} & 0x3FFFFF) + 1) << 1);
+}
+
+// --- Client::write fallback reasons (WriteResult::fallback_reason) ------
+// Why a write took (or would have taken) the ordered stream instead of
+// committing on the leased fast path. Diagnostics only — every reason maps
+// to the same recovery: submit the op on the ordered stream, whose
+// apply-side wipe erases any one-sided residue the aborted attempt left.
+constexpr std::uint32_t kFastWriteNone = 0;          // committed fast
+constexpr std::uint32_t kFastWriteDisabled = 1;      // feature/leases off
+constexpr std::uint32_t kFastWriteColdCache = 2;     // no current-epoch addr
+constexpr std::uint32_t kFastWriteSerialized = 3;    // serialized row
+constexpr std::uint32_t kFastWriteSizeMismatch = 4;  // value != slot size
+constexpr std::uint32_t kFastWriteNoLease = 5;       // lease absent/expiring
+constexpr std::uint32_t kFastWriteConflict = 6;      // torn lock / lost race
+constexpr std::uint32_t kFastWriteReplicaFail = 7;   // WC error on a replica
 
 /// Payload of a kStatusWrongEpoch reply: the faulting range [lo, hi)
 /// (hi == 0 wraps to 2^64) and its owner under layout epoch `epoch`.
@@ -303,6 +369,19 @@ struct HeronConfig {
   /// expires and resume on the first post-congestion grant — graceful
   /// degradation instead of marker pile-up. 0 disables the gate.
   sim::Nanos lease_backpressure_threshold = 0;
+
+  // --- fast writes (leased, one-sided invalidate/validate) -------------
+  /// Enables the Hermes-style fast write path on top of the fast-read
+  /// lease substrate (requires lease_duration > 0). false preserves the
+  /// seed behaviour bit for bit: no invalidations are ever issued, no
+  /// replica-side fence runs, and same-seed reports stay byte-identical.
+  bool fast_writes = false;
+  /// Minimum lease time that must remain when a fast writer posts its
+  /// VALIDATE words. Replicas discard a still-pending invalidation at
+  /// lease expiry; the margin guarantees any VALIDATE that was posted
+  /// lands well before that deadline, so either every replica validates
+  /// or every replica discards — never a mix.
+  sim::Nanos fast_write_val_margin = sim::us(20);
 
   // --- durability (checkpointing + log compaction) ---------------------
   /// See durable/config.hpp. durable.checkpoint_interval == 0 (default)

@@ -15,8 +15,12 @@
 
 namespace heron::faultlab {
 
-enum BankKind : std::uint32_t { kDeposit = 1, kTransfer = 2 };
+enum BankKind : std::uint32_t { kDeposit = 1, kTransfer = 2, kSet = 3 };
 
+/// kDeposit: amount is a delta. kSet: amount is the absolute balance — a
+/// blind write whose outcome is independent of the state it clobbers,
+/// which makes it the ordered-stream twin of a leased fast write (the
+/// fast path may only carry ops with exactly this property).
 struct DepositReq {
   std::uint64_t account;
   std::int64_t amount;
@@ -47,6 +51,7 @@ class BankApp : public core::Application {
       const core::Request& r, core::GroupId) const override {
     switch (r.header.kind) {
       case kDeposit:
+      case kSet:
         return {decode<DepositReq>(r).account};
       case kTransfer: {
         const auto t = decode<TransferReq>(r);
@@ -66,6 +71,11 @@ class BankApp : public core::Application {
         auto acct = ctx.value_as<Account>(req.account);
         acct.balance += req.amount;
         ctx.write_as(req.account, acct);
+        return core::Reply{};
+      }
+      case kSet: {
+        const auto req = decode<DepositReq>(r);
+        ctx.write_as(req.account, Account{req.amount});
         return core::Reply{};
       }
       case kTransfer: {

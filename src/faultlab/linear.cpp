@@ -14,6 +14,13 @@ void LinearChecker::note_write(core::Oid key, std::uint32_t client,
                                  status});
 }
 
+void LinearChecker::note_fast_write(core::Oid key, core::Tmp tmp,
+                                    core::Tmp base, sim::Nanos invoked_at,
+                                    sim::Nanos completed_at) {
+  fast_writes_[key].push_back(FastWriteOp{tmp, base, invoked_at,
+                                          completed_at});
+}
+
 void LinearChecker::note_read(core::Oid key, core::Tmp tmp,
                               sim::Nanos invoked_at, sim::Nanos completed_at,
                               bool fast) {
@@ -29,6 +36,7 @@ std::size_t LinearChecker::read_count() const {
 std::size_t LinearChecker::write_count() const {
   std::size_t n = 0;
   for (const auto& [key, ops] : writes_) n += ops.size();
+  for (const auto& [key, ops] : fast_writes_) n += ops.size();
   return n;
 }
 
@@ -53,12 +61,63 @@ std::vector<Violation> LinearChecker::check(
     return os.str();
   };
 
+  // Version order key (see the header comment): plain tmp t -> [t]; a
+  // fast write chained on base b -> ordkey(b) ++ [completed_at], compared
+  // lexicographically.
+  using OrdKey = std::vector<std::uint64_t>;
+
   for (const auto& [key, key_reads] : reads_) {
+    // Fast writes by version tmp. The same numeric fast tmp CAN recur on
+    // one key: the chain counter restarts whenever an ordered write wipes
+    // the slot back to a plain version, so a client's first fast write
+    // after each wipe reuses the same tmp. `resolve` disambiguates by
+    // picking the latest instance invoked before the observation point.
+    std::map<core::Tmp, std::vector<const FastWriteOp*>> fast_of;
+    if (const auto it = fast_writes_.find(key); it != fast_writes_.end()) {
+      for (const FastWriteOp& f : it->second) fast_of[f.tmp].push_back(&f);
+      for (auto& [tmp, ops] : fast_of) {
+        std::sort(ops.begin(), ops.end(),
+                  [](const FastWriteOp* a, const FastWriteOp* b) {
+                    return a->invoked_at < b->invoked_at;
+                  });
+      }
+    }
+    auto resolve = [&fast_of](core::Tmp tmp,
+                              sim::Nanos before) -> const FastWriteOp* {
+      const auto it = fast_of.find(tmp);
+      if (it == fast_of.end()) return nullptr;
+      const FastWriteOp* best = nullptr;
+      for (const FastWriteOp* f : it->second) {
+        if (f->invoked_at < before) best = f;
+      }
+      return best != nullptr ? best : it->second.front();
+    };
+    // `before` anchors disambiguation: the time the version was observed
+    // (a read's completion, or the dependent fast write's invocation).
+    // A fast tmp with no note resolves to itself — membership flags it.
+    auto ordkey = [&resolve](core::Tmp tmp, sim::Nanos before) {
+      OrdKey k;
+      core::Tmp t = tmp;
+      sim::Nanos at = before;
+      for (int guard = 0; core::is_fast_tmp(t) && guard < 64; ++guard) {
+        const FastWriteOp* f = resolve(t, at);
+        if (f == nullptr) break;
+        k.push_back(static_cast<std::uint64_t>(f->completed_at));
+        t = f->base;
+        at = f->invoked_at;
+      }
+      k.push_back(t);
+      std::reverse(k.begin(), k.end());
+      return k;
+    };
+
     // Resolve this key's writes once: every write with a recorded
     // execution (membership set), and the kOk-completed subset (staleness
-    // lower bound).
+    // lower bound). Fast commits join both — the client only reports
+    // them on success, and their version is known directly.
     struct ResolvedWrite {
-      core::Tmp tmp = 0;
+      core::Tmp tmp = 0;  // for violation messages
+      OrdKey key;
       sim::Nanos invoked_at = 0;
       sim::Nanos completed_at = 0;
       bool completed_ok = false;
@@ -69,22 +128,39 @@ std::vector<Violation> LinearChecker::check(
         const auto t = tmp_of.find({w.client, w.seq});
         if (t == tmp_of.end()) continue;  // never executed anywhere
         writes.push_back(ResolvedWrite{
-            t->second, w.invoked_at, w.completed_at,
+            t->second, OrdKey{t->second}, w.invoked_at, w.completed_at,
             w.status == core::SubmitStatus::kOk});
       }
     }
+    if (const auto it = fast_writes_.find(key); it != fast_writes_.end()) {
+      for (const FastWriteOp& f : it->second) {
+        OrdKey k = ordkey(f.base, f.invoked_at);
+        k.push_back(static_cast<std::uint64_t>(f.completed_at));
+        writes.push_back(ResolvedWrite{f.tmp, std::move(k), f.invoked_at,
+                                       f.completed_at, true});
+      }
+    }
 
-    std::vector<const ReadOp*> by_invoked;
-    by_invoked.reserve(key_reads.size());
-    for (const ReadOp& r : key_reads) by_invoked.push_back(&r);
+    struct ResolvedRead {
+      const ReadOp* op = nullptr;
+      OrdKey key;
+    };
+    std::vector<ResolvedRead> resolved_reads;
+    resolved_reads.reserve(key_reads.size());
+    for (const ReadOp& r : key_reads) {
+      resolved_reads.push_back({&r, ordkey(r.tmp, r.completed_at)});
+    }
+    std::vector<const ResolvedRead*> by_invoked;
+    by_invoked.reserve(resolved_reads.size());
+    for (const ResolvedRead& r : resolved_reads) by_invoked.push_back(&r);
     std::sort(by_invoked.begin(), by_invoked.end(),
-              [](const ReadOp* a, const ReadOp* b) {
-                return a->invoked_at < b->invoked_at;
+              [](const ResolvedRead* a, const ResolvedRead* b) {
+                return a->op->invoked_at < b->op->invoked_at;
               });
     auto by_completed = by_invoked;
     std::sort(by_completed.begin(), by_completed.end(),
-              [](const ReadOp* a, const ReadOp* b) {
-                return a->completed_at < b->completed_at;
+              [](const ResolvedRead* a, const ResolvedRead* b) {
+                return a->op->completed_at < b->op->completed_at;
               });
 
     // Staleness + read order: sweep reads in invocation order, folding in
@@ -97,31 +173,39 @@ std::vector<Violation> LinearChecker::check(
               [](const ResolvedWrite* a, const ResolvedWrite* b) {
                 return a->completed_at < b->completed_at;
               });
-    core::Tmp write_floor = 0;
-    core::Tmp read_floor = 0;
+    OrdKey write_floor;  // empty = below every version
+    OrdKey read_floor;
+    core::Tmp write_floor_tmp = 0;
+    core::Tmp read_floor_tmp = 0;
     std::size_t wi = 0, rj = 0;
-    for (const ReadOp* r : by_invoked) {
+    for (const ResolvedRead* r : by_invoked) {
       while (wi < w_by_completed.size() &&
-             w_by_completed[wi]->completed_at < r->invoked_at) {
-        write_floor = std::max(write_floor, w_by_completed[wi]->tmp);
+             w_by_completed[wi]->completed_at < r->op->invoked_at) {
+        if (write_floor < w_by_completed[wi]->key) {
+          write_floor = w_by_completed[wi]->key;
+          write_floor_tmp = w_by_completed[wi]->tmp;
+        }
         ++wi;
       }
       while (rj < by_completed.size() &&
-             by_completed[rj]->completed_at < r->invoked_at) {
-        read_floor = std::max(read_floor, by_completed[rj]->tmp);
+             by_completed[rj]->op->completed_at < r->op->invoked_at) {
+        if (read_floor < by_completed[rj]->key) {
+          read_floor = by_completed[rj]->key;
+          read_floor_tmp = by_completed[rj]->op->tmp;
+        }
         ++rj;
       }
-      if (r->tmp < write_floor) {
+      if (r->key < write_floor) {
         out.push_back(Violation{
             "linearizability",
-            describe(key, *r) + " but a write with tmp " +
-                std::to_string(write_floor) + " completed before it"});
+            describe(key, *r->op) + " but a write with tmp " +
+                std::to_string(write_floor_tmp) + " completed before it"});
       }
-      if (r->tmp < read_floor) {
+      if (r->key < read_floor) {
         out.push_back(Violation{
             "linearizability",
-            describe(key, *r) + " but an earlier read already returned tmp " +
-                std::to_string(read_floor) + " (read inversion)"});
+            describe(key, *r->op) + " but an earlier read already returned tmp " +
+                std::to_string(read_floor_tmp) + " (read inversion)"});
       }
     }
 
@@ -133,18 +217,18 @@ std::vector<Violation> LinearChecker::check(
               [](const ResolvedWrite* a, const ResolvedWrite* b) {
                 return a->invoked_at < b->invoked_at;
               });
-    std::set<core::Tmp> known{0};  // 0 = the bootstrap value
+    std::set<OrdKey> known{OrdKey{0}};  // [0] = the bootstrap value
     std::size_t wk = 0;
-    for (const ReadOp* r : by_completed) {
+    for (const ResolvedRead* r : by_completed) {
       while (wk < w_by_invoked.size() &&
-             w_by_invoked[wk]->invoked_at < r->completed_at) {
-        known.insert(w_by_invoked[wk]->tmp);
+             w_by_invoked[wk]->invoked_at < r->op->completed_at) {
+        known.insert(w_by_invoked[wk]->key);
         ++wk;
       }
-      if (!known.contains(r->tmp)) {
+      if (!known.contains(r->key)) {
         out.push_back(Violation{
             "linearizability",
-            describe(key, *r) +
+            describe(key, *r->op) +
                 " which is no write invoked before the read completed"});
       }
     }

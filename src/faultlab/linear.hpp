@@ -20,6 +20,19 @@
 // Writes that timed out at the client are excluded from the staleness
 // lower bound (they may or may not have executed) but still count for
 // membership when an execution was recorded.
+//
+// Fast (leased one-sided) writes commit outside the ordered execution
+// stream, with version tmps that carry the fast tag (bit 63) and are NOT
+// numerically comparable to multicast timestamps: a fast tmp always
+// compares above every plain tmp, yet the ordered write that later wipes
+// the slot is newer. The checker therefore compares versions by an
+// *order key* — plain tmp t maps to the one-element vector [t]; a fast
+// write chained on base b maps to ordkey(b) ++ [completed_at] — under
+// lexicographic order. That matches the protocol's structure: committed
+// fast writes on one key form chains off a plain version (the CAS on the
+// seqlock word serialises them), and an interleaved ordered write aborts
+// any in-flight fast attempt, so its (higher) plain timestamp correctly
+// dominates the whole chain it wiped.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +52,15 @@ class LinearChecker {
   void note_write(core::Oid key, std::uint32_t client, std::uint64_t seq,
                   sim::Nanos invoked_at, sim::Nanos completed_at,
                   core::SubmitStatus status);
+
+  /// Reports a committed fast (leased one-sided) write of `key`: version
+  /// `tmp` (WriteResult::tmp) chained on the sampled base version `base`
+  /// (WriteResult::base_tmp). Fast commits never appear in the ordered
+  /// execution stream, so the version is reported directly instead of
+  /// being resolved through the HistoryRecorder. Aborted fast attempts
+  /// retry on the ordered stream and are reported via note_write.
+  void note_fast_write(core::Oid key, core::Tmp tmp, core::Tmp base,
+                       sim::Nanos invoked_at, sim::Nanos completed_at);
 
   /// Reports a read of `key` that returned version `tmp` (0 = bootstrap
   /// value). `fast` tags one-sided reads in violation messages.
@@ -61,6 +83,12 @@ class LinearChecker {
     sim::Nanos completed_at = 0;
     core::SubmitStatus status = core::SubmitStatus::kOk;
   };
+  struct FastWriteOp {
+    core::Tmp tmp = 0;
+    core::Tmp base = 0;
+    sim::Nanos invoked_at = 0;
+    sim::Nanos completed_at = 0;
+  };
   struct ReadOp {
     core::Tmp tmp = 0;
     sim::Nanos invoked_at = 0;
@@ -68,6 +96,7 @@ class LinearChecker {
     bool fast = false;
   };
   std::map<core::Oid, std::vector<WriteOp>> writes_;
+  std::map<core::Oid, std::vector<FastWriteOp>> fast_writes_;
   std::map<core::Oid, std::vector<ReadOp>> reads_;
 };
 

@@ -30,7 +30,10 @@
 
 namespace heron::faultlab {
 
-enum RangeKvKind : std::uint32_t { kKvAdd = 1 };
+/// kKvAdd increments by delta; kKvSet blind-writes delta as the absolute
+/// cell value (the ordered-stream twin of a leased fast write — the sum
+/// oracle does not apply to workloads that use it).
+enum RangeKvKind : std::uint32_t { kKvAdd = 1, kKvSet = 2 };
 
 struct KvAddReq {
   std::uint64_t key;
@@ -54,17 +57,25 @@ class RangeKv : public core::Application {
 
   [[nodiscard]] std::vector<core::Oid> read_set(
       const core::Request& r, core::GroupId) const override {
-    if (r.header.kind == kKvAdd) return {decode<KvAddReq>(r).key};
+    if (r.header.kind == kKvAdd || r.header.kind == kKvSet) {
+      return {decode<KvAddReq>(r).key};
+    }
     return {};
   }
 
   core::Reply execute(const core::Request& r,
                       core::ExecContext& ctx) override {
     ctx.charge(sim::us(1));
-    if (r.header.kind != kKvAdd) return core::Reply{.status = 1};
+    if (r.header.kind != kKvAdd && r.header.kind != kKvSet) {
+      return core::Reply{.status = 1};
+    }
     const auto req = decode<KvAddReq>(r);
     auto cell = ctx.value_as<KvCell>(req.key);
-    cell.value += req.delta;
+    if (r.header.kind == kKvSet) {
+      cell.value = req.delta;
+    } else {
+      cell.value += req.delta;
+    }
     ctx.write_as(req.key, cell);
     core::Reply reply;
     reply.payload.resize(sizeof(cell.value));

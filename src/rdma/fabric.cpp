@@ -303,6 +303,74 @@ sim::Task<Completion> Fabric::read(std::int32_t initiator, RAddr addr,
   co_return Completion{Status::kOk};
 }
 
+sim::Task<Completion> Fabric::cas(std::int32_t initiator, RAddr addr,
+                                  std::uint64_t expected,
+                                  std::uint64_t desired,
+                                  std::uint64_t* observed, Lane lane) {
+  // Atomics ride the READ timing path: tiny request out, old value back.
+  ++stats_.reads;
+  stats_.read_bytes += sizeof(std::uint64_t);
+  ctr_reads_->inc();
+  ctr_read_bytes_->inc(sizeof(std::uint64_t));
+  auto span = hub_->tracer.span("rdma", "cas", initiator);
+  span.arg("target", static_cast<std::uint64_t>(addr.node));
+
+  Node& target = node(addr.node);
+  if (!in_bounds(target.region(addr.mr), addr.offset,
+                 sizeof(std::uint64_t))) {
+    ++stats_.failures;
+    ctr_bad_addr_->inc();
+    span.arg("bad_address", 1);
+    co_return Completion{Status::kBadAddress};
+  }
+
+  const bool gated = credit_gated(lane);
+  co_await CreditGate{this, &qp_for(initiator, addr.node, lane), initiator,
+                      gated};
+
+  const sim::Nanos departed = depart(initiator);
+  nic_free_at_[initiator] = departed;  // atomic request is tiny
+  if (departed > sim_->now()) co_await sim_->sleep(departed - sim_->now());
+
+  const sim::Nanos arrive = arrival_on_channel(
+      initiator, addr.node, lane,
+      link_transit(initiator, addr.node, kVerbHeaderBytes,
+                   departed + jitter(model_.read_base / 2), lane));
+  if (arrive > sim_->now()) co_await sim_->sleep(arrive - sim_->now());
+
+  if (!target.alive()) {
+    ++stats_.failures;
+    ctr_errors_->inc();
+    span.arg("wc_error", 1);
+    const sim::Nanos err_at = departed + model_.failure_detect;
+    if (err_at > sim_->now()) co_await sim_->sleep(err_at - sim_->now());
+    release_credit(qp_for(initiator, addr.node, lane), gated);
+    co_return Completion{Status::kRemoteFailure};
+  }
+
+  // Compare-and-swap at arrival time (one event = one atomic step).
+  auto word = target.region(addr.mr).bytes().subspan(addr.offset,
+                                                     sizeof(std::uint64_t));
+  std::uint64_t old = 0;
+  std::memcpy(&old, word.data(), sizeof(old));
+  if (observed != nullptr) *observed = old;
+  if (old == expected) {
+    std::memcpy(word.data(), &desired, sizeof(desired));
+    target.region(addr.mr).on_write().notify_all();
+  } else {
+    span.arg("cas_miss", 1);
+  }
+
+  // Response carries the pre-op value back to the initiator.
+  const sim::Nanos done_at = link_transit(
+      addr.node, initiator, sizeof(std::uint64_t),
+      arrive + jitter(model_.read_base / 2) + xfer_time(sizeof(std::uint64_t)),
+      lane);
+  if (done_at > sim_->now()) co_await sim_->sleep(done_at - sim_->now());
+  release_credit(qp_for(initiator, addr.node, lane), gated);
+  co_return Completion{Status::kOk};
+}
+
 void Fabric::deliver_write(std::int32_t target_id, RAddr addr,
                            std::vector<std::byte> data) {
   Node& target = node(target_id);

@@ -205,6 +205,19 @@ class Fabric {
                    std::span<const std::byte> data,
                    Lane lane = Lane::kData);
 
+  /// One-sided atomic compare-and-swap on an 8-byte word (RC masked
+  /// atomics): at arrival the remote word is sampled and, iff it equals
+  /// `expected`, replaced by `desired` in the same event; the sampled
+  /// value travels back in `observed`. Success of the swap is
+  /// `*observed == expected` on an ok() completion. Costs a READ round
+  /// trip (request out, old value back). Used by the fast-write path to
+  /// take a slot's INVALIDATE lock without clobbering a replica-side
+  /// write-phase bracket that opened after the client sampled the word.
+  sim::Task<Completion> cas(std::int32_t initiator, RAddr addr,
+                            std::uint64_t expected, std::uint64_t desired,
+                            std::uint64_t* observed,
+                            Lane lane = Lane::kData);
+
   /// Injects a phantom transfer (heron::faultlab congestion scenarios):
   /// charges the initiator NIC, credit window, uplink FIFO and channel
   /// exactly like a `bytes`-sized write, but touches no memory region, so

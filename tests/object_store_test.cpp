@@ -180,7 +180,11 @@ TEST(ObjectStore, SerializedFlagRoundTrips) {
   env.store.create(2, bytes_of(0), false);
   EXPECT_TRUE(env.store.is_serialized(1));
   EXPECT_FALSE(env.store.is_serialized(2));
-  EXPECT_EQ(env.store.view(1).serialized, 1u);
+  // The word is packed: bit 0 = flag, bits 1-31 = the oid's identity tag.
+  EXPECT_TRUE(env.store.view(1).is_serialized_slot());
+  EXPECT_FALSE(env.store.view(2).is_serialized_slot());
+  EXPECT_EQ(env.store.view(1).tag(), SlotView::oid_tag(1));
+  EXPECT_EQ(env.store.view(2).tag(), SlotView::oid_tag(2));
 }
 
 TEST(ObjectStore, ForEachOidVisitsAll) {
